@@ -1,0 +1,26 @@
+//! Criterion bench: MBS scheduling (greedy grouping) cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mbs_cnn::networks::{inception_v3, resnet};
+use mbs_core::{ExecConfig, HardwareConfig, MbsScheduler};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let hw = HardwareConfig::default();
+    let mut g = c.benchmark_group("scheduler");
+    for net in [resnet(50), inception_v3()] {
+        for cfg in [ExecConfig::Mbs1, ExecConfig::Mbs2] {
+            g.bench_with_input(
+                BenchmarkId::new(net.name().to_owned(), cfg.label()),
+                &cfg,
+                |b, &cfg| {
+                    b.iter(|| MbsScheduler::new(&net, &hw, cfg).schedule());
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: one full WaveCore training-step simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mbs_cnn::networks::{alexnet, resnet};
+use mbs_core::{ExecConfig, HardwareConfig};
+use mbs_wavecore::WaveCore;
+
+fn bench_simulate(c: &mut Criterion) {
+    let wc = WaveCore::new(HardwareConfig::default());
+    let mut g = c.benchmark_group("simulate_step");
+    for net in [resnet(50), alexnet()] {
+        for cfg in [ExecConfig::Baseline, ExecConfig::Mbs2] {
+            g.bench_with_input(
+                BenchmarkId::new(net.name().to_owned(), cfg.label()),
+                &cfg,
+                |b, &cfg| b.iter(|| wc.simulate(&net, cfg)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulate);
+criterion_main!(benches);

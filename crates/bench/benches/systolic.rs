@@ -1,0 +1,30 @@
+//! Criterion bench: the functional register-level systolic array vs the
+//! reference matmul, and the analytic cycle model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mbs_wavecore::gemm::GemmDims;
+use mbs_wavecore::systolic::{DenseMatrix, FunctionalArray};
+use mbs_wavecore::tile::{gemm_cycles, ArrayGeometry};
+
+fn bench_systolic(c: &mut Criterion) {
+    let geom = ArrayGeometry { rows: 8, cols: 8, tile_rows: 16 };
+    let a = DenseMatrix::from_vec(32, 24, (0..768).map(|v| (v % 11) as f32).collect());
+    let b = DenseMatrix::from_vec(24, 16, (0..384).map(|v| (v % 7) as f32).collect());
+
+    c.bench_function("functional_array_32x24x16", |bench| {
+        bench.iter(|| {
+            let mut arr = FunctionalArray::new(geom, true);
+            arr.multiply(&a, &b)
+        })
+    });
+    c.bench_function("reference_matmul_32x24x16", |bench| bench.iter(|| a.matmul(&b)));
+    c.bench_function("analytic_cycles_resnet_conv", |bench| {
+        let dims = GemmDims::new(32 * 56 * 56, 64, 576);
+        let g = ArrayGeometry::wavecore();
+        bench.iter(|| gemm_cycles(dims, g, true))
+    });
+}
+
+criterion_group!(benches, bench_systolic);
+criterion_main!(benches);

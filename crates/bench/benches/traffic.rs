@@ -1,0 +1,25 @@
+//! Criterion bench: the DRAM traffic model (one analysis pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mbs_cnn::networks::{inception_v4, resnet};
+use mbs_core::{analyze, ExecConfig, HardwareConfig, MbsScheduler};
+
+fn bench_traffic(c: &mut Criterion) {
+    let hw = HardwareConfig::default();
+    let mut g = c.benchmark_group("traffic");
+    for net in [resnet(152), inception_v4()] {
+        let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs2).schedule();
+        g.bench_with_input(
+            BenchmarkId::new("analyze", net.name().to_owned()),
+            &net,
+            |b, net| {
+                b.iter(|| analyze(net, &schedule, hw.global_buffer_bytes));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

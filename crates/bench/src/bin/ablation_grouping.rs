@@ -1,0 +1,7 @@
+//! Regenerates the §3 footnote-1 grouping ablation (greedy vs exact DP).
+use mbs_bench::experiments::ablation;
+
+fn main() {
+    let a = ablation::run();
+    print!("{}", ablation::render(&a));
+}

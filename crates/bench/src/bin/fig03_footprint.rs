@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 3 (ResNet50 per-layer footprints).
+use mbs_bench::experiments::fig03;
+
+fn main() {
+    let f = fig03::run();
+    print!("{}", fig03::render(&f));
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 4 (per-node data, min iterations, MBS grouping).
+use mbs_bench::experiments::fig04;
+
+fn main() {
+    let f = fig04::run();
+    print!("{}", fig04::render(&f));
+}

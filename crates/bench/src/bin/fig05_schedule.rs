@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 5 (baseline vs MBS training flow).
+use mbs_bench::experiments::fig05;
+
+fn main() {
+    let f = fig05::run();
+    print!("{}", fig05::render(&f));
+}

@@ -1,0 +1,9 @@
+//! Regenerates paper Fig. 6 (BN vs GN+MBS training). Pass --quick for a
+//! seconds-scale run.
+use mbs_bench::experiments::fig06::{self, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let f = fig06::run(if quick { Scale::Quick } else { Scale::Full });
+    print!("{}", fig06::render(&f));
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 10 (time / energy / DRAM traffic per step).
+use mbs_bench::experiments::fig10;
+
+fn main() {
+    let f = fig10::run();
+    print!("{}", fig10::render(&f));
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 11 (global buffer size sensitivity).
+use mbs_bench::experiments::fig11;
+
+fn main() {
+    let f = fig11::run();
+    print!("{}", fig11::render(&f));
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 12 (memory-type sensitivity + layer breakdown).
+use mbs_bench::experiments::fig12;
+
+fn main() {
+    let f = fig12::run();
+    print!("{}", fig12::render(&f));
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 13 (V100 vs WaveCore+MBS2).
+use mbs_bench::experiments::fig13;
+
+fn main() {
+    let f = fig13::run();
+    print!("{}", fig13::render(&f));
+}

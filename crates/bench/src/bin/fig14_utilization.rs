@@ -1,0 +1,7 @@
+//! Regenerates paper Fig. 14 (systolic-array utilization).
+use mbs_bench::experiments::fig14;
+
+fn main() {
+    let f = fig14::run();
+    print!("{}", fig14::render(&f));
+}

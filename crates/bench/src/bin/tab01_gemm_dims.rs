@@ -1,0 +1,6 @@
+//! Regenerates paper Tab. 1 (im2col GEMM dimensions).
+use mbs_bench::experiments::tables;
+
+fn main() {
+    print!("{}", tables::render_tab01(&tables::tab01()));
+}

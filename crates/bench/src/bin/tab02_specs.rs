@@ -1,0 +1,6 @@
+//! Regenerates paper Tab. 2 (accelerator comparison).
+use mbs_bench::experiments::tables;
+
+fn main() {
+    print!("{}", tables::render_tab02(&tables::tab02()));
+}

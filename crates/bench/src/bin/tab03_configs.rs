@@ -1,0 +1,6 @@
+//! Regenerates paper Tab. 3 (execution configurations).
+use mbs_bench::experiments::tables;
+
+fn main() {
+    print!("{}", tables::render_tab03(&tables::tab03()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates paper Tab. 4 (memory configurations).
+use mbs_bench::experiments::tables;
+
+fn main() {
+    print!("{}", tables::render_tab04(&tables::tab04()));
+}

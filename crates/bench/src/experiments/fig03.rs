@@ -1,0 +1,87 @@
+//! Fig. 3: per-layer inter-layer data and parameter sizes of ResNet50
+//! (mini-batch 32, 16-bit words), sorted by inter-layer data size, plus the
+//! "only 9.3% reusable with 10 MiB" observation.
+
+use serde::Serialize;
+
+use mbs_cnn::networks::resnet;
+use mbs_cnn::stats::{layer_footprints, reuse_summary, LayerFootprint, ReuseSummary};
+
+use crate::table::TextTable;
+
+/// The Fig. 3 data series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig03 {
+    /// Mini-batch size used.
+    pub batch: usize,
+    /// Per-layer footprints sorted by inter-layer data size (descending).
+    pub layers: Vec<LayerFootprint>,
+    /// Reusable fraction under a 10 MiB buffer.
+    pub reuse: ReuseSummary,
+}
+
+/// Computes the figure data.
+pub fn run() -> Fig03 {
+    let net = resnet(50);
+    let batch = 32;
+    let mut layers = layer_footprints(&net, batch);
+    layers.sort_by_key(|l| std::cmp::Reverse(l.inter_layer_bytes));
+    let reuse = reuse_summary(&net, batch, 10 * 1024 * 1024);
+    Fig03 { batch, layers, reuse }
+}
+
+/// Renders the series like the paper's figure (top rows + summary).
+pub fn render(f: &Fig03) -> String {
+    let mut t = TextTable::new(&["layer", "type", "inter-layer MB", "params MB"]);
+    for l in f.layers.iter().take(25) {
+        t.row(vec![
+            l.name.clone(),
+            l.kind.clone(),
+            format!("{:.1}", l.inter_layer_bytes as f64 / 1e6),
+            format!("{:.2}", l.param_bytes as f64 / 1e6),
+        ]);
+    }
+    format!(
+        "Fig. 3 — ResNet50 per-layer footprints (batch {}, 16b), top 25 of {}:\n{}\n\
+         Inter-layer data reusable with a 10MiB buffer: {:.1}% \
+         (paper: 9.3%)\n",
+        f.batch,
+        f.layers.len(),
+        t.render(),
+        f.reuse.reusable_pct
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_sorted_descending() {
+        let f = run();
+        for w in f.layers.windows(2) {
+            assert!(w[0].inter_layer_bytes >= w[1].inter_layer_bytes);
+        }
+    }
+
+    #[test]
+    fn reuse_fraction_is_small_like_paper() {
+        let f = run();
+        assert!(f.reuse.reusable_pct < 25.0, "{}", f.reuse.reusable_pct);
+        assert!(f.reuse.reusable_pct > 1.0);
+    }
+
+    #[test]
+    fn largest_layer_is_tens_of_mb() {
+        let f = run();
+        let top = f.layers[0].inter_layer_bytes as f64 / 1e6;
+        // Paper's Fig. 3 y-axis peaks near 90-100 MB.
+        assert!((40.0..140.0).contains(&top), "top layer {top} MB");
+    }
+
+    #[test]
+    fn render_mentions_the_buffer() {
+        let f = run();
+        assert!(render(&f).contains("10MiB"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Fig. 4: per-node inter-layer data size, minimum sub-batch iterations,
+//! and the resulting MBS layer grouping for ResNet50 (mini-batch 32).
+
+use serde::Serialize;
+
+use mbs_cnn::networks::resnet;
+use mbs_core::footprint::{max_sub_batch, node_space};
+use mbs_core::{ExecConfig, HardwareConfig, MbsScheduler};
+
+use crate::table::TextTable;
+
+/// One bar/point of the figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig04Row {
+    /// Node label (CONV, POOL, RES_BLK, ...).
+    pub tag: String,
+    /// Node name.
+    pub name: String,
+    /// Per-sample inter-layer data in MB (grey bars; MBS1 semantics).
+    pub data_mb_per_sample: f64,
+    /// Minimum sub-batch iterations (red line).
+    pub min_iterations: usize,
+    /// MBS1 group index (blue line).
+    pub group_mbs1: usize,
+    /// MBS2 group index (inter-branch provisioning changes the grouping).
+    pub group_mbs2: usize,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig04 {
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Rows in execution order.
+    pub rows: Vec<Fig04Row>,
+}
+
+/// Computes the figure data.
+pub fn run() -> Fig04 {
+    let net = resnet(50);
+    let hw = HardwareConfig::default();
+    let batch = net.default_batch();
+    let s1 = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1).schedule();
+    let s2 = MbsScheduler::new(&net, &hw, ExecConfig::Mbs2).schedule();
+    let rows = net
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let space = node_space(node, false);
+            let (sub, _) = max_sub_batch(space, hw.global_buffer_bytes);
+            let g1 = s1.groups().iter().position(|g| g.start <= i && i < g.end);
+            let g2 = s2.groups().iter().position(|g| g.start <= i && i < g.end);
+            Fig04Row {
+                tag: node.tag(),
+                name: node.name().to_owned(),
+                data_mb_per_sample: space as f64 / 1e6,
+                min_iterations: batch.div_ceil(sub.min(batch)),
+                group_mbs1: g1.expect("covered") + 1,
+                group_mbs2: g2.expect("covered") + 1,
+            }
+        })
+        .collect();
+    Fig04 { batch, rows }
+}
+
+/// Renders the rows.
+pub fn render(f: &Fig04) -> String {
+    let mut t = TextTable::new(&[
+        "node", "tag", "MB/sample", "min iters", "MBS1 grp", "MBS2 grp",
+    ]);
+    for r in &f.rows {
+        t.row(vec![
+            r.name.clone(),
+            r.tag.clone(),
+            format!("{:.2}", r.data_mb_per_sample),
+            r.min_iterations.to_string(),
+            r.group_mbs1.to_string(),
+            r.group_mbs2.to_string(),
+        ]);
+    }
+    format!(
+        "Fig. 4 — ResNet50 per-node data, min iterations, MBS grouping (batch {}):\n{}",
+        f.batch,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterations_decrease_with_depth() {
+        let f = run();
+        let first = f.rows.iter().find(|r| r.tag == "RES_BLK").unwrap();
+        let last = f.rows.iter().rev().find(|r| r.tag == "RES_BLK").unwrap();
+        assert!(first.min_iterations > last.min_iterations);
+    }
+
+    #[test]
+    fn group_ids_are_monotone() {
+        let f = run();
+        for w in f.rows.windows(2) {
+            assert!(w[0].group_mbs1 <= w[1].group_mbs1);
+            assert!(w[0].group_mbs2 <= w[1].group_mbs2);
+        }
+    }
+
+    #[test]
+    fn early_blocks_need_many_iterations() {
+        // Paper Fig. 4: first residual blocks need ~16 iterations at 10MiB.
+        let f = run();
+        let first_blk = f.rows.iter().find(|r| r.tag == "RES_BLK").unwrap();
+        assert!(
+            (8..=32).contains(&first_blk.min_iterations),
+            "{}",
+            first_blk.min_iterations
+        );
+    }
+}

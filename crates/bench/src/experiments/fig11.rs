@@ -1,0 +1,121 @@
+//! Fig. 11: ResNet50 sensitivity to the global buffer size (5–40 MiB),
+//! normalized to `IL` at 5 MiB.
+
+use serde::Serialize;
+
+use mbs_cnn::networks::resnet;
+use mbs_core::{ExecConfig, HardwareConfig};
+use mbs_wavecore::WaveCore;
+
+use crate::table::{ratio, TextTable};
+
+/// The buffer sizes swept (MiB).
+pub const BUFFER_MIB: [usize; 5] = [5, 10, 20, 30, 40];
+
+/// The configurations compared.
+pub const CONFIGS: [ExecConfig; 4] =
+    [ExecConfig::InterLayer, ExecConfig::MbsFs, ExecConfig::Mbs1, ExecConfig::Mbs2];
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11Cell {
+    /// Configuration label.
+    pub config: String,
+    /// Buffer size in MiB.
+    pub buffer_mib: usize,
+    /// Execution time normalized to IL @ 5 MiB.
+    pub time_norm: f64,
+    /// DRAM traffic normalized to IL @ 5 MiB.
+    pub traffic_norm: f64,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11 {
+    /// All sweep points.
+    pub cells: Vec<Fig11Cell>,
+}
+
+/// Runs the sweep.
+pub fn run() -> Fig11 {
+    let net = resnet(50);
+    let il5 = {
+        let hw = HardwareConfig::default().with_global_buffer(5 * 1024 * 1024);
+        WaveCore::new(hw).simulate(&net, ExecConfig::InterLayer)
+    };
+    let mut cells = Vec::new();
+    for cfg in CONFIGS {
+        for mib in BUFFER_MIB {
+            let hw = HardwareConfig::default().with_global_buffer(mib * 1024 * 1024);
+            let r = WaveCore::new(hw).simulate(&net, cfg);
+            cells.push(Fig11Cell {
+                config: cfg.label().to_owned(),
+                buffer_mib: mib,
+                time_norm: r.time_s / il5.time_s,
+                traffic_norm: r.dram_bytes as f64 / il5.dram_bytes as f64,
+            });
+        }
+    }
+    Fig11 { cells }
+}
+
+/// Renders the sweep.
+pub fn render(f: &Fig11) -> String {
+    let mut t = TextTable::new(&["config", "buffer MiB", "time (norm)", "traffic (norm)"]);
+    for c in &f.cells {
+        t.row(vec![
+            c.config.clone(),
+            c.buffer_mib.to_string(),
+            ratio(c.time_norm),
+            ratio(c.traffic_norm),
+        ]);
+    }
+    format!(
+        "Fig. 11 — ResNet50 sensitivity to global buffer size \
+         (normalized to IL @ 5MiB):\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'a>(f: &'a Fig11, cfg: &str, mib: usize) -> &'a Fig11Cell {
+        f.cells
+            .iter()
+            .find(|c| c.config == cfg && c.buffer_mib == mib)
+            .unwrap()
+    }
+
+    #[test]
+    fn mbs_is_insensitive_to_buffer_size() {
+        // Paper: MBS1/MBS2 vary little from 5 to 40 MiB while IL varies a
+        // lot.
+        let f = run();
+        let il_swing = get(&f, "IL", 5).traffic_norm - get(&f, "IL", 40).traffic_norm;
+        let mbs_swing =
+            get(&f, "MBS2", 5).traffic_norm - get(&f, "MBS2", 40).traffic_norm;
+        assert!(il_swing > 2.0 * mbs_swing, "il {il_swing} mbs {mbs_swing}");
+    }
+
+    #[test]
+    fn mbs2_at_5mib_beats_il_at_40mib() {
+        // The paper's headline for this figure.
+        let f = run();
+        assert!(get(&f, "MBS2", 5).traffic_norm < get(&f, "IL", 40).traffic_norm);
+        assert!(get(&f, "MBS2", 5).time_norm < get(&f, "IL", 40).time_norm);
+    }
+
+    #[test]
+    fn traffic_decreases_with_buffer() {
+        let f = run();
+        for cfg in ["IL", "MBS-FS", "MBS1", "MBS2"] {
+            for w in BUFFER_MIB.windows(2) {
+                let a = get(&f, cfg, w[0]).traffic_norm;
+                let b = get(&f, cfg, w[1]).traffic_norm;
+                assert!(b <= a + 1e-9, "{cfg}: {a} -> {b} at {w:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Fig. 12: ResNet50 training-time sensitivity to the memory technology,
+//! with the execution-time breakdown by layer type. Per the paper, this
+//! experiment trains 64 samples per core (the off-package memories offer
+//! the capacity for it).
+
+use serde::Serialize;
+
+use mbs_cnn::networks::resnet;
+use mbs_core::{ExecConfig, HardwareConfig, MemoryKind};
+use mbs_wavecore::WaveCore;
+
+use crate::table::{ms, ratio, TextTable};
+
+/// The memory systems swept.
+pub const MEMORIES: [MemoryKind; 3] =
+    [MemoryKind::Hbm2X2, MemoryKind::Gddr5, MemoryKind::Lpddr4];
+
+/// The configurations compared.
+pub const CONFIGS: [ExecConfig; 4] = [
+    ExecConfig::Baseline,
+    ExecConfig::ArchOpt,
+    ExecConfig::InterLayer,
+    ExecConfig::Mbs2,
+];
+
+/// One (config, memory) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12Cell {
+    /// Configuration label.
+    pub config: String,
+    /// Memory kind.
+    pub memory: String,
+    /// Step time in seconds.
+    pub time_s: f64,
+    /// Speedup normalized to Baseline @ HBM2×2.
+    pub speedup: f64,
+    /// Execution time by layer-type tag.
+    pub time_by_type: Vec<(String, f64)>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12 {
+    /// Per-core batch used (64 per the paper).
+    pub batch_per_core: usize,
+    /// All cells.
+    pub cells: Vec<Fig12Cell>,
+}
+
+/// Runs the sweep.
+pub fn run() -> Fig12 {
+    let net = resnet(50);
+    let batch = 64;
+    let base = WaveCore::new(HardwareConfig::default().with_memory(MemoryKind::Hbm2X2))
+        .simulate_with_batch(&net, ExecConfig::Baseline, batch);
+    let mut cells = Vec::new();
+    for cfg in CONFIGS {
+        for kind in MEMORIES {
+            let hw = HardwareConfig::default().with_memory(kind);
+            let r = WaveCore::new(hw).simulate_with_batch(&net, cfg, batch);
+            cells.push(Fig12Cell {
+                config: cfg.label().to_owned(),
+                memory: format!("{kind:?}"),
+                time_s: r.time_s,
+                speedup: base.time_s / r.time_s,
+                time_by_type: r.time_by_type(),
+            });
+        }
+    }
+    Fig12 { batch_per_core: batch, cells }
+}
+
+/// Renders the sweep with the layer-type breakdown.
+pub fn render(f: &Fig12) -> String {
+    let mut t = TextTable::new(&[
+        "config", "memory", "ms", "speedup", "conv", "fc", "norm", "pool", "sum", "other",
+    ]);
+    for c in &f.cells {
+        let part = |tag: &str| -> f64 {
+            c.time_by_type
+                .iter()
+                .filter(|(t, _)| t == tag)
+                .map(|(_, v)| *v)
+                .sum()
+        };
+        let known = ["conv", "fc", "norm", "pool", "sum"];
+        let other: f64 = c
+            .time_by_type
+            .iter()
+            .filter(|(t, _)| !known.contains(&t.as_str()))
+            .map(|(_, v)| *v)
+            .sum();
+        t.row(vec![
+            c.config.clone(),
+            c.memory.clone(),
+            ms(c.time_s),
+            ratio(c.speedup),
+            ms(part("conv")),
+            ms(part("fc")),
+            ms(part("norm")),
+            ms(part("pool")),
+            ms(part("sum")),
+            ms(other),
+        ]);
+    }
+    format!(
+        "Fig. 12 — ResNet50 sensitivity to memory type (batch {}/core, times in ms, \
+         speedup vs Baseline @ HBM2x2):\n{}",
+        f.batch_per_core,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'a>(f: &'a Fig12, cfg: &str, mem: &str) -> &'a Fig12Cell {
+        f.cells
+            .iter()
+            .find(|c| c.config == cfg && c.memory == mem)
+            .unwrap()
+    }
+
+    #[test]
+    fn mbs2_is_robust_to_cheap_memory() {
+        let f = run();
+        // Paper: Baseline loses 39% moving HBM2x2 -> LPDDR4; MBS2 loses
+        // <15%.
+        let base_drop =
+            get(&f, "Baseline", "Lpddr4").time_s / get(&f, "Baseline", "Hbm2X2").time_s;
+        let mbs_drop = get(&f, "MBS2", "Lpddr4").time_s / get(&f, "MBS2", "Hbm2X2").time_s;
+        assert!(base_drop > 1.2, "baseline drop {base_drop}");
+        assert!(mbs_drop < 1.20, "mbs2 drop {mbs_drop}");
+    }
+
+    #[test]
+    fn mbs2_on_lpddr4_beats_baseline_on_hbm2x2() {
+        // The paper's headline: 1.24 speedup.
+        let f = run();
+        let s = get(&f, "MBS2", "Lpddr4").speedup;
+        assert!(s > 1.0, "speedup {s}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let f = run();
+        for c in &f.cells {
+            let sum: f64 = c.time_by_type.iter().map(|(_, v)| v).sum();
+            assert!((sum - c.time_s).abs() < 1e-9, "{} {}", c.config, c.memory);
+        }
+    }
+
+    #[test]
+    fn norm_time_shrinks_under_mbs() {
+        let f = run();
+        let norm = |cell: &Fig12Cell| -> f64 {
+            cell.time_by_type
+                .iter()
+                .filter(|(t, _)| t == "norm")
+                .map(|(_, v)| *v)
+                .sum()
+        };
+        let base = norm(get(&f, "Baseline", "Hbm2X2"));
+        let mbs = norm(get(&f, "MBS2", "Hbm2X2"));
+        // MBS removes the transfer reads/writes but the backward reload of
+        // the stored norm input still pays DRAM, so ~2x is the ceiling.
+        assert!(mbs < base * 0.6, "norm time {base} -> {mbs}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Fig. 13: WaveCore + MBS2 (various memory systems) vs. an NVIDIA V100
+//! training the same per-chip mini-batch.
+
+use serde::Serialize;
+
+use mbs_cnn::networks::{inception_v3, resnet};
+use mbs_core::{ExecConfig, HardwareConfig, MemoryKind};
+use mbs_wavecore::{GpuModel, WaveCore};
+
+use crate::table::{ms, ratio, TextTable};
+
+/// Memory systems compared (paper order: HBM2×2, GDDR5, HBM2, LPDDR4).
+pub const MEMORIES: [MemoryKind; 4] = [
+    MemoryKind::Hbm2X2,
+    MemoryKind::Gddr5,
+    MemoryKind::Hbm2,
+    MemoryKind::Lpddr4,
+];
+
+/// One (network, memory) comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13Cell {
+    /// Network name.
+    pub network: String,
+    /// WaveCore memory kind.
+    pub memory: String,
+    /// WaveCore + MBS2 step time in seconds.
+    pub wavecore_s: f64,
+    /// Modeled V100 step time in seconds.
+    pub v100_s: f64,
+    /// `v100 / wavecore` (paper's speedup annotation).
+    pub speedup: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13 {
+    /// All comparisons.
+    pub cells: Vec<Fig13Cell>,
+}
+
+/// Runs the comparison.
+pub fn run() -> Fig13 {
+    let gpu = GpuModel::v100();
+    let nets = [resnet(50), resnet(101), resnet(152), inception_v3()];
+    let mut cells = Vec::new();
+    for net in &nets {
+        let chip_batch = net.default_batch() * 2; // V100 trains the whole chip batch
+        let v100_s = gpu.step_time(net, chip_batch);
+        for kind in MEMORIES {
+            let hw = HardwareConfig::default().with_memory(kind);
+            let r = WaveCore::new(hw).simulate(net, ExecConfig::Mbs2);
+            cells.push(Fig13Cell {
+                network: net.name().to_owned(),
+                memory: format!("{kind:?}"),
+                wavecore_s: r.time_s,
+                v100_s,
+                speedup: v100_s / r.time_s,
+            });
+        }
+    }
+    Fig13 { cells }
+}
+
+/// Renders the comparison.
+pub fn render(f: &Fig13) -> String {
+    let mut t =
+        TextTable::new(&["network", "memory", "WaveCore ms", "V100 ms", "speedup"]);
+    for c in &f.cells {
+        t.row(vec![
+            c.network.clone(),
+            c.memory.clone(),
+            ms(c.wavecore_s),
+            ms(c.v100_s),
+            ratio(c.speedup),
+        ]);
+    }
+    format!(
+        "Fig. 13 — V100 vs WaveCore+MBS2 (speedup = V100 time / WaveCore time):\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavecore_beats_v100_on_all_memories() {
+        // Paper: 1.06-1.27 across networks and memories.
+        let f = run();
+        for c in &f.cells {
+            assert!(
+                (1.0..1.8).contains(&c.speedup),
+                "{} {}: {}",
+                c.network,
+                c.memory,
+                c.speedup
+            );
+        }
+    }
+
+    #[test]
+    fn gap_grows_with_network_depth() {
+        let f = run();
+        let get = |net: &str| -> f64 {
+            f.cells
+                .iter()
+                .find(|c| c.network == net && c.memory == "Hbm2X2")
+                .unwrap()
+                .speedup
+        };
+        assert!(get("ResNet152") > get("ResNet50"));
+    }
+
+    #[test]
+    fn faster_memory_helps_wavecore() {
+        let f = run();
+        let get = |mem: &str| -> f64 {
+            f.cells
+                .iter()
+                .find(|c| c.network == "ResNet50" && c.memory == mem)
+                .unwrap()
+                .wavecore_s
+        };
+        assert!(get("Hbm2X2") <= get("Lpddr4"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig. 14: systolic-array utilization of conv/FC layers per configuration
+//! (isolated from memory bandwidth).
+
+use serde::Serialize;
+
+use mbs_cnn::networks::evaluation_suite;
+use mbs_core::{ExecConfig, HardwareConfig};
+use mbs_wavecore::WaveCore;
+
+use crate::table::TextTable;
+
+/// The configurations shown in the figure.
+pub const CONFIGS: [ExecConfig; 5] = [
+    ExecConfig::Baseline,
+    ExecConfig::ArchOpt,
+    ExecConfig::MbsFs,
+    ExecConfig::Mbs1,
+    ExecConfig::Mbs2,
+];
+
+/// Utilization per configuration for one network.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig14Row {
+    /// Network name (or `AVG`).
+    pub network: String,
+    /// Utilization per configuration, in [`CONFIGS`] order.
+    pub utilization: Vec<f64>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig14 {
+    /// One row per network plus the average row.
+    pub rows: Vec<Fig14Row>,
+}
+
+/// Computes utilization (the simulator's utilization metric is already
+/// bandwidth-independent, matching the paper's unlimited-BW methodology).
+pub fn run() -> Fig14 {
+    let wc = WaveCore::new(HardwareConfig::default());
+    let mut rows: Vec<Fig14Row> = evaluation_suite()
+        .into_iter()
+        .map(|net| {
+            let utilization = CONFIGS
+                .iter()
+                .map(|&c| wc.simulate(&net, c).utilization)
+                .collect();
+            Fig14Row { network: net.name().to_owned(), utilization }
+        })
+        .collect();
+    let avg: Vec<f64> = (0..CONFIGS.len())
+        .map(|i| {
+            rows.iter().map(|r| r.utilization[i]).sum::<f64>() / rows.len() as f64
+        })
+        .collect();
+    rows.push(Fig14Row { network: "AVG".to_owned(), utilization: avg });
+    Fig14 { rows }
+}
+
+/// Renders the utilization table.
+pub fn render(f: &Fig14) -> String {
+    let mut header = vec!["network"];
+    let labels: Vec<&str> = CONFIGS.iter().map(|c| c.label()).collect();
+    header.extend(&labels);
+    let mut t = TextTable::new(&header);
+    for r in &f.rows {
+        let mut row = vec![r.network.clone()];
+        row.extend(r.utilization.iter().map(|u| format!("{u:.3}")));
+        t.row(row);
+    }
+    format!("Fig. 14 — systolic array utilization (conv/FC layers):\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avg(f: &Fig14, cfg: ExecConfig) -> f64 {
+        let i = CONFIGS.iter().position(|&c| c == cfg).unwrap();
+        f.rows.last().unwrap().utilization[i]
+    }
+
+    #[test]
+    fn average_utilizations_match_paper_bands() {
+        let f = run();
+        // Paper: Baseline 53.8%, ArchOpt 81.5%, MBS-FS 66.7%, MBS1/2 78.6%.
+        assert!((0.40..0.65).contains(&avg(&f, ExecConfig::Baseline)));
+        assert!((0.65..0.92).contains(&avg(&f, ExecConfig::ArchOpt)));
+        assert!(avg(&f, ExecConfig::MbsFs) < avg(&f, ExecConfig::ArchOpt));
+        assert!(avg(&f, ExecConfig::Mbs1) > avg(&f, ExecConfig::MbsFs));
+    }
+
+    #[test]
+    fn mbs_regains_most_of_archopt_utilization() {
+        // Paper: MBS1/2 land within ~3% of full-mini-batch ArchOpt.
+        let f = run();
+        let gap = avg(&f, ExecConfig::ArchOpt) - avg(&f, ExecConfig::Mbs2);
+        assert!(gap < 0.10, "gap {gap}");
+    }
+
+    #[test]
+    fn has_one_row_per_network_plus_average() {
+        let f = run();
+        assert_eq!(f.rows.len(), 7);
+        assert_eq!(f.rows.last().unwrap().network, "AVG");
+    }
+}

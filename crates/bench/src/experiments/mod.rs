@@ -1,0 +1,14 @@
+//! One module per paper table/figure; each exposes `run()` returning a
+//! serializable result and `render()` producing the printable rows.
+
+pub mod ablation;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod tables;

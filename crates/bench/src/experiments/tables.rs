@@ -1,0 +1,175 @@
+//! Tables 1-4 of the paper.
+
+use serde::Serialize;
+
+use mbs_cnn::networks::resnet;
+use mbs_cnn::LayerKind;
+use mbs_core::{ExecConfig, MemoryConfig, MemoryKind};
+use mbs_wavecore::area::{comparison_table, AcceleratorSpec};
+use mbs_wavecore::gemm::{gemm_dims, TrainingPhase};
+
+use crate::table::TextTable;
+
+/// Tab. 1: GEMM dimensions for sample ResNet50 convolutions in the three
+/// training phases.
+#[derive(Debug, Clone, Serialize)]
+pub struct Tab01Row {
+    /// Layer name.
+    pub layer: String,
+    /// Phase name.
+    pub phase: String,
+    /// Gh, Gw, K.
+    pub dims: (usize, usize, usize),
+}
+
+/// Computes Tab. 1 for a few representative convolutions at sub-batch 8.
+pub fn tab01() -> Vec<Tab01Row> {
+    let net = resnet(50);
+    let mut rows = Vec::new();
+    let convs: Vec<_> = net
+        .layers()
+        .filter(|l| matches!(l.kind, LayerKind::Conv { .. }))
+        .collect();
+    // First, a middle, and a late convolution.
+    for layer in [convs[0], convs[convs.len() / 2], convs[convs.len() - 1]] {
+        for phase in TrainingPhase::all() {
+            let d = gemm_dims(layer, phase, 8).expect("conv has dims");
+            rows.push(Tab01Row {
+                layer: layer.name.clone(),
+                phase: format!("{phase:?}"),
+                dims: (d.gh, d.gw, d.k),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Tab. 1.
+pub fn render_tab01(rows: &[Tab01Row]) -> String {
+    let mut t = TextTable::new(&["layer", "phase", "Gh", "Gw", "K"]);
+    for r in rows {
+        t.row(vec![
+            r.layer.clone(),
+            r.phase.clone(),
+            r.dims.0.to_string(),
+            r.dims.1.to_string(),
+            r.dims.2.to_string(),
+        ]);
+    }
+    format!(
+        "Tab. 1 — im2col GEMM dimensions per training phase (sub-batch 8):\n{}",
+        t.render()
+    )
+}
+
+/// Tab. 2: the accelerator comparison (computed WaveCore + published
+/// peers).
+pub fn tab02() -> Vec<AcceleratorSpec> {
+    comparison_table()
+}
+
+/// Renders Tab. 2.
+pub fn render_tab02(rows: &[AcceleratorSpec]) -> String {
+    let mut t = TextTable::new(&[
+        "device", "nm", "die mm2", "GHz", "TOPS", "format", "peak W", "buffers MiB",
+    ]);
+    for r in rows {
+        let opt = |v: f64, fmt: &dyn Fn(f64) -> String| {
+            if v == 0.0 {
+                "N/A".to_owned()
+            } else {
+                fmt(v)
+            }
+        };
+        t.row(vec![
+            r.name.clone(),
+            if r.technology_nm == 0 { "N/A".into() } else { r.technology_nm.to_string() },
+            opt(r.die_area_mm2, &|v| format!("{v:.1}")),
+            format!("{:.2}", r.clock_ghz),
+            format!("{:.0}", r.tops),
+            r.format.clone(),
+            opt(r.peak_power_w, &|v| format!("{v:.0}")),
+            opt(r.on_chip_mib, &|v| format!("{v:.0}")),
+        ]);
+    }
+    format!("Tab. 2 — accelerator comparison:\n{}", t.render())
+}
+
+/// Tab. 3: execution configuration descriptions.
+pub fn tab03() -> Vec<(String, String)> {
+    ExecConfig::all()
+        .into_iter()
+        .map(|c| (c.label().to_owned(), c.description().to_owned()))
+        .collect()
+}
+
+/// Renders Tab. 3.
+pub fn render_tab03(rows: &[(String, String)]) -> String {
+    let mut t = TextTable::new(&["configuration", "description"]);
+    for (k, v) in rows {
+        t.row(vec![k.clone(), v.clone()]);
+    }
+    format!("Tab. 3 — evaluation configurations:\n{}", t.render())
+}
+
+/// Tab. 4: memory configurations.
+pub fn tab04() -> Vec<MemoryConfig> {
+    [MemoryKind::Hbm2, MemoryKind::Hbm2X2, MemoryKind::Gddr5, MemoryKind::Lpddr4]
+        .into_iter()
+        .map(MemoryConfig::preset)
+        .collect()
+}
+
+/// Renders Tab. 4.
+pub fn render_tab04(rows: &[MemoryConfig]) -> String {
+    let mut t = TextTable::new(&[
+        "memory", "GiB/s per chip", "chips", "total BW GiB/s", "capacity GiB",
+    ]);
+    for r in rows {
+        t.row(vec![
+            format!("{:?}", r.kind),
+            format!("{:.1}", r.per_chip_gib_s),
+            r.chips.to_string(),
+            format!("{:.1}", r.total_bw_gib_s()),
+            format!("{:.0}", r.total_capacity_gib()),
+        ]);
+    }
+    format!("Tab. 4 — off-chip memory configurations:\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab01_weight_gradient_swaps_gh_and_k() {
+        let rows = tab01();
+        for chunk in rows.chunks(3) {
+            let fwd = &chunk[0];
+            let wg = &chunk[2];
+            assert_eq!(fwd.dims.0, wg.dims.2, "{}", fwd.layer);
+            assert_eq!(fwd.dims.2, wg.dims.0, "{}", fwd.layer);
+            assert_eq!(fwd.dims.1, wg.dims.1, "{}", fwd.layer);
+        }
+    }
+
+    #[test]
+    fn tab02_wavecore_matches_paper_numbers() {
+        let rows = tab02();
+        let wc = rows.iter().find(|r| r.name == "WaveCore").unwrap();
+        assert!((wc.die_area_mm2 - 534.0).abs() < 1.0);
+        assert!((wc.peak_power_w - 56.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn tab03_has_six_configs() {
+        assert_eq!(tab03().len(), 6);
+    }
+
+    #[test]
+    fn tab04_total_bandwidths() {
+        let rows = tab04();
+        let bw: Vec<f64> = rows.iter().map(MemoryConfig::total_bw_gib_s).collect();
+        assert_eq!(bw, vec![300.0, 600.0, 384.0, 239.2]);
+    }
+}

@@ -1,0 +1,40 @@
+//! CNN graph intermediate representation for the Mini-batch Serialization
+//! (MBS) reproduction.
+//!
+//! The paper schedules CNN *training* at the granularity of layers and
+//! multi-branch blocks (residual / inception modules). This crate provides:
+//!
+//! - [`Layer`] / [`LayerKind`]: single layers with shape inference,
+//! - [`Block`] / [`Node`]: multi-branch modules treated as scheduling units,
+//! - [`Network`]: a sequential chain of nodes (the paper's Fig. 4/5 view),
+//! - [`networks`]: the evaluated network zoo (ResNet-50/101/152,
+//!   Inception v3/v4, AlexNet) plus toy networks,
+//! - [`stats`]: per-layer footprint and parameter statistics (paper Fig. 3).
+//!
+//! All sizes use 16-bit words ([`WORD_BYTES`]) as in the paper's evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbs_cnn::networks::resnet;
+//!
+//! let net = resnet(50);
+//! assert_eq!(net.name(), "ResNet50");
+//! // ~25.5M parameters for ResNet50.
+//! let params = net.param_elems();
+//! assert!(params > 23_000_000 && params < 28_000_000, "params = {params}");
+//! ```
+
+pub mod block;
+pub mod layer;
+pub mod network;
+pub mod networks;
+pub mod stats;
+
+pub use block::{Block, BlockKind, MergeOp, Node};
+pub use layer::{FeatureShape, Layer, LayerKind, NormKind, PoolKind, ShapeError};
+pub use network::{Network, NetworkBuilder};
+
+/// Size in bytes of one feature/weight word (16-bit floating point, as in the
+/// paper's mixed-precision evaluation).
+pub const WORD_BYTES: usize = 2;

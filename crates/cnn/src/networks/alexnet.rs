@@ -1,0 +1,86 @@
+//! AlexNet (Krizhevsky et al., 2012) for 227×227 inputs.
+//!
+//! The paper evaluates AlexNet as the "shallow CNN with few memory-BW bound
+//! layers" contrast case: three large fully-connected layers dominate its
+//! weight traffic, which is what makes MBS-FS counterproductive on it
+//! (Fig. 10). Local response normalization is modeled as a per-sample norm
+//! layer; grouped convolutions are modeled dense (the original's 2-GPU
+//! grouping halves conv parameters but does not change the traffic shape).
+
+use crate::layer::{FeatureShape, NormKind, PoolKind};
+use crate::network::{Network, NetworkBuilder};
+
+/// Builds AlexNet (1000 classes, default per-core batch of 64 as in the
+/// paper's methodology §5).
+///
+/// # Examples
+///
+/// ```
+/// let net = mbs_cnn::networks::alexnet();
+/// assert!(net.param_elems() > 60_000_000); // FC-dominated
+/// ```
+pub fn alexnet() -> Network {
+    NetworkBuilder::new("AlexNet", FeatureShape::new(3, 227, 227), 64)
+        .conv("conv1", 96, 11, 4, 0)
+        .expect("conv1")
+        .relu("relu1")
+        .norm("lrn1", NormKind::Local)
+        .pool("pool1", PoolKind::Max, 3, 2, 0)
+        .expect("pool1")
+        .conv("conv2", 256, 5, 1, 2)
+        .expect("conv2")
+        .relu("relu2")
+        .norm("lrn2", NormKind::Local)
+        .pool("pool2", PoolKind::Max, 3, 2, 0)
+        .expect("pool2")
+        .conv("conv3", 384, 3, 1, 1)
+        .expect("conv3")
+        .relu("relu3")
+        .conv("conv4", 384, 3, 1, 1)
+        .expect("conv4")
+        .relu("relu4")
+        .conv("conv5", 256, 3, 1, 1)
+        .expect("conv5")
+        .relu("relu5")
+        .pool("pool5", PoolKind::Max, 3, 2, 0)
+        .expect("pool5")
+        .fully_connected("fc6", 4096)
+        .relu("relu6")
+        .fully_connected("fc7", 4096)
+        .relu("relu7")
+        .fully_connected("fc8", 1000)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_shapes() {
+        let net = alexnet();
+        let conv1 = net.nodes().iter().find(|n| n.name() == "conv1").unwrap();
+        assert_eq!(conv1.output(), FeatureShape::new(96, 55, 55));
+        let pool5 = net.nodes().iter().find(|n| n.name() == "pool5").unwrap();
+        assert_eq!(pool5.output(), FeatureShape::new(256, 6, 6));
+    }
+
+    #[test]
+    fn fc_layers_dominate_parameters() {
+        let net = alexnet();
+        let fc_params: usize = net
+            .layers()
+            .filter(|l| l.kind.type_tag() == "fc")
+            .map(|l| l.param_elems())
+            .sum();
+        let total = net.param_elems();
+        assert!(fc_params * 10 > total * 9, "fc {fc_params} of {total}");
+        // Dense-conv AlexNet has ~62M params (grouped original: ~61M).
+        assert!((58_000_000..70_000_000).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn default_batch_is_64() {
+        assert_eq!(alexnet().default_batch(), 64);
+    }
+}

@@ -1,0 +1,108 @@
+//! Network zoo: the six CNNs evaluated in the paper plus toy networks used
+//! in tests and examples.
+//!
+//! Every convolution is paired with a normalization layer and ReLU, matching
+//! the training graphs of Fig. 2. Normalization defaults to group
+//! normalization (the MBS-compatible choice, §3.1); the norm kind does not
+//! affect shapes, traffic, or timing in the simulator, only the training
+//! substrate distinguishes BN from GN numerically.
+
+mod alexnet;
+mod inception_v3;
+mod inception_v4;
+mod resnet;
+pub mod toy;
+
+pub use alexnet::alexnet;
+pub use inception_v3::inception_v3;
+pub use inception_v4::inception_v4;
+pub use resnet::{resnet, resnet_custom};
+
+use crate::layer::{FeatureShape, Layer};
+use crate::layer::NormKind;
+
+/// All six networks of the paper's evaluation (Fig. 10), in figure order.
+pub fn evaluation_suite() -> Vec<crate::Network> {
+    vec![
+        resnet(50),
+        resnet(101),
+        resnet(152),
+        inception_v3(),
+        inception_v4(),
+        alexnet(),
+    ]
+}
+
+/// Largest group count from {32, 16, 8, 4, 2, 1} dividing `channels`; used
+/// so every zoo normalization layer is a valid group norm.
+pub(crate) fn norm_groups(channels: usize) -> usize {
+    for g in [32, 16, 8, 4, 2] {
+        if channels.is_multiple_of(g) {
+            return g;
+        }
+    }
+    1
+}
+
+/// Conv → GroupNorm → ReLU triple, the basic unit of every zoo network.
+pub(crate) fn conv_norm_relu(
+    prefix: &str,
+    input: FeatureShape,
+    out_channels: usize,
+    kernel: (usize, usize),
+    stride: usize,
+    pad: (usize, usize),
+) -> Vec<Layer> {
+    let conv = Layer::conv_rect(format!("{prefix}.conv"), input, out_channels, kernel, stride, pad)
+        .unwrap_or_else(|e| panic!("zoo network definition invalid at {prefix}: {e}"));
+    let norm = Layer::norm(
+        format!("{prefix}.norm"),
+        conv.output,
+        NormKind::Group { groups: norm_groups(out_channels) },
+    );
+    let relu = Layer::relu(format!("{prefix}.relu"), norm.output);
+    vec![conv, norm, relu]
+}
+
+/// Conv → GroupNorm pair without activation (bottleneck tails, projection
+/// shortcuts: the ReLU comes after the residual add).
+pub(crate) fn conv_norm(
+    prefix: &str,
+    input: FeatureShape,
+    out_channels: usize,
+    kernel: (usize, usize),
+    stride: usize,
+    pad: (usize, usize),
+) -> Vec<Layer> {
+    let conv = Layer::conv_rect(format!("{prefix}.conv"), input, out_channels, kernel, stride, pad)
+        .unwrap_or_else(|e| panic!("zoo network definition invalid at {prefix}: {e}"));
+    let norm = Layer::norm(
+        format!("{prefix}.norm"),
+        conv.output,
+        NormKind::Group { groups: norm_groups(out_channels) },
+    );
+    vec![conv, norm]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_six_networks() {
+        let nets = evaluation_suite();
+        assert_eq!(nets.len(), 6);
+        let names: Vec<&str> = nets.iter().map(|n| n.name()).collect();
+        assert_eq!(
+            names,
+            ["ResNet50", "ResNet101", "ResNet152", "InceptionV3", "InceptionV4", "AlexNet"]
+        );
+    }
+
+    #[test]
+    fn norm_groups_divides_channels() {
+        for c in [3, 32, 48, 64, 80, 96, 192, 2048] {
+            assert_eq!(c % norm_groups(c), 0, "channels {c}");
+        }
+    }
+}

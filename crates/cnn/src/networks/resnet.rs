@@ -1,0 +1,178 @@
+//! ResNet-50/101/152 for 224×224 ImageNet inputs (He et al., 2016), built
+//! from bottleneck residual blocks.
+
+use crate::block::{Block, Node};
+use crate::layer::{FeatureShape, NormKind, PoolKind};
+use crate::network::{Network, NetworkBuilder};
+
+use super::{conv_norm, conv_norm_relu, norm_groups};
+
+/// Builds a standard ResNet.
+///
+/// Supported depths: 50, 101, 152 (the three the paper evaluates).
+///
+/// # Panics
+///
+/// Panics if `depth` is not one of the supported values. Use
+/// [`resnet_custom`] for other stage configurations.
+///
+/// # Examples
+///
+/// ```
+/// let net = mbs_cnn::networks::resnet(50);
+/// assert_eq!(net.output().channels, 1000);
+/// ```
+pub fn resnet(depth: usize) -> Network {
+    let stages: [usize; 4] = match depth {
+        50 => [3, 4, 6, 3],
+        101 => [3, 4, 23, 3],
+        152 => [3, 8, 36, 3],
+        other => panic!("unsupported ResNet depth {other}; use resnet_custom"),
+    };
+    resnet_custom(&format!("ResNet{depth}"), stages, 1000, 32)
+}
+
+/// Builds a bottleneck ResNet with arbitrary per-stage block counts.
+///
+/// `stages` gives the number of bottleneck blocks in each of the four
+/// stages (56², 28², 14², 7² feature maps).
+pub fn resnet_custom(
+    name: &str,
+    stages: [usize; 4],
+    classes: usize,
+    default_batch: usize,
+) -> Network {
+    let mut b = NetworkBuilder::new(name, FeatureShape::new(3, 224, 224), default_batch);
+    for layer in conv_norm_relu("conv1", b.shape(), 64, (7, 7), 2, (3, 3)) {
+        b = b.push(Node::Single(layer));
+    }
+    b = b.pool("pool1", PoolKind::Max, 3, 2, 1).expect("resnet pool1");
+
+    for (stage, &blocks) in stages.iter().enumerate() {
+        let mid = 64 << stage; // 64, 128, 256, 512
+        let out = mid * 4;
+        for i in 0..blocks {
+            let stride = if stage > 0 && i == 0 { 2 } else { 1 };
+            let block = bottleneck(&format!("res{}{}", stage + 2, letter(i)), b.shape(), mid, out, stride);
+            b = b.block(block);
+        }
+    }
+
+    let shape = b.shape();
+    b = b.push(Node::Single(crate::layer::Layer::norm(
+        "norm5",
+        shape,
+        NormKind::Group { groups: norm_groups(shape.channels) },
+    )));
+    b = b.relu("relu5");
+    b = b.global_avg_pool("pool5");
+    b.fully_connected("fc", classes).build()
+}
+
+fn letter(i: usize) -> String {
+    // resnet block naming: a, b, c, ... then b10, b11 ... for very deep nets
+    if i < 26 {
+        ((b'a' + i as u8) as char).to_string()
+    } else {
+        format!("b{i}")
+    }
+}
+
+/// A 1×1 → 3×3 → 1×1 bottleneck residual block with an optional projection
+/// shortcut (first block of each stage, or whenever shapes change).
+fn bottleneck(
+    name: &str,
+    input: FeatureShape,
+    mid_channels: usize,
+    out_channels: usize,
+    stride: usize,
+) -> Block {
+    let mut main = Vec::new();
+    main.extend(conv_norm_relu(&format!("{name}.1"), input, mid_channels, (1, 1), 1, (0, 0)));
+    let s1 = main.last().expect("bottleneck chain non-empty").output;
+    main.extend(conv_norm_relu(&format!("{name}.2"), s1, mid_channels, (3, 3), stride, (1, 1)));
+    let s2 = main.last().expect("bottleneck chain non-empty").output;
+    main.extend(conv_norm(&format!("{name}.3"), s2, out_channels, (1, 1), 1, (0, 0)));
+
+    let shortcut = if stride != 1 || input.channels != out_channels {
+        conv_norm(&format!("{name}.sc"), input, out_channels, (1, 1), stride, (0, 0))
+    } else {
+        Vec::new()
+    };
+
+    Block::residual(name, input, main, shortcut)
+        .unwrap_or_else(|e| panic!("bottleneck {name} invalid: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Node;
+
+    #[test]
+    fn resnet50_structure() {
+        let net = resnet(50);
+        // conv1(conv,norm,relu) + pool + 16 blocks + norm + relu + gap + fc = 23
+        let blocks = net.nodes().iter().filter(|n| n.is_block()).count();
+        assert_eq!(blocks, 3 + 4 + 6 + 3);
+        assert_eq!(net.output().channels, 1000);
+        // Parameter count ~25.5M (conv weights + norms + fc).
+        let p = net.param_elems();
+        assert!((23_000_000..28_000_000).contains(&p), "params {p}");
+    }
+
+    #[test]
+    fn resnet101_and_152_depths() {
+        assert_eq!(
+            resnet(101).nodes().iter().filter(|n| n.is_block()).count(),
+            3 + 4 + 23 + 3
+        );
+        assert_eq!(
+            resnet(152).nodes().iter().filter(|n| n.is_block()).count(),
+            3 + 8 + 36 + 3
+        );
+    }
+
+    #[test]
+    fn stage_shapes_downsample() {
+        let net = resnet(50);
+        let mut sizes = Vec::new();
+        for n in net.nodes() {
+            if let Node::Block(b) = n {
+                sizes.push((b.output.height, b.output.channels));
+            }
+        }
+        assert_eq!(sizes[0], (56, 256));
+        assert_eq!(sizes[3], (28, 512));
+        assert_eq!(sizes[7], (14, 1024));
+        assert_eq!(sizes[13], (7, 2048));
+    }
+
+    #[test]
+    fn first_stage_block_has_projection_then_identity() {
+        let net = resnet(50);
+        let blocks: Vec<&crate::Block> = net
+            .nodes()
+            .iter()
+            .filter_map(|n| match n {
+                Node::Block(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert!(!blocks[0].branches[1].is_empty(), "first block projects");
+        assert!(blocks[1].branches[1].is_empty(), "second block identity");
+    }
+
+    #[test]
+    fn resnet50_macs_are_about_4_gmacs() {
+        // ~4.1 GMACs per 224x224 sample for the convolution-dominated graph.
+        let macs = resnet(50).forward_macs();
+        assert!((3_500_000_000..5_000_000_000).contains(&macs), "macs {macs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported ResNet depth")]
+    fn unsupported_depth_panics() {
+        let _ = resnet(34);
+    }
+}

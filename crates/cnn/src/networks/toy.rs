@@ -1,0 +1,104 @@
+//! Small synthetic networks for tests, examples, and property-based fuzzing
+//! of the scheduler.
+
+use crate::block::{Block, Node};
+use crate::layer::{FeatureShape, PoolKind};
+use crate::network::{Network, NetworkBuilder};
+
+use super::{conv_norm, conv_norm_relu};
+
+/// The paper's Fig. 1 toy network: convolutions and pooling whose early
+/// layers exceed a small on-chip buffer.
+pub fn fig1_toy() -> Network {
+    NetworkBuilder::new("Fig1Toy", FeatureShape::new(3, 64, 64), 8)
+        .conv("conv1", 16, 3, 1, 1)
+        .expect("conv1")
+        .relu("relu1")
+        .pool("pool1", PoolKind::Max, 2, 2, 0)
+        .expect("pool1")
+        .conv("conv2", 32, 3, 1, 1)
+        .expect("conv2")
+        .relu("relu2")
+        .pool("pool2", PoolKind::Max, 2, 2, 0)
+        .expect("pool2")
+        .conv("conv3", 64, 3, 1, 1)
+        .expect("conv3")
+        .relu("relu3")
+        .global_avg_pool("gap")
+        .fully_connected("fc", 10)
+        .build()
+}
+
+/// A small residual network (stem + `blocks` bottleneck-free residual pairs
+/// per stage over two stages), useful for exercising block scheduling
+/// without ResNet-scale compute.
+pub fn tiny_resnet(blocks_per_stage: usize, default_batch: usize) -> Network {
+    let mut b = NetworkBuilder::new(
+        format!("TinyResNet{blocks_per_stage}"),
+        FeatureShape::new(3, 32, 32),
+        default_batch,
+    );
+    for l in conv_norm_relu("stem", b.shape(), 16, (3, 3), 1, (1, 1)) {
+        b = b.push(Node::Single(l));
+    }
+    for stage in 0..2 {
+        let channels = 16 << stage;
+        for i in 0..blocks_per_stage {
+            let input = b.shape();
+            let stride = if stage > 0 && i == 0 { 2 } else { 1 };
+            let name = format!("res{stage}_{i}");
+            let mut main =
+                conv_norm_relu(&format!("{name}.1"), input, channels, (3, 3), stride, (1, 1));
+            let mid = main.last().expect("non-empty").output;
+            main.extend(conv_norm(&format!("{name}.2"), mid, channels, (3, 3), 1, (1, 1)));
+            let shortcut = if stride != 1 || input.channels != channels {
+                conv_norm(&format!("{name}.sc"), input, channels, (1, 1), stride, (0, 0))
+            } else {
+                Vec::new()
+            };
+            let block = Block::residual(&name, input, main, shortcut)
+                .unwrap_or_else(|e| panic!("tiny_resnet block {name}: {e}"));
+            b = b.block(block);
+        }
+    }
+    b = b.global_avg_pool("gap");
+    b.fully_connected("fc", 10).build()
+}
+
+/// A plain chain of conv/norm/relu stages with the given output channel
+/// counts, downsampling by 2 at each stage; handy for property tests where
+/// footprints must vary monotonically.
+pub fn conv_chain(channels: &[usize], input: FeatureShape, default_batch: usize) -> Network {
+    let mut b = NetworkBuilder::new("ConvChain", input, default_batch);
+    for (i, &c) in channels.iter().enumerate() {
+        let stride = if i == 0 { 1 } else { 2 };
+        for l in conv_norm_relu(&format!("s{i}"), b.shape(), c, (3, 3), stride, (1, 1)) {
+            b = b.push(Node::Single(l));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_toy_builds() {
+        let net = fig1_toy();
+        assert_eq!(net.output().channels, 10);
+    }
+
+    #[test]
+    fn tiny_resnet_has_blocks() {
+        let net = tiny_resnet(2, 8);
+        assert_eq!(net.nodes().iter().filter(|n| n.is_block()).count(), 4);
+        assert_eq!(net.output().channels, 10);
+    }
+
+    #[test]
+    fn conv_chain_downsamples() {
+        let net = conv_chain(&[8, 16, 32], FeatureShape::new(3, 32, 32), 4);
+        assert_eq!(net.output(), FeatureShape::new(32, 8, 8));
+    }
+}

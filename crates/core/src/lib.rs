@@ -1,0 +1,50 @@
+//! Mini-batch Serialization (MBS): the paper's primary contribution.
+//!
+//! MBS reduces CNN *training* DRAM traffic by partially serializing the
+//! mini-batch: layers are partitioned into groups, and each group
+//! propagates a sub-batch small enough that all inter-layer data stays in
+//! the on-chip global buffer. Sub-batch sizes differ across groups because
+//! down-sampling shrinks deeper layers' footprints, letting them carry more
+//! samples per iteration (better weight reuse and more parallelism).
+//!
+//! This crate provides:
+//!
+//! - [`ExecConfig`] / [`HardwareConfig`] / [`MemoryConfig`]: the paper's
+//!   Tab. 3 execution configurations and Tab. 4 memory systems,
+//! - [`footprint`]: per-sample buffer requirements (Eq. 1 / Eq. 2),
+//! - [`MbsScheduler`]: sub-batch sizing, greedy grouping (MBS1/MBS2), full
+//!   serialization (MBS-FS), and the exact DP grouping ablation,
+//! - [`traffic`]: the forward+backward DRAM/global-buffer traffic model
+//!   that drives Figs. 10c, 11 and 12.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbs_core::{analyze, ExecConfig, HardwareConfig, MbsScheduler};
+//! use mbs_cnn::networks::resnet;
+//!
+//! let net = resnet(50);
+//! let hw = HardwareConfig::default();
+//!
+//! let baseline = MbsScheduler::new(&net, &hw, ExecConfig::Baseline).schedule();
+//! let mbs2 = MbsScheduler::new(&net, &hw, ExecConfig::Mbs2).schedule();
+//!
+//! let t_base = analyze(&net, &baseline, hw.global_buffer_bytes);
+//! let t_mbs2 = analyze(&net, &mbs2, hw.global_buffer_bytes);
+//! // MBS cuts DRAM traffic by roughly 4x on ResNet50 (paper §1).
+//! assert!(t_mbs2.dram_bytes() * 3 < t_base.dram_bytes());
+//! ```
+
+pub mod config;
+pub mod footprint;
+pub mod schedule;
+pub mod scheduler;
+pub mod traffic;
+
+pub use config::{ExecConfig, HardwareConfig, MemoryConfig, MemoryKind};
+pub use schedule::{Group, Schedule};
+pub use scheduler::MbsScheduler;
+pub use traffic::{analyze, LayerTraffic, TrafficBreakdown, TrafficReport};
+
+/// Bytes per 16-bit word (re-exported from [`mbs_cnn`]).
+pub const WORD_BYTES: usize = mbs_cnn::WORD_BYTES;

@@ -1,0 +1,193 @@
+//! Schedules: layer groups with sub-batch sizes (the output of the MBS
+//! scheduler, paper Fig. 4/5).
+
+use serde::{Deserialize, Serialize};
+
+use mbs_cnn::Network;
+
+use crate::config::ExecConfig;
+
+/// A contiguous range of network nodes processed with one sub-batch size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Group {
+    /// First node index (inclusive).
+    pub start: usize,
+    /// Last node index (exclusive).
+    pub end: usize,
+    /// Samples propagated together through the group.
+    pub sub_batch: usize,
+    /// Sub-batch iterations: `ceil(batch / sub_batch)`.
+    pub iterations: usize,
+}
+
+impl Group {
+    /// Builds a group, deriving the iteration count.
+    pub fn new(start: usize, end: usize, sub_batch: usize, batch: usize) -> Self {
+        let sub = sub_batch.clamp(1, batch.max(1));
+        Self { start, end, sub_batch: sub, iterations: batch.div_ceil(sub) }
+    }
+
+    /// Number of nodes in the group.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The sub-batch size sequence over one mini-batch, e.g.
+    /// `[3,3,3,3,3,3,3,3,3,3,2]` for sub-batch 3 over a 32-sample batch
+    /// (paper Fig. 5).
+    pub fn sub_batch_sizes(&self, batch: usize) -> Vec<usize> {
+        let mut sizes = vec![self.sub_batch; batch / self.sub_batch];
+        let rem = batch % self.sub_batch;
+        if rem > 0 {
+            sizes.push(rem);
+        }
+        sizes
+    }
+}
+
+/// A complete schedule for one network under one execution configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    config: ExecConfig,
+    batch: usize,
+    groups: Vec<Group>,
+    fits: bool,
+}
+
+impl Schedule {
+    /// Builds a schedule from groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if groups are not contiguous and ordered — schedules are only
+    /// produced by the scheduler, so this indicates an internal bug.
+    pub fn new(config: ExecConfig, batch: usize, groups: Vec<Group>, fits: bool) -> Self {
+        let mut expected = 0;
+        for g in &groups {
+            assert_eq!(g.start, expected, "groups must be contiguous");
+            assert!(g.end > g.start, "groups must be non-empty");
+            expected = g.end;
+        }
+        Self { config, batch, groups, fits }
+    }
+
+    /// The execution configuration this schedule was built for.
+    pub fn config(&self) -> ExecConfig {
+        self.config
+    }
+
+    /// Per-core mini-batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The layer groups in execution order.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// Whether every group's per-sample footprint fits the buffer (always
+    /// true for the paper's networks at ≥ 5 MiB; false signals that the
+    /// traffic model's on-chip assumptions are optimistic).
+    pub fn fits(&self) -> bool {
+        self.fits
+    }
+
+    /// The group containing node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is beyond the scheduled range.
+    pub fn group_of(&self, i: usize) -> &Group {
+        self.groups
+            .iter()
+            .find(|g| g.start <= i && i < g.end)
+            .unwrap_or_else(|| panic!("node {i} not covered by schedule"))
+    }
+
+    /// Iterations of the group containing node `i`.
+    pub fn iterations_of(&self, i: usize) -> usize {
+        self.group_of(i).iterations
+    }
+
+    /// Renders the schedule like the paper's Fig. 5 annotation.
+    pub fn describe(&self, net: &Network) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{} / {} / batch {}: {} group(s)",
+            net.name(),
+            self.config.label(),
+            self.batch,
+            self.groups.len()
+        );
+        for (i, g) in self.groups.iter().enumerate() {
+            let names: Vec<&str> =
+                net.nodes()[g.start..g.end].iter().map(|n| n.name()).collect();
+            let sizes = g
+                .sub_batch_sizes(self.batch)
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(
+                s,
+                "  Group{}: nodes {}..{} ({} -> {}), {} iterations, sizes = {}",
+                i + 1,
+                g.start,
+                g.end,
+                names.first().copied().unwrap_or("-"),
+                names.last().copied().unwrap_or("-"),
+                g.iterations,
+                sizes
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_iteration_math() {
+        let g = Group::new(0, 4, 3, 32);
+        assert_eq!(g.iterations, 11);
+        assert_eq!(g.sub_batch_sizes(32), vec![3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 2]);
+        let g = Group::new(0, 4, 16, 32);
+        assert_eq!(g.iterations, 2);
+        assert_eq!(g.sub_batch_sizes(32), vec![16, 16]);
+    }
+
+    #[test]
+    fn group_clamps_oversized_sub_batch() {
+        let g = Group::new(0, 1, 100, 32);
+        assert_eq!(g.sub_batch, 32);
+        assert_eq!(g.iterations, 1);
+    }
+
+    #[test]
+    fn schedule_accessors() {
+        let groups = vec![Group::new(0, 2, 4, 8), Group::new(2, 5, 8, 8)];
+        let s = Schedule::new(ExecConfig::Mbs1, 8, groups, true);
+        assert_eq!(s.group_of(1).start, 0);
+        assert_eq!(s.group_of(3).start, 2);
+        assert_eq!(s.iterations_of(0), 2);
+        assert_eq!(s.iterations_of(4), 1);
+        assert!(s.fits());
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn schedule_rejects_gaps() {
+        let groups = vec![Group::new(0, 2, 4, 8), Group::new(3, 5, 8, 8)];
+        let _ = Schedule::new(ExecConfig::Mbs1, 8, groups, true);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the MBS scheduler over randomized networks and
+//! hardware parameters.
+
+use proptest::prelude::*;
+
+use mbs_cnn::networks::toy::{conv_chain, tiny_resnet};
+use mbs_cnn::FeatureShape;
+use mbs_core::footprint::node_space;
+use mbs_core::{analyze, ExecConfig, HardwareConfig, MbsScheduler};
+
+fn buffer_strategy() -> impl Strategy<Value = usize> {
+    // 256 KiB .. 16 MiB buffers.
+    (256usize..16_384).prop_map(|kib| kib * 1024)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every schedule partitions the node list exactly once, whatever the
+    /// network shape, batch, buffer, and configuration.
+    #[test]
+    fn schedules_partition_the_network(
+        widths in proptest::collection::vec(4usize..48, 1..5),
+        batch in 1usize..33,
+        buffer in buffer_strategy(),
+        cfg_idx in 0usize..6,
+    ) {
+        let net = conv_chain(&widths, FeatureShape::new(3, 32, 32), batch);
+        let hw = HardwareConfig::default().with_global_buffer(buffer);
+        let cfg = ExecConfig::all()[cfg_idx];
+        let s = MbsScheduler::new(&net, &hw, cfg).with_batch(batch).schedule();
+        let covered: usize = s.groups().iter().map(|g| g.end - g.start).sum();
+        prop_assert_eq!(covered, net.nodes().len());
+        let mut expected = 0;
+        for g in s.groups() {
+            prop_assert_eq!(g.start, expected);
+            expected = g.end;
+        }
+    }
+
+    /// Group iteration counts always equal ceil(batch / sub_batch) and the
+    /// sub-batch sequence re-assembles the mini-batch.
+    #[test]
+    fn iteration_math_is_consistent(
+        blocks in 1usize..3,
+        batch in 1usize..33,
+        buffer in buffer_strategy(),
+    ) {
+        let net = tiny_resnet(blocks, batch);
+        let hw = HardwareConfig::default().with_global_buffer(buffer);
+        let s = MbsScheduler::new(&net, &hw, ExecConfig::Mbs2).with_batch(batch).schedule();
+        for g in s.groups() {
+            prop_assert_eq!(g.iterations, batch.div_ceil(g.sub_batch));
+            let total: usize = g.sub_batch_sizes(batch).iter().sum();
+            prop_assert_eq!(total, batch);
+        }
+    }
+
+    /// When the schedule reports `fits`, every group's footprint respects
+    /// the buffer.
+    #[test]
+    fn fitting_schedules_respect_the_buffer(
+        blocks in 1usize..3,
+        batch in 1usize..17,
+        buffer in buffer_strategy(),
+    ) {
+        let net = tiny_resnet(blocks, batch);
+        let hw = HardwareConfig::default().with_global_buffer(buffer);
+        for cfg in [ExecConfig::Mbs1, ExecConfig::Mbs2] {
+            let s = MbsScheduler::new(&net, &hw, cfg).with_batch(batch).schedule();
+            if !s.fits() {
+                continue;
+            }
+            for g in s.groups() {
+                for node in &net.nodes()[g.start..g.end] {
+                    prop_assert!(
+                        node_space(node, cfg.branch_reuse()) * g.sub_batch <= buffer,
+                        "node {} breaks the buffer", node.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Traffic ordering invariants hold on arbitrary chains: reuse never
+    /// hurts, and MBS1 traffic is never above the ungrouped serialization.
+    #[test]
+    fn reuse_never_increases_traffic(
+        widths in proptest::collection::vec(4usize..48, 1..5),
+        batch in 1usize..17,
+        buffer in buffer_strategy(),
+    ) {
+        let net = conv_chain(&widths, FeatureShape::new(3, 32, 32), batch);
+        let hw = HardwareConfig::default().with_global_buffer(buffer);
+        let traffic = |cfg: ExecConfig| {
+            let s = MbsScheduler::new(&net, &hw, cfg).with_batch(batch).schedule();
+            analyze(&net, &s, buffer).dram_bytes()
+        };
+        let base = traffic(ExecConfig::Baseline);
+        let il = traffic(ExecConfig::InterLayer);
+        prop_assert!(il <= base, "IL {il} > baseline {base}");
+        prop_assert_eq!(traffic(ExecConfig::Baseline), traffic(ExecConfig::ArchOpt));
+    }
+
+    /// The greedy optimizer never produces more traffic than MBS-FS's
+    /// single group or the per-iteration-count initial grouping.
+    #[test]
+    fn greedy_beats_or_matches_full_serialization(
+        blocks in 1usize..3,
+        batch in 2usize..17,
+    ) {
+        let net = tiny_resnet(blocks, batch);
+        let hw = HardwareConfig::default().with_global_buffer(512 * 1024);
+        let traffic = |cfg: ExecConfig| {
+            let s = MbsScheduler::new(&net, &hw, cfg).with_batch(batch).schedule();
+            analyze(&net, &s, hw.global_buffer_bytes).dram_bytes()
+        };
+        prop_assert!(traffic(ExecConfig::Mbs1) <= traffic(ExecConfig::MbsFs));
+    }
+
+    /// The DP optimum is never worse than greedy.
+    #[test]
+    fn optimal_grouping_dominates_greedy(
+        blocks in 1usize..3,
+        batch in 2usize..13,
+    ) {
+        let net = tiny_resnet(blocks, batch);
+        let hw = HardwareConfig::default().with_global_buffer(512 * 1024);
+        let s = MbsScheduler::new(&net, &hw, ExecConfig::Mbs2).with_batch(batch);
+        let greedy = analyze(&net, &s.schedule(), hw.global_buffer_bytes).dram_bytes();
+        let optimal =
+            analyze(&net, &s.optimal_schedule(), hw.global_buffer_bytes).dram_bytes();
+        prop_assert!(optimal <= greedy, "optimal {optimal} > greedy {greedy}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Pins the individual mechanisms of the traffic model against hand
+//! calculations on minimal networks: weight-gradient partial sums, ReLU
+//! masks, norm double-reads, and conv output-gradient double-reads.
+
+use mbs_cnn::{FeatureShape, NetworkBuilder, Network, NormKind};
+use mbs_core::{analyze, ExecConfig, HardwareConfig, MbsScheduler};
+
+const WORD: u64 = 2;
+
+/// One conv layer, nothing else.
+fn single_conv(batch: usize) -> Network {
+    NetworkBuilder::new("one-conv", FeatureShape::new(4, 8, 8), batch)
+        .conv("c", 8, 3, 1, 1)
+        .expect("conv")
+        .build()
+}
+
+fn report(net: &Network, cfg: ExecConfig, buffer: usize) -> mbs_core::TrafficReport {
+    let hw = HardwareConfig::default().with_global_buffer(buffer);
+    let s = MbsScheduler::new(net, &hw, cfg).schedule();
+    analyze(net, &s, buffer)
+}
+
+#[test]
+fn single_conv_baseline_traffic_by_hand() {
+    let batch = 4u64;
+    let net = single_conv(batch as usize);
+    let t = report(&net, ExecConfig::Baseline, 10 << 20);
+
+    let in_b = 4 * 8 * 8 * WORD * batch;
+    let out_b = 8 * 8 * 8 * WORD * batch;
+    let w = 8 * 4 * 3 * 3 * WORD;
+
+    // Forward: read input, read weights, store output (final => stored).
+    // Backward: dY read twice (dW + dX GEMMs, no buffering in baseline),
+    // no dX (first layer), reload input once, read W once, write dW once.
+    let expected = (in_b + w + out_b) + (2 * out_b + in_b + w + w);
+    assert_eq!(t.dram_bytes(), expected);
+}
+
+#[test]
+fn conv_dy_double_read_is_saved_by_mbs() {
+    let batch = 4u64;
+    let net = single_conv(batch as usize);
+    let base = report(&net, ExecConfig::Baseline, 10 << 20);
+    let mbs = report(&net, ExecConfig::Mbs1, 10 << 20);
+    let out_b = 8 * 8 * 8 * WORD * batch;
+    // A single-layer net has no inter-layer reuse at all; the only MBS
+    // saving is the buffered second dY pass.
+    assert_eq!(base.dram_bytes() - mbs.dram_bytes(), out_b);
+}
+
+#[test]
+fn weight_gradient_partials_cost_2it_minus_1() {
+    let batch = 8usize;
+    let net = single_conv(batch);
+    let w = 8 * 4 * 3 * 3 * WORD;
+
+    // Shrink the buffer until the conv runs in sub-batches.
+    let space = (4 * 8 * 8 + 8 * 8 * 8) * WORD as usize; // in+out per sample
+    let buffer = space * 2; // sub-batch 2 -> 4 iterations
+    let hw = HardwareConfig::default().with_global_buffer(buffer);
+    let s = MbsScheduler::new(&net, &hw, ExecConfig::MbsFs).schedule();
+    assert_eq!(s.groups()[0].iterations, 4);
+    let t = analyze(&net, &s, buffer);
+
+    // dW traffic = (2*it - 1) * w; serial portion = (2*it - 2) * w.
+    assert_eq!(t.breakdown.weight_grad, (2 * 4 - 1) * w);
+    let serial: u64 = t.layers.iter().map(|l| l.dram_serial).sum();
+    assert_eq!(serial, (2 * 4 - 2) * w);
+    // Weights re-read once per iteration per pass (forward + backward).
+    assert_eq!(t.breakdown.weight_read, 2 * 4 * w);
+}
+
+#[test]
+fn relu_mask_is_one_sixteenth_under_mbs() {
+    let batch = 4u64;
+    // conv -> relu -> conv chain: the relu output is stored anyway (conv
+    // input), so under MBS only the 1-bit mask is added.
+    let net = NetworkBuilder::new("c-r-c", FeatureShape::new(4, 8, 8), batch as usize)
+        .conv("c1", 8, 3, 1, 1)
+        .expect("c1")
+        .relu("r")
+        .conv("c2", 8, 3, 1, 1)
+        .expect("c2")
+        .build();
+    let t = report(&net, ExecConfig::Mbs1, 10 << 20);
+    let relu = t
+        .layers
+        .iter()
+        .find(|l| l.layer.name == "r")
+        .expect("relu record");
+    let elems = 8 * 8 * 8 * batch;
+    let mask = elems.div_ceil(8);
+    let out_b = elems * WORD;
+    // Forward: the relu output is stored to DRAM (it is c2's backward
+    // input z, attributed to the producing relu) plus the 1-bit mask.
+    // Backward: dY and dX stay on chip; only the mask is re-read.
+    assert_eq!(relu.dram_fwd, out_b + mask);
+    assert_eq!(relu.dram_bwd, mask);
+}
+
+#[test]
+fn norm_second_pass_saved_when_buffered() {
+    let batch = 4u64;
+    let net = NetworkBuilder::new("c-n", FeatureShape::new(4, 8, 8), batch as usize)
+        .conv("c", 8, 3, 1, 1)
+        .expect("conv")
+        .norm("n", NormKind::Group { groups: 4 })
+        .build();
+    let base = report(&net, ExecConfig::Baseline, 10 << 20);
+    let tiny_il = report(&net, ExecConfig::InterLayer, 1); // nothing fits
+    // With a 1-byte buffer IL degenerates to baseline exactly.
+    assert_eq!(base.dram_bytes(), tiny_il.dram_bytes());
+
+    let il = report(&net, ExecConfig::InterLayer, 10 << 20);
+    // In baseline the norm's backward re-reads its stored input twice and
+    // writes dX to DRAM; buffering saves the second reload and the chained
+    // dX transfer (conv consumes it on chip): two input-sized savings.
+    assert!(il.dram_bytes() < base.dram_bytes());
+    let norm_base = base.layers.iter().find(|l| l.layer.name == "n").unwrap();
+    let norm_il = il.layers.iter().find(|l| l.layer.name == "n").unwrap();
+    let in_b = 8 * 8 * 8 * WORD * batch;
+    assert_eq!(norm_base.dram_bwd - norm_il.dram_bwd, 2 * in_b);
+}
+
+#[test]
+fn group_boundary_costs_one_round_trip() {
+    // Two convs in separate groups vs one group: the boundary tensor pays
+    // a write+read when it is not needed for backward... conv2 needs its
+    // input stored anyway, so grouping saves exactly the forward re-read.
+    let batch = 4u64;
+    let net = NetworkBuilder::new("c-c", FeatureShape::new(4, 8, 8), batch as usize)
+        .conv("c1", 8, 3, 1, 1)
+        .expect("c1")
+        .conv("c2", 8, 3, 1, 1)
+        .expect("c2")
+        .build();
+    let hw = HardwareConfig::default();
+    let split = mbs_core::Schedule::new(
+        ExecConfig::Mbs1,
+        batch as usize,
+        vec![
+            mbs_core::Group::new(0, 1, batch as usize, batch as usize),
+            mbs_core::Group::new(1, 2, batch as usize, batch as usize),
+        ],
+        true,
+    );
+    let joined = mbs_core::Schedule::new(
+        ExecConfig::Mbs1,
+        batch as usize,
+        vec![mbs_core::Group::new(0, 2, batch as usize, batch as usize)],
+        true,
+    );
+    let ts = analyze(&net, &split, hw.global_buffer_bytes);
+    let tj = analyze(&net, &joined, hw.global_buffer_bytes);
+    let mid_b = 8 * 8 * 8 * WORD * batch;
+    // Saved by joining: c2's forward read of the boundary tensor, c2's
+    // backward dX write toward c1, and c1's backward dY read (it chains
+    // from c2's backward on chip). The forward store of the tensor happens
+    // either way — c2 needs it as z.
+    assert_eq!(ts.dram_bytes() - tj.dram_bytes(), 3 * mid_b);
+}

@@ -1,0 +1,56 @@
+//! Weight initializers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Kaiming/He normal initialization: `N(0, sqrt(2 / fan_in))`, the standard
+/// choice for ReLU networks.
+pub fn kaiming_normal(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(shape, 0.0, std, rng)
+}
+
+/// Normal initialization with given mean and standard deviation
+/// (Box–Muller; depends only on `rand`'s uniform source).
+pub fn normal(shape: &[usize], mean: f32, std: f32, rng: &mut StdRng) -> Tensor {
+    let len: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(len);
+    while data.len() < len {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < len {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_statistics_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = kaiming_normal(&[64, 64], 64, &mut rng);
+        let mean = t.mean();
+        let var: f32 =
+            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        let expect = 2.0 / 64.0;
+        assert!((var - expect).abs() < expect * 0.2, "var {var} expect {expect}");
+    }
+
+    #[test]
+    fn seeded_initialization_is_deterministic() {
+        let a = kaiming_normal(&[3, 3], 9, &mut StdRng::seed_from_u64(1));
+        let b = kaiming_normal(&[3, 3], 9, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,125 @@
+//! Activation functions.
+//!
+//! ReLU's backward pass needs only the *sign* of the forward activation —
+//! the observation MBS exploits by storing 1-bit masks instead of 16-bit
+//! values (paper §3 "Back Propagation"). The mask type here mirrors that:
+//! one bit per element.
+
+use crate::tensor::Tensor;
+
+/// A packed 1-bit-per-element sign mask (true where the activation was
+/// positive), as stored by MBS for ReLU back propagation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMask {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitMask {
+    /// An all-false mask for `len` elements.
+    pub fn new(len: usize) -> Self {
+        Self { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Number of elements covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit accessor.
+    pub fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Bit setter.
+    pub fn set(&mut self, i: usize, v: bool) {
+        if v {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Bytes needed to store the mask (the 1/16th traffic MBS pays instead
+    /// of re-reading 16-bit activations).
+    pub fn storage_bytes(&self) -> usize {
+        self.len.div_ceil(8)
+    }
+}
+
+/// ReLU forward; returns the activations and the packed sign mask.
+pub fn relu(x: &Tensor) -> (Tensor, BitMask) {
+    let mut mask = BitMask::new(x.len());
+    let data = x
+        .data()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            if v > 0.0 {
+                mask.set(i, true);
+                v
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    (Tensor::from_vec(x.shape(), data), mask)
+}
+
+/// ReLU backward from the packed mask.
+///
+/// # Panics
+///
+/// Panics if the mask length does not match `dy`.
+pub fn relu_backward(dy: &Tensor, mask: &BitMask) -> Tensor {
+    assert_eq!(dy.len(), mask.len(), "mask length mismatch");
+    let data = dy
+        .data()
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| if mask.get(i) { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(dy.shape(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_and_masks() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let (y, m) = relu(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        assert!(!m.get(0) && !m.get(1) && m.get(2) && !m.get(3));
+    }
+
+    #[test]
+    fn backward_uses_mask_only() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.5, 2.0, -3.0]);
+        let (_, m) = relu(&x);
+        let dy = Tensor::full(&[4], 1.0);
+        let dx = relu_backward(&dy, &m);
+        assert_eq!(dx.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn mask_storage_is_one_sixteenth_of_fp16() {
+        let m = BitMask::new(1024);
+        assert_eq!(m.storage_bytes(), 128); // vs 2048 bytes at 16-bit
+    }
+
+    #[test]
+    fn mask_set_clear_round_trip() {
+        let mut m = BitMask::new(130);
+        m.set(129, true);
+        assert!(m.get(129));
+        m.set(129, false);
+        assert!(!m.get(129));
+    }
+}

@@ -1,0 +1,243 @@
+//! 2-D convolution: forward (direct and im2col), data gradient, and weight
+//! gradient — the three GEMMs of the paper's Tab. 1, implemented on the CPU
+//! substrate.
+
+use crate::ops::im2col::{col2im, im2col, Conv2dCfg};
+use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::tensor::Tensor;
+
+fn dims(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> (usize, usize, usize, usize, usize, usize, usize) {
+    let [n, ci, h, wd]: [usize; 4] = x.shape().try_into().expect("conv expects 4-D input");
+    let [co, ci2, kh, kw]: [usize; 4] =
+        w.shape().try_into().expect("conv expects 4-D weights");
+    assert_eq!(ci, ci2, "channel mismatch");
+    assert_eq!((kh, kw), (cfg.kernel_h, cfg.kernel_w), "kernel/config mismatch");
+    let (ho, wo) = cfg.out_extent(h, wd);
+    (n, ci, h, wd, co, ho, wo)
+}
+
+/// Direct (loop-nest) convolution forward; reference for the im2col path.
+pub fn conv2d_naive(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> Tensor {
+    let (n, ci, h, wd, co, ho, wo) = dims(x, w, cfg);
+    let mut out = Tensor::zeros(&[n, co, ho, wo]);
+    let xd = x.data();
+    let wdat = w.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for c_out in 0..co {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = 0.0;
+                    for c in 0..ci {
+                        for ky in 0..cfg.kernel_h {
+                            let iy = (oy * cfg.stride + ky) as isize - cfg.pad_h as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..cfg.kernel_w {
+                                let ix =
+                                    (ox * cfg.stride + kx) as isize - cfg.pad_w as isize;
+                                if ix < 0 || ix as usize >= wd {
+                                    continue;
+                                }
+                                acc += xd[((ni * ci + c) * h + iy as usize) * wd
+                                    + ix as usize]
+                                    * wdat[((c_out * ci + c) * cfg.kernel_h + ky)
+                                        * cfg.kernel_w
+                                        + kx];
+                            }
+                        }
+                    }
+                    od[((ni * co + c_out) * ho + oy) * wo + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// im2col + GEMM convolution forward: `y = im2col(x) · Wᵀ`.
+pub fn conv2d(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> Tensor {
+    let (n, _ci, _h, _wd, co, ho, wo) = dims(x, w, cfg);
+    let cols = im2col(x, cfg);
+    let w2d = w.reshape(&[co, w.len() / co]);
+    let flat = matmul_a_bt(&cols, &w2d); // [n*ho*wo, co]
+    rows_to_nchw(&flat, n, co, ho, wo)
+}
+
+/// Gradient of the loss with respect to the convolution input:
+/// `dX = col2im(dY₂d · W)`.
+pub fn conv2d_backward_data(
+    dy: &Tensor,
+    w: &Tensor,
+    x_shape: &[usize],
+    cfg: Conv2dCfg,
+) -> Tensor {
+    let [n, ci, h, wd]: [usize; 4] =
+        x_shape.try_into().expect("conv expects 4-D input shape");
+    let co = w.shape()[0];
+    let (ho, wo) = cfg.out_extent(h, wd);
+    assert_eq!(dy.shape(), &[n, co, ho, wo], "dy shape mismatch");
+    let dy2d = nchw_to_rows(dy); // [n*ho*wo, co]
+    let w2d = w.reshape(&[co, w.len() / co]);
+    let dcols = matmul(&dy2d, &w2d); // [n*ho*wo, ci*kh*kw]
+    col2im(&dcols, n, ci, h, wd, cfg)
+}
+
+/// Gradient of the loss with respect to the weights:
+/// `dW = dY₂dᵀ · im2col(x)`.
+pub fn conv2d_backward_weights(x: &Tensor, dy: &Tensor, cfg: Conv2dCfg) -> Tensor {
+    let [_n, ci, _h, _wd]: [usize; 4] =
+        x.shape().try_into().expect("conv expects 4-D input");
+    let co = dy.shape()[1];
+    let cols = im2col(x, cfg);
+    let dy2d = nchw_to_rows(dy);
+    let dw2d = matmul_at_b(&dy2d, &cols); // [co, ci*kh*kw]
+    dw2d.reshape(&[co, ci, cfg.kernel_h, cfg.kernel_w])
+}
+
+/// `[n, c, h, w] → [n·h·w, c]` (im2col row order).
+fn nchw_to_rows(t: &Tensor) -> Tensor {
+    let [n, c, h, w]: [usize; 4] = t.shape().try_into().expect("expects 4-D");
+    let mut out = Tensor::zeros(&[n * h * w, c]);
+    let td = t.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    od[(((ni * h) + y) * w + x) * c + ci] = td[((ni * c + ci) * h + y) * w + x];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `[n·h·w, c] → [n, c, h, w]`.
+fn rows_to_nchw(t: &Tensor, n: usize, c: usize, h: usize, w: usize) -> Tensor {
+    assert_eq!(t.shape(), &[n * h * w, c], "row matrix shape mismatch");
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let td = t.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    od[((ni * c + ci) * h + y) * w + x] = td[(((ni * h) + y) * w + x) * c + ci];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded(shape: &[usize], salt: usize) -> Tensor {
+        let len: usize = shape.iter().product();
+        Tensor::from_vec(
+            shape,
+            (0..len)
+                .map(|v| (((v * 31 + salt * 17) % 23) as f32 - 11.0) / 7.0)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn im2col_matches_naive_forward() {
+        for (stride, pad) in [(1, 0), (1, 1), (2, 1)] {
+            let cfg = Conv2dCfg::square(3, stride, pad);
+            let x = seeded(&[2, 3, 7, 7], 1);
+            let w = seeded(&[4, 3, 3, 3], 2);
+            let a = conv2d_naive(&x, &w, cfg);
+            let b = conv2d(&x, &w, cfg);
+            assert!(a.max_abs_diff(&b) < 1e-4, "stride {stride} pad {pad}");
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let cfg = Conv2dCfg::square(3, 1, 1);
+        let x = seeded(&[1, 2, 5, 5], 3);
+        let mut w = seeded(&[3, 2, 3, 3], 4);
+        let dy = seeded(&[1, 3, 5, 5], 5);
+
+        let dw = conv2d_backward_weights(&x, &dy, cfg);
+        // Check a handful of weight coordinates against (L(w+e) - L(w-e)) /
+        // 2e where L = <conv(x, w), dy>.
+        let eps = 1e-2;
+        for idx in [0usize, 7, 23, 41] {
+            let orig = w.data()[idx];
+            w.data_mut()[idx] = orig + eps;
+            let lp: f32 = conv2d(&x, &w, cfg)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            w.data_mut()[idx] = orig - eps;
+            let lm: f32 = conv2d(&x, &w, cfg)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            w.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dw.data()[idx]).abs() < 1e-2,
+                "idx {idx}: fd {fd} analytic {}",
+                dw.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn data_gradient_matches_finite_difference() {
+        let cfg = Conv2dCfg::square(3, 2, 1);
+        let mut x = seeded(&[1, 2, 6, 6], 6);
+        let w = seeded(&[3, 2, 3, 3], 7);
+        let dy = seeded(&[1, 3, 3, 3], 8);
+
+        let dx = conv2d_backward_data(&dy, &w, x.shape(), cfg);
+        let eps = 1e-2;
+        for idx in [0usize, 11, 35, 71] {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let lp: f32 = conv2d(&x, &w, cfg)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            x.data_mut()[idx] = orig - eps;
+            let lm: f32 = conv2d(&x, &w, cfg)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            x.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dx.data()[idx]).abs() < 1e-2,
+                "idx {idx}: fd {fd} analytic {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_is_linear_in_input() {
+        let cfg = Conv2dCfg::square(3, 1, 1);
+        let a = seeded(&[1, 2, 5, 5], 9);
+        let b = seeded(&[1, 2, 5, 5], 10);
+        let w = seeded(&[2, 2, 3, 3], 11);
+        let lhs = conv2d(&a.add(&b), &w, cfg);
+        let rhs = conv2d(&a, &w, cfg).add(&conv2d(&b, &w, cfg));
+        assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+}

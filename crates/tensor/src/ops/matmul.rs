@@ -1,0 +1,159 @@
+//! Dense matrix multiplication.
+
+use crate::tensor::Tensor;
+
+/// `C = A · B` for 2-D tensors `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_tensor::{ops::matmul, Tensor};
+///
+/// let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Tensor::from_vec(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+/// let c = matmul(&a, &b);
+/// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "matmul expects 2-D lhs");
+    assert_eq!(b.shape().len(), 2, "matmul expects 2-D rhs");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimensions must agree");
+
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        for kk in 0..k {
+            let av = ad[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatch.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "matmul expects 2-D lhs");
+    assert_eq!(b.shape().len(), 2, "matmul expects 2-D rhs");
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimensions must agree");
+
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for kk in 0..k {
+        for i in 0..m {
+            let av = ad[kk * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatch.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "matmul expects 2-D lhs");
+    assert_eq!(b.shape().len(), 2, "matmul expects 2-D rhs");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimensions must agree");
+
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            od[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(shape: &[usize]) -> Tensor {
+        let len: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..len).map(|x| (x % 7) as f32 - 3.0).collect())
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_plain() {
+        let a = seq(&[4, 5]);
+        let b = seq(&[5, 3]);
+        let c = matmul(&a, &b);
+
+        // Aᵀ·B with A stored transposed.
+        let mut at = Tensor::zeros(&[5, 4]);
+        for i in 0..4 {
+            for j in 0..5 {
+                at.set(&[j, i], a.get(&[i, j]));
+            }
+        }
+        assert!(matmul_at_b(&at, &b).max_abs_diff(&c) < 1e-5);
+
+        // A·Bᵀ with B stored transposed.
+        let mut bt = Tensor::zeros(&[3, 5]);
+        for i in 0..5 {
+            for j in 0..3 {
+                bt.set(&[j, i], b.get(&[i, j]));
+            }
+        }
+        assert!(matmul_a_bt(&a, &bt).max_abs_diff(&c) < 1e-5);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = seq(&[3, 3]);
+        let mut eye = Tensor::zeros(&[3, 3]);
+        for i in 0..3 {
+            eye.set(&[i, i], 1.0);
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatch_panics() {
+        let _ = matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+}

@@ -1,0 +1,136 @@
+//! Pooling operators with their backward passes.
+
+use crate::tensor::Tensor;
+
+/// Max-pool forward. Returns the pooled tensor and the flat input index of
+/// each output's argmax (consumed by [`maxpool2d_backward`]).
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D or the window does not tile the input
+/// (`h`/`w` must be ≥ `kernel` and stride-reachable).
+pub fn maxpool2d(x: &Tensor, kernel: usize, stride: usize) -> (Tensor, Vec<usize>) {
+    let [n, c, h, w]: [usize; 4] = x.shape().try_into().expect("maxpool expects 4-D");
+    assert!(h >= kernel && w >= kernel, "window larger than input");
+    let ho = (h - kernel) / stride + 1;
+    let wo = (w - kernel) / stride + 1;
+    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    let mut arg = vec![0usize; out.len()];
+    let xd = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let iy = oy * stride + ky;
+                            let ix = ox * stride + kx;
+                            let idx = ((ni * c + ci) * h + iy) * w + ix;
+                            if xd[idx] > best {
+                                best = xd[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = ((ni * c + ci) * ho + oy) * wo + ox;
+                    od[o] = best;
+                    arg[o] = best_idx;
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Max-pool backward: routes each output gradient to its argmax input.
+pub fn maxpool2d_backward(dy: &Tensor, argmax: &[usize], x_shape: &[usize]) -> Tensor {
+    assert_eq!(dy.len(), argmax.len(), "argmax length mismatch");
+    let mut dx = Tensor::zeros(x_shape);
+    let dxd = dx.data_mut();
+    for (g, &idx) in dy.data().iter().zip(argmax) {
+        dxd[idx] += g;
+    }
+    dx
+}
+
+/// Global average pooling: `[n, c, h, w] → [n, c]`.
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    let [n, c, h, w]: [usize; 4] = x.shape().try_into().expect("gap expects 4-D");
+    let mut out = Tensor::zeros(&[n, c]);
+    let xd = x.data();
+    let od = out.data_mut();
+    let hw = (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            od[ni * c + ci] = xd[base..base + h * w].iter().sum::<f32>() / hw;
+        }
+    }
+    out
+}
+
+/// Global average pooling backward: spreads each channel gradient evenly.
+pub fn global_avg_pool_backward(dy: &Tensor, x_shape: &[usize]) -> Tensor {
+    let [n, c, h, w]: [usize; 4] = x_shape.try_into().expect("gap expects 4-D shape");
+    assert_eq!(dy.shape(), &[n, c], "dy shape mismatch");
+    let mut dx = Tensor::zeros(x_shape);
+    let hw = (h * w) as f32;
+    let dyd = dy.data();
+    let dxd = dx.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = dyd[ni * c + ci] / hw;
+            let base = (ni * c + ci) * h * w;
+            for v in &mut dxd[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_selects_maximum() {
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        let (y, arg) = maxpool2d(&x, 2, 2);
+        assert_eq!(y.data(), &[5.0]);
+        assert_eq!(arg, vec![1]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        let (_, arg) = maxpool2d(&x, 2, 2);
+        let dy = Tensor::from_vec(&[1, 1, 1, 1], vec![2.5]);
+        let dx = maxpool2d_backward(&dy, &arg, x.shape());
+        assert_eq!(dx.data(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gap_means_channels() {
+        let x = Tensor::from_vec(&[1, 2, 1, 2], vec![1.0, 3.0, 5.0, 7.0]);
+        let y = global_avg_pool(&x);
+        assert_eq!(y.data(), &[2.0, 6.0]);
+        let dy = Tensor::from_vec(&[1, 2], vec![2.0, 4.0]);
+        let dx = global_avg_pool_backward(&dy, x.shape());
+        assert_eq!(dx.data(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gap_backward_is_adjoint() {
+        let x = Tensor::from_vec(&[2, 3, 2, 2], (0..24).map(|v| v as f32).collect());
+        let y = global_avg_pool(&x);
+        let dy = Tensor::from_vec(&[2, 3], (0..6).map(|v| v as f32 - 2.0).collect());
+        let dx = global_avg_pool_backward(&dy, x.shape());
+        let lhs: f32 = y.data().iter().zip(dy.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(dx.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+}

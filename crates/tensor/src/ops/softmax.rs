@@ -1,0 +1,127 @@
+//! Softmax + cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Row-wise softmax of logits `[n, classes]`.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let [n, c]: [usize; 2] = logits.shape().try_into().expect("softmax expects 2-D");
+    let mut out = Tensor::zeros(&[n, c]);
+    let ld = logits.data();
+    let od = out.data_mut();
+    for i in 0..n {
+        let row = &ld[i * c..(i + 1) * c];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut denom = 0.0;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            od[i * c + j] = e;
+            denom += e;
+        }
+        for j in 0..c {
+            od[i * c + j] /= denom;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of softmax probabilities against integer labels.
+///
+/// # Panics
+///
+/// Panics if a label is out of range.
+pub fn cross_entropy(probs: &Tensor, labels: &[usize]) -> f32 {
+    let [n, c]: [usize; 2] = probs.shape().try_into().expect("expects 2-D probs");
+    assert_eq!(labels.len(), n, "one label per row");
+    let mut loss = 0.0;
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < c, "label {y} out of range");
+        loss -= probs.get(&[i, y]).max(1e-12).ln();
+    }
+    loss / n as f32
+}
+
+/// Gradient of mean cross-entropy with respect to the logits:
+/// `(probs − onehot) / denom`.
+///
+/// `denom` is normally the batch size; the MBS serialized executor passes
+/// the *total mini-batch* size while propagating sub-batches so that
+/// accumulated gradients equal full-batch training exactly (paper §3
+/// "Data Synchronization").
+pub fn softmax_xent_backward(probs: &Tensor, labels: &[usize], denom: usize) -> Tensor {
+    let [n, c]: [usize; 2] = probs.shape().try_into().expect("expects 2-D probs");
+    assert_eq!(labels.len(), n, "one label per row");
+    let mut out = probs.clone();
+    let od = out.data_mut();
+    for (i, &y) in labels.iter().enumerate() {
+        od[i * c + y] -= 1.0;
+    }
+    out.scale(1.0 / denom as f32);
+    out
+}
+
+/// Fraction of rows whose argmax matches the label.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let [n, c]: [usize; 2] = logits.shape().try_into().expect("expects 2-D logits");
+    let mut hits = 0usize;
+    for (i, &y) in labels.iter().enumerate() {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(j, _)| j)
+            .expect("non-empty row");
+        if pred == y {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let l = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let p = softmax(&l);
+        for i in 0..2 {
+            let s: f32 = p.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let l = Tensor::zeros(&[4, 4]);
+        let p = softmax(&l);
+        let loss = cross_entropy(&p, &[0, 1, 2, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut l = Tensor::from_vec(&[2, 3], vec![0.3, -0.7, 1.1, 0.2, 0.9, -0.4]);
+        let labels = [2usize, 0];
+        let g = softmax_xent_backward(&softmax(&l), &labels, 2);
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let orig = l.data()[idx];
+            l.data_mut()[idx] = orig + eps;
+            let lp = cross_entropy(&softmax(&l), &labels);
+            l.data_mut()[idx] = orig - eps;
+            let lm = cross_entropy(&softmax(&l), &labels);
+            l.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - g.data()[idx]).abs() < 1e-3, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let l = Tensor::from_vec(&[2, 2], vec![2.0, 1.0, 0.0, 3.0]);
+        assert_eq!(accuracy(&l, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&l, &[1, 1]), 0.5);
+    }
+}

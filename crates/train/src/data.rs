@@ -1,0 +1,125 @@
+//! Seeded synthetic image-classification dataset.
+//!
+//! Substitute for ImageNet in the Fig. 6 reproduction (see DESIGN.md): four
+//! texture classes — horizontal stripes, vertical stripes, checkerboard,
+//! diagonal waves — with randomized frequency, phase, per-channel gain, and
+//! additive Gaussian noise. Hard enough that an un-normalized network
+//! struggles, easy enough to train on a CPU in seconds.
+
+#![allow(clippy::needless_range_loop)] // indexed loops address multiple planes
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mbs_tensor::Tensor;
+
+/// Number of texture classes.
+pub const CLASSES: usize = 4;
+
+/// A labeled image set.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Images `[n, 3, size, size]`.
+    pub images: Tensor,
+    /// One label in `0..CLASSES` per image.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Generates `n` samples of `size × size` images with the given noise
+/// standard deviation. Deterministic in `seed`.
+///
+/// # Examples
+///
+/// ```
+/// let d = mbs_train::data::generate(16, 12, 0.3, 7);
+/// assert_eq!(d.images.shape(), &[16, 3, 12, 12]);
+/// assert_eq!(d.labels.len(), 16);
+/// ```
+pub fn generate(n: usize, size: usize, noise: f32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut images = Tensor::zeros(&[n, 3, size, size]);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = rng.gen_range(0..CLASSES);
+        labels.push(class);
+        let freq = rng.gen_range(1.0f32..3.0);
+        let phase = rng.gen_range(0.0f32..std::f32::consts::TAU);
+        let gains: [f32; 3] =
+            [rng.gen_range(0.7..1.3), rng.gen_range(0.7..1.3), rng.gen_range(0.7..1.3)];
+        for c in 0..3 {
+            for y in 0..size {
+                for x in 0..size {
+                    let fy = y as f32 / size as f32;
+                    let fx = x as f32 / size as f32;
+                    let v = match class {
+                        0 => (std::f32::consts::TAU * freq * fy + phase).sin(),
+                        1 => (std::f32::consts::TAU * freq * fx + phase).sin(),
+                        2 => {
+                            ((std::f32::consts::TAU * freq * fx + phase).sin()
+                                * (std::f32::consts::TAU * freq * fy + phase).sin())
+                            .signum()
+                                * 0.8
+                        }
+                        _ => (std::f32::consts::TAU * freq * (fx + fy) + phase).sin(),
+                    };
+                    let noise_v: f32 = {
+                        // Box-Muller on the shared stream.
+                        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                        let u2: f32 = rng.gen_range(0.0f32..1.0);
+                        (-2.0 * u1.ln()).sqrt()
+                            * (std::f32::consts::TAU * u2).cos()
+                    };
+                    images.set(&[i, c, y, x], gains[c] * v + noise * noise_v);
+                }
+            }
+        }
+    }
+    Dataset { images, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(8, 8, 0.2, 42);
+        let b = generate(8, 8, 0.2, 42);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.images.max_abs_diff(&b.images), 0.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(8, 8, 0.2, 1);
+        let b = generate(8, 8, 0.2, 2);
+        assert!(a.images.max_abs_diff(&b.images) > 0.1);
+    }
+
+    #[test]
+    fn all_classes_appear_in_large_sets() {
+        let d = generate(200, 8, 0.2, 3);
+        for c in 0..CLASSES {
+            assert!(d.labels.contains(&c), "class {c} missing");
+        }
+    }
+
+    #[test]
+    fn values_are_bounded() {
+        let d = generate(16, 8, 0.3, 4);
+        assert!(d.images.max_abs() < 6.0);
+        assert!(d.images.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,204 @@
+//! Training-step executors: conventional full-mini-batch propagation and
+//! the MBS sub-batch-serialized flow.
+//!
+//! The serialized executor is the algorithmic core of the paper's
+//! correctness claim (§3): if the synchronization points are maintained —
+//! loss gradients scaled by the *total* mini-batch size and parameter
+//! gradients accumulated across sub-batches before the optimizer step —
+//! serialization does not alter the training result for per-sample
+//! normalizations like GN. [`train_step_mbs`] and [`train_step_full`]
+//! produce identical parameter updates (up to f32 rounding) for GN models,
+//! and the test suite pins that equivalence.
+
+use mbs_tensor::ops::{cross_entropy, softmax, softmax_xent_backward};
+use mbs_tensor::Tensor;
+
+use crate::module::{slice_batch, Module};
+use crate::optim::Sgd;
+
+/// One conventional training step over the full mini-batch. Returns the
+/// mean loss.
+///
+/// # Panics
+///
+/// Panics if `labels` length differs from the batch size.
+pub fn train_step_full(
+    model: &mut dyn Module,
+    x: &Tensor,
+    labels: &[usize],
+    opt: &mut Sgd,
+) -> f32 {
+    let n = x.shape()[0];
+    assert_eq!(labels.len(), n, "one label per sample");
+    model.zero_grad();
+    let logits = model.forward(x, true);
+    let probs = softmax(&logits);
+    let loss = cross_entropy(&probs, labels);
+    let dlogits = softmax_xent_backward(&probs, labels, n);
+    let _ = model.backward(&dlogits);
+    opt.step(model);
+    loss
+}
+
+/// One MBS-serialized training step: the mini-batch is propagated
+/// `sub_batch` samples at a time, loss gradients are scaled by the *total*
+/// batch size, and parameter gradients accumulate across sub-batches; the
+/// optimizer runs once at the end (the paper's synchronization point).
+/// Returns the mean loss over the whole mini-batch.
+///
+/// # Panics
+///
+/// Panics if `sub_batch` is zero or `labels` length differs from the batch
+/// size.
+pub fn train_step_mbs(
+    model: &mut dyn Module,
+    x: &Tensor,
+    labels: &[usize],
+    sub_batch: usize,
+    opt: &mut Sgd,
+) -> f32 {
+    let n = x.shape()[0];
+    assert!(sub_batch > 0, "sub_batch must be positive");
+    assert_eq!(labels.len(), n, "one label per sample");
+    model.zero_grad();
+    let mut loss_sum = 0.0f32;
+    let mut start = 0;
+    while start < n {
+        let end = (start + sub_batch).min(n);
+        let xs = slice_batch(x, start, end);
+        let ls = &labels[start..end];
+        let logits = model.forward(&xs, true);
+        let probs = softmax(&logits);
+        loss_sum += cross_entropy(&probs, ls) * (end - start) as f32;
+        // Scale by the full mini-batch so accumulated gradients equal the
+        // full-batch gradient exactly.
+        let dlogits = softmax_xent_backward(&probs, ls, n);
+        let _ = model.backward(&dlogits);
+        start = end;
+    }
+    opt.step(model);
+    loss_sum / n as f32
+}
+
+/// Mean loss and classification error (%) of `model` on a labeled set,
+/// evaluated in inference mode in chunks of `batch`.
+pub fn evaluate(
+    model: &mut dyn Module,
+    images: &Tensor,
+    labels: &[usize],
+    batch: usize,
+) -> (f32, f64) {
+    let n = images.shape()[0];
+    let mut loss_sum = 0.0f32;
+    let mut hits = 0usize;
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch.max(1)).min(n);
+        let xs = slice_batch(images, start, end);
+        let ls = &labels[start..end];
+        let logits = model.forward(&xs, false);
+        let probs = softmax(&logits);
+        loss_sum += cross_entropy(&probs, ls) * (end - start) as f32;
+        hits += (mbs_tensor::ops::accuracy(&logits, ls) * (end - start) as f64).round()
+            as usize;
+        start = end;
+    }
+    let loss = loss_sum / n as f32;
+    let err = 100.0 * (1.0 - hits as f64 / n as f64);
+    (loss, err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::generate;
+    use crate::model::MiniResNet;
+    use crate::norm::NormChoice;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn models(choice: NormChoice) -> (MiniResNet, MiniResNet) {
+        // Same seed => identical initial weights.
+        let a = MiniResNet::new(3, 4, 1, choice, &mut StdRng::seed_from_u64(11));
+        let b = MiniResNet::new(3, 4, 1, choice, &mut StdRng::seed_from_u64(11));
+        (a, b)
+    }
+
+    fn max_param_diff(a: &mut MiniResNet, b: &mut MiniResNet) -> f32 {
+        let mut pa = Vec::new();
+        a.visit_params(&mut |p| pa.push(p.value.clone()));
+        let mut i = 0;
+        let mut worst = 0.0f32;
+        b.visit_params(&mut |p| {
+            worst = worst.max(pa[i].max_abs_diff(&p.value));
+            i += 1;
+        });
+        worst
+    }
+
+    /// The paper's central correctness claim: GN + MBS == GN unserialized.
+    #[test]
+    fn gn_mbs_step_equals_full_batch_step() {
+        let d = generate(8, 8, 0.3, 21);
+        let (mut full, mut mbs) = models(NormChoice::Group(4));
+        let mut opt_a = Sgd::new(0.05, 0.9, 1e-4);
+        let mut opt_b = Sgd::new(0.05, 0.9, 1e-4);
+        for _ in 0..3 {
+            let l_full = train_step_full(&mut full, &d.images, &d.labels, &mut opt_a);
+            let l_mbs = train_step_mbs(&mut mbs, &d.images, &d.labels, 3, &mut opt_b);
+            assert!((l_full - l_mbs).abs() < 1e-4, "losses {l_full} vs {l_mbs}");
+        }
+        let diff = max_param_diff(&mut full, &mut mbs);
+        assert!(diff < 5e-4, "GN+MBS diverged from full-batch GN: {diff}");
+    }
+
+    /// And the reason BN is incompatible: serialized BN sees different
+    /// statistics, so the updates differ.
+    #[test]
+    fn bn_mbs_step_differs_from_full_batch_step() {
+        let d = generate(8, 8, 0.3, 22);
+        let (mut full, mut mbs) = models(NormChoice::Batch);
+        let mut opt_a = Sgd::new(0.05, 0.9, 0.0);
+        let mut opt_b = Sgd::new(0.05, 0.9, 0.0);
+        let _ = train_step_full(&mut full, &d.images, &d.labels, &mut opt_a);
+        let _ = train_step_mbs(&mut mbs, &d.images, &d.labels, 2, &mut opt_b);
+        let diff = max_param_diff(&mut full, &mut mbs);
+        assert!(diff > 1e-5, "BN should NOT be sub-batch invariant: {diff}");
+    }
+
+    #[test]
+    fn sub_batch_size_one_also_matches() {
+        // Full serialization (one sample at a time) — the extreme case the
+        // paper discusses in §3.
+        let d = generate(6, 8, 0.3, 23);
+        let (mut full, mut mbs) = models(NormChoice::Group(4));
+        let mut opt_a = Sgd::new(0.05, 0.9, 0.0);
+        let mut opt_b = Sgd::new(0.05, 0.9, 0.0);
+        let _ = train_step_full(&mut full, &d.images, &d.labels, &mut opt_a);
+        let _ = train_step_mbs(&mut mbs, &d.images, &d.labels, 1, &mut opt_b);
+        let diff = max_param_diff(&mut full, &mut mbs);
+        assert!(diff < 5e-4, "full serialization diverged: {diff}");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let d = generate(32, 8, 0.25, 24);
+        let mut m = MiniResNet::new(3, 4, 1, NormChoice::Group(4), &mut StdRng::seed_from_u64(9));
+        let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+        let first = train_step_mbs(&mut m, &d.images, &d.labels, 8, &mut opt);
+        let mut last = first;
+        for _ in 0..15 {
+            last = train_step_mbs(&mut m, &d.images, &d.labels, 8, &mut opt);
+        }
+        assert!(last < first, "loss should fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn evaluate_reports_loss_and_error() {
+        let d = generate(16, 8, 0.3, 25);
+        let mut m = MiniResNet::new(3, 4, 1, NormChoice::Group(4), &mut StdRng::seed_from_u64(10));
+        let (loss, err) = evaluate(&mut m, &d.images, &d.labels, 4);
+        assert!(loss > 0.0);
+        assert!((0.0..=100.0).contains(&err));
+    }
+}

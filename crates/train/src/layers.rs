@@ -1,0 +1,325 @@
+//! Basic trainable layers: convolution, linear, ReLU, pooling.
+
+use rand::rngs::StdRng;
+
+use mbs_tensor::init::kaiming_normal;
+use mbs_tensor::ops::{
+    conv2d, conv2d_backward_data, conv2d_backward_weights, global_avg_pool,
+    global_avg_pool_backward, matmul, matmul_a_bt, matmul_at_b, maxpool2d,
+    maxpool2d_backward, relu, relu_backward, BitMask, Conv2dCfg,
+};
+use mbs_tensor::Tensor;
+
+use crate::module::{Module, Param};
+
+/// 2-D convolution without bias (the zoo pairs convs with norms).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    cfg: Conv2dCfg,
+    cache_x: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Kaiming-initialized convolution.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let weight = Param::new(kaiming_normal(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            rng,
+        ));
+        Self { weight, cfg: Conv2dCfg::square(kernel, stride, pad), cache_x: None }
+    }
+
+    /// The convolution geometry.
+    pub fn cfg(&self) -> Conv2dCfg {
+        self.cfg
+    }
+
+    /// Immutable access to the weights (tests, inspection).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        conv2d(x, &self.weight.value, self.cfg)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("backward requires a training forward");
+        let dw = conv2d_backward_weights(x, dy, self.cfg);
+        self.weight.grad.add_assign(&dw);
+        conv2d_backward_data(dy, &self.weight.value, x.shape(), self.cfg)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+    }
+}
+
+/// Fully-connected layer with bias.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param, // [out, in]
+    bias: Param,   // [out]
+    cache_x: Option<Tensor>,
+}
+
+impl Linear {
+    /// Kaiming-initialized linear layer.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        Self {
+            weight: Param::new(kaiming_normal(&[out_features, in_features], in_features, rng)),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            cache_x: None,
+        }
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        let mut y = matmul_a_bt(x, &self.weight.value); // [n, out]
+        let (n, o) = (y.shape()[0], y.shape()[1]);
+        let bd = self.bias.value.data().to_vec();
+        let yd = y.data_mut();
+        for i in 0..n {
+            for j in 0..o {
+                yd[i * o + j] += bd[j];
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("backward requires a training forward");
+        let dw = matmul_at_b(dy, x); // [out, in]
+        self.weight.grad.add_assign(&dw);
+        let (n, o) = (dy.shape()[0], dy.shape()[1]);
+        let dyd = dy.data();
+        let gb = self.bias.grad.data_mut();
+        for i in 0..n {
+            for j in 0..o {
+                gb[j] += dyd[i * o + j];
+            }
+        }
+        matmul(dy, &self.weight.value) // [n, in]
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+/// ReLU with the paper's 1-bit backward mask.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<BitMask>,
+}
+
+impl Relu {
+    /// A fresh ReLU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for Relu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (y, mask) = relu(x);
+        if train {
+            self.mask = Some(mask);
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward requires a training forward");
+        relu_backward(dy, mask)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Max pooling.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
+}
+
+impl MaxPool2d {
+    /// A `kernel × kernel` max pool with the given stride.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        Self { kernel, stride, cache: None }
+    }
+}
+
+impl Module for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (y, arg) = maxpool2d(x, self.kernel, self.stride);
+        if train {
+            self.cache = Some((arg, x.shape().to_vec()));
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (arg, shape) =
+            self.cache.as_ref().expect("backward requires a training forward");
+        maxpool2d_backward(dy, arg, shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Global average pooling to `[n, c]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// A fresh pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cache_shape = Some(x.shape().to_vec());
+        }
+        global_avg_pool(x)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let shape = self
+            .cache_shape
+            .as_ref()
+            .expect("backward requires a training forward");
+        global_avg_pool_backward(dy, shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn seeded(shape: &[usize], salt: usize) -> Tensor {
+        let len: usize = shape.iter().product();
+        Tensor::from_vec(
+            shape,
+            (0..len)
+                .map(|v| (((v * 13 + salt * 7) % 19) as f32 - 9.0) / 5.0)
+                .collect(),
+        )
+    }
+
+    /// Generic finite-difference gradient check through a module.
+    fn grad_check(m: &mut dyn Module, x: &Tensor, tol: f32) {
+        let y = m.forward(x, true);
+        let dy = seeded(y.shape(), 99);
+        let dx = m.backward(&dy);
+        let eps = 1e-2;
+        let loss = |m: &mut dyn Module, x: &Tensor| -> f32 {
+            m.forward(x, false)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        for idx in [0usize, x.len() / 2, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let lp = loss(m, &xp);
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lm = loss(m, &xm);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dx.data()[idx]).abs() < tol,
+                "idx {idx}: fd {fd} analytic {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_module_gradient() {
+        let mut m = Conv2d::new(2, 3, 3, 1, 1, &mut rng());
+        grad_check(&mut m, &seeded(&[2, 2, 5, 5], 1), 1e-2);
+    }
+
+    #[test]
+    fn linear_module_gradient() {
+        let mut m = Linear::new(6, 4, &mut rng());
+        grad_check(&mut m, &seeded(&[3, 6], 2), 1e-2);
+    }
+
+    #[test]
+    fn gap_module_gradient() {
+        let mut m = GlobalAvgPool::new();
+        grad_check(&mut m, &seeded(&[2, 3, 4, 4], 3), 1e-3);
+    }
+
+    #[test]
+    fn relu_module_masks_gradient() {
+        let mut m = Relu::new();
+        let x = Tensor::from_vec(&[4], vec![-1.0, 2.0, -3.0, 4.0]);
+        let _ = m.forward(&x, true);
+        let dx = m.backward(&Tensor::full(&[4], 1.0));
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn conv_accumulates_gradients_across_backwards() {
+        let mut m = Conv2d::new(1, 1, 3, 1, 1, &mut rng());
+        let x = seeded(&[1, 1, 4, 4], 5);
+        let y = m.forward(&x, true);
+        let dy = Tensor::full(y.shape(), 1.0);
+        let _ = m.backward(&dy);
+        let g1 = m.weight().grad.clone();
+        let _ = m.forward(&x, true);
+        let _ = m.backward(&dy);
+        let mut twice = g1.clone();
+        twice.add_assign(&g1);
+        assert!(m.weight().grad.max_abs_diff(&twice) < 1e-5);
+    }
+
+    #[test]
+    fn zero_grad_clears_all_params() {
+        let mut m = Linear::new(3, 2, &mut rng());
+        let x = seeded(&[2, 3], 6);
+        let y = m.forward(&x, true);
+        let _ = m.backward(&Tensor::full(y.shape(), 1.0));
+        m.zero_grad();
+        m.visit_params(&mut |p| assert_eq!(p.grad.max_abs(), 0.0));
+    }
+}

@@ -1,0 +1,47 @@
+//! CNN training substrate for the MBS reproduction (paper §3.1 / Fig. 6).
+//!
+//! Implements from scratch everything the Fig. 6 experiment needs:
+//! trainable layers with backward passes ([`layers`]), batch and group
+//! normalization ([`norm`]), a residual CNN ([`model`]), SGD with momentum
+//! ([`optim`]), a seeded synthetic dataset ([`data`]), and — centrally —
+//! the **MBS serialized executor** ([`executor`]): sub-batch propagation
+//! with cross-sub-batch gradient accumulation that is numerically
+//! equivalent to full-mini-batch training for group normalization and
+//! provably *not* equivalent for batch normalization.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbs_train::data::generate;
+//! use mbs_train::executor::{train_step_full, train_step_mbs};
+//! use mbs_train::model::MiniResNet;
+//! use mbs_train::norm::NormChoice;
+//! use mbs_train::optim::Sgd;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let d = generate(8, 8, 0.3, 7);
+//! // Identical seeds => identical models.
+//! let mut full = MiniResNet::new(3, 4, 1, NormChoice::Group(4), &mut StdRng::seed_from_u64(1));
+//! let mut mbs = MiniResNet::new(3, 4, 1, NormChoice::Group(4), &mut StdRng::seed_from_u64(1));
+//! let (mut oa, mut ob) = (Sgd::new(0.05, 0.9, 0.0), Sgd::new(0.05, 0.9, 0.0));
+//!
+//! let loss_full = train_step_full(&mut full, &d.images, &d.labels, &mut oa);
+//! let loss_mbs = train_step_mbs(&mut mbs, &d.images, &d.labels, 2, &mut ob);
+//! assert!((loss_full - loss_mbs).abs() < 1e-4); // MBS does not change training
+//! ```
+
+pub mod data;
+pub mod executor;
+pub mod layers;
+pub mod model;
+pub mod module;
+pub mod norm;
+pub mod optim;
+pub mod training;
+
+pub use executor::{evaluate, train_step_full, train_step_mbs};
+pub use model::MiniResNet;
+pub use module::{Module, Param};
+pub use norm::{Norm, NormChoice};
+pub use optim::Sgd;
+pub use training::{train, EpochStats, TrainConfig};

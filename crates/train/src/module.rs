@@ -1,0 +1,84 @@
+//! The layer/module abstraction for the CPU training substrate.
+
+use mbs_tensor::Tensor;
+
+/// A learnable parameter with its accumulated gradient.
+///
+/// Gradients *accumulate* across backward calls (`+=`), which is what lets
+/// the MBS executor serialize a mini-batch into sub-batches and still
+/// produce exactly the full-batch gradient (paper §3 "Data
+/// Synchronization").
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Parameter values.
+    pub value: Tensor,
+    /// Accumulated gradient.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { value, grad }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.scale(0.0);
+    }
+}
+
+/// A differentiable module.
+pub trait Module {
+    /// Forward pass. `train` selects training behavior (batch-norm batch
+    /// statistics, caching for backward).
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass: consumes the output gradient, *accumulates* parameter
+    /// gradients, and returns the input gradient.
+    fn backward(&mut self, dy: &Tensor) -> Tensor;
+
+    /// Visits every parameter (used by optimizers and gradient checks).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Clears all accumulated gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+}
+
+/// Extracts rows `[start, end)` along the batch (first) dimension.
+///
+/// # Panics
+///
+/// Panics if the range is out of bounds.
+pub fn slice_batch(x: &Tensor, start: usize, end: usize) -> Tensor {
+    let n = x.shape()[0];
+    assert!(start <= end && end <= n, "batch slice out of range");
+    let row = x.len() / n.max(1);
+    let mut shape = x.shape().to_vec();
+    shape[0] = end - start;
+    Tensor::from_vec(&shape, x.data()[start * row..end * row].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_batch_extracts_rows() {
+        let x = Tensor::from_vec(&[3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = slice_batch(&x, 1, 3);
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.data(), &[3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new(Tensor::full(&[2], 1.0));
+        p.grad = Tensor::full(&[2], 3.0);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,473 @@
+//! Feature normalization: batch normalization and group normalization.
+//!
+//! BN normalizes each channel over the whole per-processor mini-batch, so
+//! it fundamentally cannot be serialized into sub-batches — the statistics
+//! change. GN normalizes channel groups *within a single sample* (Wu & He
+//! 2018), which is why the paper adopts it for MBS (§3.1): sub-batch
+//! serialization leaves GN's arithmetic bit-for-bit unchanged.
+
+#![allow(clippy::needless_range_loop)] // indexed loops read several parallel buffers
+
+use mbs_tensor::Tensor;
+
+use crate::module::{Module, Param};
+
+const EPS: f32 = 1e-5;
+
+/// Batch normalization over `[n, c, h, w]`.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    xhat: Tensor,
+    ivar: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// BN over `channels` with running-stat momentum 0.1.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: Param::new(Tensor::full(&[channels], 1.0)),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let [n, c, h, w]: [usize; 4] = x.shape().try_into().expect("bn expects 4-D");
+        let m = (n * h * w) as f32;
+        let xd = x.data();
+        let mut y = Tensor::zeros(x.shape());
+        let mut xhat = Tensor::zeros(x.shape());
+        let mut ivar = vec![0.0f32; c];
+        let gd = self.gamma.value.data().to_vec();
+        let bd = self.beta.value.data().to_vec();
+
+        for ci in 0..c {
+            let (mean, var) = if train {
+                let mut sum = 0.0;
+                let mut sq = 0.0;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * h * w;
+                    for &v in &xd[base..base + h * w] {
+                        sum += v;
+                        sq += v * v;
+                    }
+                }
+                let mean = sum / m;
+                let var = (sq / m - mean * mean).max(0.0);
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ci], self.running_var[ci])
+            };
+            let iv = 1.0 / (var + EPS).sqrt();
+            ivar[ci] = iv;
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                for i in base..base + h * w {
+                    let xh = (xd[i] - mean) * iv;
+                    xhat.data_mut()[i] = xh;
+                    y.data_mut()[i] = gd[ci] * xh + bd[ci];
+                }
+            }
+        }
+        if train {
+            self.cache = Some(BnCache { xhat, ivar });
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward requires a training forward");
+        let [n, c, h, w]: [usize; 4] = dy.shape().try_into().expect("bn expects 4-D");
+        let m = (n * h * w) as f32;
+        let dyd = dy.data();
+        let xh = cache.xhat.data();
+        let gd = self.gamma.value.data().to_vec();
+        let mut dx = Tensor::zeros(dy.shape());
+
+        for ci in 0..c {
+            let mut sum_dy = 0.0;
+            let mut sum_dy_xhat = 0.0;
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                for i in base..base + h * w {
+                    sum_dy += dyd[i];
+                    sum_dy_xhat += dyd[i] * xh[i];
+                }
+            }
+            self.beta.grad.data_mut()[ci] += sum_dy;
+            self.gamma.grad.data_mut()[ci] += sum_dy_xhat;
+            let scale = gd[ci] * cache.ivar[ci] / m;
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                for i in base..base + h * w {
+                    dx.data_mut()[i] =
+                        scale * (m * dyd[i] - sum_dy - xh[i] * sum_dy_xhat);
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+/// Group normalization over `[n, c, h, w]` with `groups` channel groups.
+#[derive(Debug, Clone)]
+pub struct GroupNorm {
+    groups: usize,
+    gamma: Param,
+    beta: Param,
+    cache: Option<GnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct GnCache {
+    xhat: Tensor,
+    ivar: Vec<f32>, // per (sample, group)
+}
+
+impl GroupNorm {
+    /// GN with the given group count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not divide `channels`.
+    pub fn new(channels: usize, groups: usize) -> Self {
+        assert!(groups > 0 && channels.is_multiple_of(groups), "groups must divide channels");
+        Self {
+            groups,
+            gamma: Param::new(Tensor::full(&[channels], 1.0)),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            cache: None,
+        }
+    }
+}
+
+impl Module for GroupNorm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let [n, c, h, w]: [usize; 4] = x.shape().try_into().expect("gn expects 4-D");
+        let cpg = c / self.groups;
+        let m = (cpg * h * w) as f32;
+        let xd = x.data();
+        let mut y = Tensor::zeros(x.shape());
+        let mut xhat = Tensor::zeros(x.shape());
+        let mut ivar = vec![0.0f32; n * self.groups];
+        let gd = self.gamma.value.data().to_vec();
+        let bd = self.beta.value.data().to_vec();
+
+        for ni in 0..n {
+            for gi in 0..self.groups {
+                let mut sum = 0.0;
+                let mut sq = 0.0;
+                for cc in gi * cpg..(gi + 1) * cpg {
+                    let base = (ni * c + cc) * h * w;
+                    for &v in &xd[base..base + h * w] {
+                        sum += v;
+                        sq += v * v;
+                    }
+                }
+                let mean = sum / m;
+                let var = (sq / m - mean * mean).max(0.0);
+                let iv = 1.0 / (var + EPS).sqrt();
+                ivar[ni * self.groups + gi] = iv;
+                for cc in gi * cpg..(gi + 1) * cpg {
+                    let base = (ni * c + cc) * h * w;
+                    for i in base..base + h * w {
+                        let v = (xd[i] - mean) * iv;
+                        xhat.data_mut()[i] = v;
+                        y.data_mut()[i] = gd[cc] * v + bd[cc];
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some(GnCache { xhat, ivar });
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward requires a training forward");
+        let [n, c, h, w]: [usize; 4] = dy.shape().try_into().expect("gn expects 4-D");
+        let cpg = c / self.groups;
+        let m = (cpg * h * w) as f32;
+        let dyd = dy.data();
+        let xh = cache.xhat.data();
+        let gd = self.gamma.value.data().to_vec();
+        let mut dx = Tensor::zeros(dy.shape());
+
+        // Per-channel parameter gradients.
+        for cc in 0..c {
+            let mut s_dy = 0.0;
+            let mut s_dyx = 0.0;
+            for ni in 0..n {
+                let base = (ni * c + cc) * h * w;
+                for i in base..base + h * w {
+                    s_dy += dyd[i];
+                    s_dyx += dyd[i] * xh[i];
+                }
+            }
+            self.beta.grad.data_mut()[cc] += s_dy;
+            self.gamma.grad.data_mut()[cc] += s_dyx;
+        }
+
+        // Per-(sample, group) input gradients.
+        for ni in 0..n {
+            for gi in 0..self.groups {
+                let mut sum_g = 0.0; // Σ γ·dy
+                let mut sum_gx = 0.0; // Σ γ·dy·xhat
+                for cc in gi * cpg..(gi + 1) * cpg {
+                    let base = (ni * c + cc) * h * w;
+                    for i in base..base + h * w {
+                        let g = gd[cc] * dyd[i];
+                        sum_g += g;
+                        sum_gx += g * xh[i];
+                    }
+                }
+                let iv = cache.ivar[ni * self.groups + gi];
+                for cc in gi * cpg..(gi + 1) * cpg {
+                    let base = (ni * c + cc) * h * w;
+                    for i in base..base + h * w {
+                        let g = gd[cc] * dyd[i];
+                        dx.data_mut()[i] =
+                            iv / m * (m * g - sum_g - xh[i] * sum_gx);
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+/// The normalization choice for a model (paper Fig. 6 compares all three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormChoice {
+    /// Batch normalization (incompatible with MBS).
+    Batch,
+    /// Group normalization with the given group count (MBS-compatible).
+    Group(usize),
+    /// No normalization (Fig. 6a's divergent pre-activations).
+    None,
+}
+
+/// A pluggable normalization module.
+#[derive(Debug, Clone)]
+pub enum Norm {
+    /// Batch normalization.
+    Batch(BatchNorm2d),
+    /// Group normalization.
+    Group(GroupNorm),
+    /// Identity.
+    None,
+}
+
+impl Norm {
+    /// Builds the chosen normalization for `channels`.
+    pub fn new(choice: NormChoice, channels: usize) -> Self {
+        match choice {
+            NormChoice::Batch => Norm::Batch(BatchNorm2d::new(channels)),
+            NormChoice::Group(g) => Norm::Group(GroupNorm::new(channels, g)),
+            NormChoice::None => Norm::None,
+        }
+    }
+}
+
+impl Module for Norm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        match self {
+            Norm::Batch(b) => b.forward(x, train),
+            Norm::Group(g) => g.forward(x, train),
+            Norm::None => x.clone(),
+        }
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        match self {
+            Norm::Batch(b) => b.backward(dy),
+            Norm::Group(g) => g.backward(dy),
+            Norm::None => dy.clone(),
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            Norm::Batch(b) => b.visit_params(f),
+            Norm::Group(g) => g.visit_params(f),
+            Norm::None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::slice_batch;
+
+    fn seeded(shape: &[usize], salt: usize) -> Tensor {
+        let len: usize = shape.iter().product();
+        Tensor::from_vec(
+            shape,
+            (0..len)
+                .map(|v| (((v * 29 + salt * 13) % 31) as f32 - 15.0) / 6.0)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn bn_normalizes_channel_statistics() {
+        let mut bn = BatchNorm2d::new(3);
+        let x = seeded(&[4, 3, 5, 5], 1);
+        let y = bn.forward(&x, true);
+        // Per-channel mean ~0, var ~1.
+        for c in 0..3 {
+            let mut vals = Vec::new();
+            for n in 0..4 {
+                for h in 0..5 {
+                    for w in 0..5 {
+                        vals.push(y.get(&[n, c, h, w]));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gn_normalizes_per_sample_groups() {
+        let mut gn = GroupNorm::new(4, 2);
+        let x = seeded(&[2, 4, 3, 3], 2);
+        let y = gn.forward(&x, true);
+        for n in 0..2 {
+            for g in 0..2 {
+                let mut vals = Vec::new();
+                for c in g * 2..(g + 1) * 2 {
+                    for h in 0..3 {
+                        for w in 0..3 {
+                            vals.push(y.get(&[n, c, h, w]));
+                        }
+                    }
+                }
+                let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+                assert!(mean.abs() < 1e-4, "sample {n} group {g} mean {mean}");
+            }
+        }
+    }
+
+    /// The property MBS relies on (§3.1): GN of a sub-batch equals the
+    /// corresponding rows of GN of the full batch; BN does not.
+    #[test]
+    fn gn_is_subbatch_invariant_bn_is_not() {
+        let x = seeded(&[4, 4, 3, 3], 3);
+        let first_two = slice_batch(&x, 0, 2);
+
+        let mut gn = GroupNorm::new(4, 2);
+        let full = gn.forward(&x, false);
+        let mut gn2 = GroupNorm::new(4, 2);
+        let part = gn2.forward(&first_two, false);
+        assert!(slice_batch(&full, 0, 2).max_abs_diff(&part) < 1e-6);
+
+        let mut bn = BatchNorm2d::new(4);
+        let full = bn.forward(&x, true);
+        let mut bn2 = BatchNorm2d::new(4);
+        let part = bn2.forward(&first_two, true);
+        assert!(slice_batch(&full, 0, 2).max_abs_diff(&part) > 1e-3);
+    }
+
+    fn grad_check_norm(norm: &mut dyn Module, shape: &[usize]) {
+        let x = seeded(shape, 4);
+        let y = norm.forward(&x, true);
+        let dy = seeded(y.shape(), 5);
+        let dx = norm.backward(&dy);
+        let eps = 1e-2;
+        for idx in [0usize, x.len() / 3, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let lp: f32 = norm
+                .forward(&xp, true)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lm: f32 = norm
+                .forward(&xm, true)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - dx.data()[idx]).abs() < 2e-2,
+                "idx {idx}: fd {fd} analytic {}",
+                dx.data()[idx]
+            );
+        }
+        // Restore the cache for callers (forward mutated it).
+        let _ = norm.forward(&x, true);
+    }
+
+    #[test]
+    fn bn_gradient_matches_finite_difference() {
+        let mut bn = BatchNorm2d::new(2);
+        grad_check_norm(&mut bn, &[3, 2, 4, 4]);
+    }
+
+    #[test]
+    fn gn_gradient_matches_finite_difference() {
+        let mut gn = GroupNorm::new(4, 2);
+        grad_check_norm(&mut gn, &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn bn_eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = seeded(&[4, 2, 3, 3], 6);
+        for _ in 0..50 {
+            let _ = bn.forward(&x, true);
+        }
+        let train_out = bn.forward(&x, true);
+        let eval_out = bn.forward(&x, false);
+        // After many updates the running stats converge to batch stats.
+        assert!(train_out.max_abs_diff(&eval_out) < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups must divide")]
+    fn gn_rejects_bad_groups() {
+        let _ = GroupNorm::new(6, 4);
+    }
+}

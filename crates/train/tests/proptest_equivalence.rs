@@ -1,0 +1,91 @@
+//! Property-based test of the paper's central claim (§3): MBS sub-batch
+//! serialization with GN is numerically equivalent to full-mini-batch
+//! training for *any* sub-batch size, seed, and data.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mbs_train::data::generate;
+use mbs_train::executor::{train_step_full, train_step_mbs};
+use mbs_train::model::MiniResNet;
+use mbs_train::norm::NormChoice;
+use mbs_train::optim::Sgd;
+use mbs_train::Module;
+
+fn max_param_diff(a: &mut MiniResNet, b: &mut MiniResNet) -> f32 {
+    let mut pa = Vec::new();
+    a.visit_params(&mut |p| pa.push(p.value.clone()));
+    let mut i = 0;
+    let mut worst = 0.0f32;
+    b.visit_params(&mut |p| {
+        worst = worst.max(pa[i].max_abs_diff(&p.value));
+        i += 1;
+    });
+    worst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// GN + MBS == GN full-batch, for arbitrary sub-batch sizes (including
+    /// ones that do not divide the batch) and arbitrary seeds.
+    #[test]
+    fn gn_serialization_is_faithful(
+        sub_batch in 1usize..9,
+        data_seed in 0u64..500,
+        model_seed in 0u64..500,
+    ) {
+        let d = generate(8, 8, 0.3, data_seed);
+        let mut full =
+            MiniResNet::new(3, 4, 1, NormChoice::Group(4), &mut StdRng::seed_from_u64(model_seed));
+        let mut mbs =
+            MiniResNet::new(3, 4, 1, NormChoice::Group(4), &mut StdRng::seed_from_u64(model_seed));
+        let mut oa = Sgd::new(0.05, 0.9, 1e-4);
+        let mut ob = Sgd::new(0.05, 0.9, 1e-4);
+        for _ in 0..2 {
+            let lf = train_step_full(&mut full, &d.images, &d.labels, &mut oa);
+            let lm = train_step_mbs(&mut mbs, &d.images, &d.labels, sub_batch, &mut ob);
+            prop_assert!((lf - lm).abs() < 1e-3, "loss {lf} vs {lm}");
+        }
+        let diff = max_param_diff(&mut full, &mut mbs);
+        prop_assert!(diff < 1e-3, "sub {sub_batch}: diff {diff}");
+    }
+
+    /// Without normalization the equivalence also holds (it is a property
+    /// of gradient accumulation, not of GN specifically).
+    #[test]
+    fn no_norm_serialization_is_faithful(
+        sub_batch in 1usize..9,
+        model_seed in 0u64..500,
+    ) {
+        let d = generate(8, 8, 0.3, 777);
+        let mut full =
+            MiniResNet::new(3, 4, 1, NormChoice::None, &mut StdRng::seed_from_u64(model_seed));
+        let mut mbs =
+            MiniResNet::new(3, 4, 1, NormChoice::None, &mut StdRng::seed_from_u64(model_seed));
+        let mut oa = Sgd::new(0.02, 0.9, 0.0);
+        let mut ob = Sgd::new(0.02, 0.9, 0.0);
+        let _ = train_step_full(&mut full, &d.images, &d.labels, &mut oa);
+        let _ = train_step_mbs(&mut mbs, &d.images, &d.labels, sub_batch, &mut ob);
+        let diff = max_param_diff(&mut full, &mut mbs);
+        prop_assert!(diff < 1e-3, "sub {sub_batch}: diff {diff}");
+    }
+
+    /// BN breaks the equivalence whenever serialization actually splits the
+    /// batch (the statistics differ).
+    #[test]
+    fn bn_serialization_differs(sub_batch in 2usize..5) {
+        let d = generate(8, 8, 0.3, 888);
+        let mut full =
+            MiniResNet::new(3, 4, 1, NormChoice::Batch, &mut StdRng::seed_from_u64(3));
+        let mut mbs =
+            MiniResNet::new(3, 4, 1, NormChoice::Batch, &mut StdRng::seed_from_u64(3));
+        let mut oa = Sgd::new(0.05, 0.9, 0.0);
+        let mut ob = Sgd::new(0.05, 0.9, 0.0);
+        let _ = train_step_full(&mut full, &d.images, &d.labels, &mut oa);
+        let _ = train_step_mbs(&mut mbs, &d.images, &d.labels, sub_batch, &mut ob);
+        let diff = max_param_diff(&mut full, &mut mbs);
+        prop_assert!(diff > 1e-6, "BN should diverge, diff {diff}");
+    }
+}

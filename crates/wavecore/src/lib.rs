@@ -1,0 +1,47 @@
+//! WaveCore: a systolic-array CNN *training* accelerator simulator
+//! (paper §4), plus the V100 roofline comparator used in Fig. 13.
+//!
+//! The simulator composes:
+//!
+//! - [`gemm`]: im2col GEMM dimensioning per training phase (Tab. 1),
+//! - [`tile`]: the analytic tile/wave cycle model with per-PE weight
+//!   double buffering (Fig. 7/8),
+//! - [`systolic`]: a functional register-level systolic array that
+//!   validates the analytic model on real matrix multiplies,
+//! - [`timing`]: per-layer execution time (systolic + vector units,
+//!   overlapped with DRAM transfers),
+//! - [`energy`]: the DRAM / buffer / arithmetic / static energy model,
+//! - [`area`]: die area and peak power (Tab. 2),
+//! - [`gpu`]: the V100-class roofline device model,
+//! - [`accelerator`]: the [`WaveCore`] top level producing [`StepReport`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbs_cnn::networks::resnet;
+//! use mbs_core::{ExecConfig, HardwareConfig, MemoryKind};
+//! use mbs_wavecore::WaveCore;
+//!
+//! // MBS keeps WaveCore fast even on cheap LPDDR4 memory (paper Fig. 12).
+//! let lp = HardwareConfig::default().with_memory(MemoryKind::Lpddr4);
+//! let report = WaveCore::new(lp).simulate(&resnet(50), ExecConfig::Mbs2);
+//! assert!(report.time_s > 0.0);
+//! ```
+
+pub mod accelerator;
+pub mod area;
+pub mod energy;
+pub mod gemm;
+pub mod gpu;
+pub mod scaling;
+pub mod systolic;
+pub mod tile;
+pub mod timing;
+
+pub use accelerator::{StepReport, WaveCore};
+pub use energy::{EnergyParams, EnergyReport};
+pub use gemm::{gemm_dims, GemmDims, TrainingPhase};
+pub use gpu::GpuModel;
+pub use scaling::{weak_scaling, Interconnect, ScalePoint};
+pub use systolic::{DenseMatrix, FunctionalArray};
+pub use tile::{gemm_cycles, ArrayGeometry, CycleReport};

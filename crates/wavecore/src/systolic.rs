@@ -1,0 +1,404 @@
+//! Functional, register-level systolic-array simulator.
+//!
+//! This is the ground truth behind the analytic cycle model in
+//! [`crate::tile`]: it clocks a weight-stationary `k×n` PE grid cycle by
+//! cycle — operands move right, partial sums move down, weights are
+//! (optionally) double buffered per PE with the select signal traveling
+//! alongside the data (paper Fig. 8a) — and produces both the *numerical*
+//! GEMM result and the exact cycle count. Tests assert that its results
+//! match a reference matrix multiply and that its cycle counts equal the
+//! analytic formula.
+//!
+//! It also counts zero-operand multiplies, which WaveCore skips to save
+//! energy (paper §4.1).
+
+use crate::gemm::GemmDims;
+use crate::tile::ArrayGeometry;
+
+/// A dense row-major f32 matrix for the functional simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must match shape");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Reference matrix multiply (used by tests to validate the array).
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for kk in 0..self.cols {
+                let a = self.get(i, kk);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(kk, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute difference against another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Statistics from a functional-array run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total cycles including weight loads, stalls, and drains.
+    pub cycles: u64,
+    /// Multiply-accumulates issued to PEs.
+    pub macs: u64,
+    /// MACs skipped because an operand was zero.
+    pub zero_skipped: u64,
+}
+
+/// One in-flight operand tag: value, output row within the tile, and which
+/// weight plane (wave) it multiplies with.
+#[derive(Debug, Clone, Copy)]
+struct Moving {
+    value: f32,
+    out_row: usize,
+    wave: usize,
+}
+
+/// A functional weight-stationary systolic array.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_wavecore::systolic::{DenseMatrix, FunctionalArray};
+/// use mbs_wavecore::tile::ArrayGeometry;
+///
+/// let geom = ArrayGeometry { rows: 4, cols: 4, tile_rows: 8 };
+/// let mut array = FunctionalArray::new(geom, true);
+/// let a = DenseMatrix::from_vec(2, 4, (0..8).map(|x| x as f32).collect());
+/// let b = DenseMatrix::from_vec(4, 2, (0..8).map(|x| (x % 3) as f32).collect());
+/// let c = array.multiply(&a, &b);
+/// assert!(c.max_abs_diff(&a.matmul(&b)) < 1e-5);
+/// ```
+#[derive(Debug)]
+pub struct FunctionalArray {
+    geom: ArrayGeometry,
+    double_buffered: bool,
+    stats: RunStats,
+}
+
+impl FunctionalArray {
+    /// Creates an array with the given geometry and weight-buffering mode.
+    pub fn new(geom: ArrayGeometry, double_buffered: bool) -> Self {
+        Self { geom, double_buffered, stats: RunStats::default() }
+    }
+
+    /// Statistics accumulated since construction (or the last reset).
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Clears accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = RunStats::default();
+    }
+
+    /// Computes `A · B` through the array, tiling per the geometry and
+    /// accumulating cycles/MACs into [`Self::stats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn multiply(&mut self, a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        let dims = GemmDims::new(a.rows(), b.cols(), a.cols());
+        let g = self.geom;
+        let mut c = DenseMatrix::zeros(dims.gh, dims.gw);
+
+        let mut col = 0;
+        while col < dims.gw {
+            let n_t = (dims.gw - col).min(g.cols);
+            let mut row = 0;
+            while row < dims.gh {
+                let m_t = (dims.gh - row).min(g.tile_rows);
+                self.run_tile(a, b, &mut c, row, m_t, col, n_t);
+                row += m_t;
+            }
+            col += n_t;
+        }
+        c
+    }
+
+    /// Streams one `m_t × n_t` output tile through the array.
+    #[allow(clippy::too_many_arguments)]
+    fn run_tile(
+        &mut self,
+        a: &DenseMatrix,
+        b: &DenseMatrix,
+        c: &mut DenseMatrix,
+        row0: usize,
+        m_t: usize,
+        col0: usize,
+        n_t: usize,
+    ) {
+        let k_phys = self.geom.rows;
+        let k_total = a.cols();
+        let waves = k_total.div_ceil(k_phys);
+
+        // Weight planes: wave w holds B[w*k .. w*k+k_t, col0..col0+n_t],
+        // zero-padded to the physical array.
+        let mut planes: Vec<Vec<f32>> = Vec::with_capacity(waves);
+        let mut k_ts: Vec<usize> = Vec::with_capacity(waves);
+        for w in 0..waves {
+            let k_t = (k_total - w * k_phys).min(k_phys);
+            k_ts.push(k_t);
+            let mut plane = vec![0.0f32; k_phys * n_t];
+            for r in 0..k_t {
+                for cc in 0..n_t {
+                    plane[r * n_t + cc] = b.get(w * k_phys + r, col0 + cc);
+                }
+            }
+            planes.push(plane);
+        }
+
+        // Wave start times: baseline reloads weights between waves; double
+        // buffering hides the load behind the previous wave's stream.
+        let mut starts = Vec::with_capacity(waves);
+        let mut t = k_ts[0] as u64; // initial fill
+        for w in 0..waves {
+            starts.push(t);
+            if w + 1 < waves {
+                let next_load = k_ts[w + 1] as u64;
+                t += if self.double_buffered {
+                    m_t as u64 + next_load.saturating_sub(m_t as u64)
+                } else {
+                    m_t as u64 + next_load
+                };
+            }
+        }
+        let last_start = *starts.last().expect("at least one wave");
+        let total_t = last_start + m_t as u64 + (k_phys + n_t - 1) as u64;
+
+        // Register planes: operands moving right, partial sums moving down.
+        let mut a_regs: Vec<Option<Moving>> = vec![None; k_phys * n_t];
+        let mut psums: Vec<f32> = vec![0.0; k_phys * n_t];
+
+        for t in 0..total_t {
+            let mut new_a: Vec<Option<Moving>> = vec![None; k_phys * n_t];
+            let mut new_p: Vec<f32> = vec![0.0; k_phys * n_t];
+            for r in 0..k_phys {
+                for cc in 0..n_t {
+                    let arriving = if cc == 0 {
+                        self.input_at(a, row0, m_t, &starts, t, r)
+                    } else {
+                        a_regs[r * n_t + cc - 1]
+                    };
+                    let above = if r == 0 { 0.0 } else { psums[(r - 1) * n_t + cc] };
+                    match arriving {
+                        Some(m) => {
+                            let w_val = planes[m.wave][r * n_t + cc];
+                            self.stats.macs += 1;
+                            if m.value == 0.0 || w_val == 0.0 {
+                                self.stats.zero_skipped += 1;
+                            }
+                            new_p[r * n_t + cc] = above + m.value * w_val;
+                            new_a[r * n_t + cc] = Some(m);
+                        }
+                        None => {
+                            new_p[r * n_t + cc] = above;
+                        }
+                    }
+                    // Collect finished partial sums at the bottom edge.
+                    if r == k_phys - 1 {
+                        if let Some(m) = arriving {
+                            let prev = c.get(row0 + m.out_row, col0 + cc);
+                            c.set(row0 + m.out_row, col0 + cc, prev + new_p[r * n_t + cc]);
+                        }
+                    }
+                }
+            }
+            a_regs = new_a;
+            psums = new_p;
+        }
+        self.stats.cycles += total_t;
+    }
+
+    /// The skewed operand entering physical row `r` at cycle `t`, if any:
+    /// wave `w`'s tile row `i` enters row `r` at `starts[w] + i + r`.
+    fn input_at(
+        &self,
+        a: &DenseMatrix,
+        row0: usize,
+        m_t: usize,
+        starts: &[u64],
+        t: u64,
+        r: usize,
+    ) -> Option<Moving> {
+        let k_phys = self.geom.rows;
+        for (w, &s) in starts.iter().enumerate() {
+            let rel = t.checked_sub(s + r as u64)?;
+            if (rel as usize) < m_t {
+                let i = rel as usize;
+                let k_col = w * k_phys + r;
+                let value = if k_col < a.cols() { a.get(row0 + i, k_col) } else { 0.0 };
+                return Some(Moving { value, out_row: i, wave: w });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::gemm_cycles_isolated;
+
+    fn geom(rows: usize, cols: usize, tile_rows: usize) -> ArrayGeometry {
+        ArrayGeometry { rows, cols, tile_rows }
+    }
+
+    fn filled(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn single_wave_matches_reference() {
+        let g = geom(4, 4, 8);
+        let a = filled(3, 4, |r, c| (r * 4 + c) as f32);
+        let b = filled(4, 4, |r, c| ((r + 2 * c) % 5) as f32);
+        let mut arr = FunctionalArray::new(g, true);
+        let c = arr.multiply(&a, &b);
+        assert!(c.max_abs_diff(&a.matmul(&b)) < 1e-5);
+    }
+
+    #[test]
+    fn multi_wave_multi_tile_matches_reference() {
+        let g = geom(4, 3, 5);
+        // K = 10 (3 waves), Gh = 12 (3 row tiles), Gw = 7 (3 col strips).
+        let a = filled(12, 10, |r, c| ((r * 7 + c * 3) % 11) as f32 - 5.0);
+        let b = filled(10, 7, |r, c| ((r * 5 + c) % 7) as f32 - 3.0);
+        for db in [false, true] {
+            let mut arr = FunctionalArray::new(g, db);
+            let c = arr.multiply(&a, &b);
+            assert!(c.max_abs_diff(&a.matmul(&b)) < 1e-4, "db={db}");
+        }
+    }
+
+    #[test]
+    fn cycle_counts_match_analytic_model() {
+        for (gh, gw, k) in [(5, 4, 4), (8, 3, 10), (12, 7, 9), (3, 9, 17)] {
+            let g = geom(4, 3, 5);
+            let dims = GemmDims::new(gh, gw, k);
+            for db in [false, true] {
+                let a = filled(gh, k, |r, c| (r + c) as f32);
+                let b = filled(k, gw, |r, c| (r * c % 3) as f32);
+                let mut arr = FunctionalArray::new(g, db);
+                let _ = arr.multiply(&a, &b);
+                let analytic = gemm_cycles_isolated(dims, g, db);
+                assert_eq!(
+                    arr.stats().cycles,
+                    analytic.cycles,
+                    "dims {dims:?} db={db}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_buffering_is_faster_and_identical() {
+        let g = geom(4, 4, 6);
+        let a = filled(18, 13, |r, c| ((r + c) % 4) as f32);
+        let b = filled(13, 9, |r, c| ((r * 2 + c) % 5) as f32);
+        let mut base = FunctionalArray::new(g, false);
+        let mut opt = FunctionalArray::new(g, true);
+        let cb = base.multiply(&a, &b);
+        let co = opt.multiply(&a, &b);
+        assert!(cb.max_abs_diff(&co) < 1e-5);
+        assert!(opt.stats().cycles < base.stats().cycles);
+    }
+
+    #[test]
+    fn zero_skip_counts_zero_operands() {
+        let g = geom(4, 4, 8);
+        let a = DenseMatrix::zeros(4, 4); // all zero operands
+        let b = filled(4, 4, |_, _| 1.0);
+        let mut arr = FunctionalArray::new(g, true);
+        let _ = arr.multiply(&a, &b);
+        let s = arr.stats();
+        assert_eq!(s.macs, s.zero_skipped);
+        assert!(s.macs > 0);
+    }
+
+    #[test]
+    fn identity_weights_pass_rows_through() {
+        let g = geom(4, 4, 8);
+        let a = filled(6, 4, |r, c| (r * 4 + c) as f32);
+        let eye = filled(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
+        let mut arr = FunctionalArray::new(g, true);
+        let c = arr.multiply(&a, &eye);
+        assert!(c.max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let g = geom(4, 4, 8);
+        let mut arr = FunctionalArray::new(g, true);
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(4, 2);
+        let _ = arr.multiply(&a, &b);
+    }
+}

@@ -1,0 +1,114 @@
+//! Integration probes pinning the *shape* of the paper's Figs. 10a/10b,
+//! 13 and 14 (who wins, by roughly what factor).
+
+use mbs_cnn::networks::{alexnet, inception_v3, resnet};
+use mbs_core::{ExecConfig, HardwareConfig, MemoryKind};
+use mbs_wavecore::{GpuModel, WaveCore};
+
+#[test]
+fn fig10a_resnet50_speedups() {
+    let wc = WaveCore::new(HardwareConfig::default());
+    let net = resnet(50);
+    let times: Vec<(ExecConfig, f64)> = ExecConfig::all()
+        .into_iter()
+        .map(|c| (c, wc.simulate(&net, c).time_s))
+        .collect();
+    let base = times[0].1;
+    let arch = times[1].1;
+    for (c, t) in &times {
+        println!(
+            "ResNet50 {c}: {:.2} ms  speedup vs base {:.2} vs archopt {:.2}",
+            t * 1e3,
+            base / t,
+            arch / t
+        );
+    }
+    let get = |c: ExecConfig| times.iter().find(|(k, _)| *k == c).unwrap().1;
+    // Paper: ArchOpt 1.09, IL 1.21, MBS-FS 1.60, MBS1 1.77, MBS2 1.81 (vs
+    // Baseline).
+    assert!(base / get(ExecConfig::ArchOpt) > 1.03);
+    assert!(base / get(ExecConfig::Mbs1) > 1.4);
+    assert!(base / get(ExecConfig::Mbs2) > 1.5);
+    assert!(get(ExecConfig::Mbs2) <= get(ExecConfig::Mbs1) * 1.001);
+}
+
+#[test]
+fn fig10b_resnet50_energy() {
+    let wc = WaveCore::new(HardwareConfig::default());
+    let net = resnet(50);
+    let base = wc.simulate(&net, ExecConfig::Baseline);
+    for c in ExecConfig::all() {
+        let r = wc.simulate(&net, c);
+        println!(
+            "ResNet50 {c}: {:.2} J  ratio {:.3}  dram-share {:.3}",
+            r.energy_j(),
+            r.energy_j() / base.energy_j(),
+            r.energy.dram_share()
+        );
+    }
+    // Paper: Baseline DRAM share 21.6%, MBS1 8.7%; MBS2 energy 0.70x. Our
+    // energy model attributes a larger share to DRAM (we do not model the
+    // paper's flip-flop/NoC dynamic energy in the per-step accounting), so
+    // the acceptance band is wider; the orderings and savings magnitudes
+    // hold.
+    let share = base.energy.dram_share();
+    assert!((0.12..0.45).contains(&share), "baseline dram share {share}");
+    let mbs2 = wc.simulate(&net, ExecConfig::Mbs2);
+    let ratio = mbs2.energy_j() / base.energy_j();
+    assert!((0.55..0.9).contains(&ratio), "mbs2 energy ratio {ratio}");
+}
+
+#[test]
+fn fig14_utilization() {
+    let wc = WaveCore::new(HardwareConfig::default());
+    for net in [resnet(50), inception_v3(), alexnet()] {
+        for c in [
+            ExecConfig::Baseline,
+            ExecConfig::ArchOpt,
+            ExecConfig::MbsFs,
+            ExecConfig::Mbs1,
+            ExecConfig::Mbs2,
+        ] {
+            let r = wc.simulate(&net, c);
+            println!("{} {c}: util {:.3}", net.name(), r.utilization);
+        }
+    }
+    // Paper averages: Baseline 53.8%, ArchOpt 81.5%, MBS-FS 66.7%,
+    // MBS1/MBS2 78.6%.
+    let net = resnet(50);
+    let base = wc.simulate(&net, ExecConfig::Baseline).utilization;
+    let arch = wc.simulate(&net, ExecConfig::ArchOpt).utilization;
+    let fs = wc.simulate(&net, ExecConfig::MbsFs).utilization;
+    let mbs2 = wc.simulate(&net, ExecConfig::Mbs2).utilization;
+    assert!((0.40..0.70).contains(&base), "baseline util {base}");
+    assert!(arch > base + 0.1, "archopt util {arch}");
+    assert!(fs < arch, "fs {fs} should lose utilization vs archopt {arch}");
+    assert!(mbs2 > fs, "mbs2 {mbs2} regains utilization over fs {fs}");
+}
+
+#[test]
+fn fig13_v100_comparison() {
+    let gpu = GpuModel::v100();
+    for kind in [MemoryKind::Hbm2X2, MemoryKind::Gddr5, MemoryKind::Lpddr4] {
+        let hw = HardwareConfig::default().with_memory(kind);
+        let wc = WaveCore::new(hw);
+        for net in [resnet(50), resnet(152)] {
+            let w = wc.simulate(&net, ExecConfig::Mbs2);
+            let v = gpu.step_time(&net, net.default_batch() * 2);
+            println!(
+                "{} {kind:?}: wavecore {:.1} ms, V100 {:.1} ms, speedup {:.2}",
+                net.name(),
+                w.time_s * 1e3,
+                v * 1e3,
+                v / w.time_s
+            );
+        }
+    }
+    // Paper: WaveCore+MBS2 beats V100 by 1.06-1.27x across memories.
+    let wc = WaveCore::new(HardwareConfig::default().with_memory(MemoryKind::Hbm2X2));
+    let net = resnet(50);
+    let w = wc.simulate(&net, ExecConfig::Mbs2);
+    let v = gpu.step_time(&net, 64);
+    let speedup = v / w.time_s;
+    assert!((1.0..1.6).contains(&speedup), "speedup over V100 {speedup}");
+}

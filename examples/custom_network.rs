@@ -1,0 +1,56 @@
+//! Define your own CNN with the IR builder, schedule it with MBS, and
+//! inspect the traffic/time trade-offs — the workflow a downstream user
+//! would follow for a network that is not in the zoo.
+//!
+//! ```sh
+//! cargo run --release --example custom_network
+//! ```
+
+use mbs::cnn::{Block, FeatureShape, Layer, NetworkBuilder, Node, NormKind, PoolKind};
+use mbs::core::{analyze, ExecConfig, HardwareConfig, MbsScheduler};
+use mbs::wavecore::WaveCore;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A VGG-ish stem with one residual block, for 128x128 inputs.
+    let mut b = NetworkBuilder::new("CustomNet", FeatureShape::new(3, 128, 128), 16)
+        .conv("conv1", 32, 3, 1, 1)?
+        .norm("norm1", NormKind::Group { groups: 8 })
+        .relu("relu1")
+        .pool("pool1", PoolKind::Max, 2, 2, 0)?;
+
+    // Hand-built residual block: two 3x3 convs + identity shortcut.
+    let input = b.shape();
+    let c1 = Layer::conv("res.1.conv", input, 32, 3, 1, 1)?;
+    let n1 = Layer::norm("res.1.norm", c1.output, NormKind::Group { groups: 8 });
+    let r1 = Layer::relu("res.1.relu", n1.output);
+    let c2 = Layer::conv("res.2.conv", r1.output, 32, 3, 1, 1)?;
+    let n2 = Layer::norm("res.2.norm", c2.output, NormKind::Group { groups: 8 });
+    let block = Block::residual("res", input, vec![c1, n1, r1, c2, n2], vec![])?;
+    b = b.push(Node::Block(block));
+
+    let net = b
+        .conv("conv2", 64, 3, 2, 1)?
+        .norm("norm2", NormKind::Group { groups: 8 })
+        .relu("relu2")
+        .global_avg_pool("gap")
+        .fully_connected("fc", 10)
+        .build();
+
+    println!("{net}");
+
+    let hw = HardwareConfig::default();
+    for cfg in [ExecConfig::Baseline, ExecConfig::Mbs1, ExecConfig::Mbs2] {
+        let schedule = MbsScheduler::new(&net, &hw, cfg).schedule();
+        let traffic = analyze(&net, &schedule, hw.global_buffer_bytes);
+        let report = WaveCore::new(hw).simulate_scheduled(&net, &schedule);
+        println!(
+            "{:<9} groups {:>2}  traffic {:>7.1} MB  time {:>6.2} ms  util {:.2}",
+            cfg.label(),
+            schedule.groups().len(),
+            traffic.dram_bytes() as f64 / 1e6,
+            report.time_s * 1e3,
+            report.utilization
+        );
+    }
+    Ok(())
+}

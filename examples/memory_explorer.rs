@@ -1,0 +1,73 @@
+//! Design-space exploration: can a cheaper, slower memory system train your
+//! network as fast as HBM2? (The paper's Fig. 12 motivation: MBS makes
+//! WaveCore robust to the memory system, so LPDDR4 becomes viable.)
+//!
+//! ```sh
+//! cargo run --release --example memory_explorer [resnet50|resnet101|resnet152|inception_v3|inception_v4|alexnet]
+//! ```
+
+use mbs::cnn::networks;
+use mbs::cnn::Network;
+use mbs::core::{ExecConfig, HardwareConfig, MemoryKind};
+use mbs::wavecore::WaveCore;
+
+fn pick_network(name: &str) -> Network {
+    match name {
+        "resnet50" => networks::resnet(50),
+        "resnet101" => networks::resnet(101),
+        "resnet152" => networks::resnet(152),
+        "inception_v3" => networks::inception_v3(),
+        "inception_v4" => networks::inception_v4(),
+        "alexnet" => networks::alexnet(),
+        other => {
+            eprintln!("unknown network {other}, using resnet50");
+            networks::resnet(50)
+        }
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "resnet50".to_owned());
+    let net = pick_network(&name);
+    println!("Exploring memory systems for {} (MBS2 vs Baseline):\n", net.name());
+    println!(
+        "{:<8} {:>12} {:>14} {:>14} {:>10}",
+        "memory", "BW (GiB/s)", "baseline (ms)", "MBS2 (ms)", "MBS2 win"
+    );
+
+    let mut best: Option<(MemoryKind, f64)> = None;
+    for kind in [MemoryKind::Hbm2X2, MemoryKind::Hbm2, MemoryKind::Gddr5, MemoryKind::Lpddr4] {
+        let hw = HardwareConfig::default().with_memory(kind);
+        let bw = hw.memory.total_bw_gib_s();
+        let wc = WaveCore::new(hw);
+        let base = wc.simulate(&net, ExecConfig::Baseline);
+        let mbs = wc.simulate(&net, ExecConfig::Mbs2);
+        println!(
+            "{:<8} {:>12.1} {:>14.1} {:>14.1} {:>9.2}x",
+            format!("{kind:?}"),
+            bw,
+            base.time_s * 1e3,
+            mbs.time_s * 1e3,
+            base.time_s / mbs.time_s
+        );
+        let better = best.is_none_or(|(_, t)| mbs.time_s < t * 0.98);
+        if better {
+            best = Some((kind, mbs.time_s));
+        }
+    }
+
+    // The punchline the paper makes: compare the cheapest memory under MBS
+    // with the most expensive under the conventional flow.
+    let lp = WaveCore::new(HardwareConfig::default().with_memory(MemoryKind::Lpddr4))
+        .simulate(&net, ExecConfig::Mbs2);
+    let hbm_base = WaveCore::new(HardwareConfig::default().with_memory(MemoryKind::Hbm2X2))
+        .simulate(&net, ExecConfig::Baseline);
+    println!(
+        "\nMBS2 on mobile-class LPDDR4: {:.1} ms vs conventional training on 2xHBM2: {:.1} ms",
+        lp.time_s * 1e3,
+        hbm_base.time_s * 1e3
+    );
+    if lp.time_s < hbm_base.time_s {
+        println!("=> the cheap memory system wins once MBS removes the bandwidth pressure.");
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: schedule ResNet50 with MBS and simulate one training step on
+//! WaveCore.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mbs::cnn::networks::resnet;
+use mbs::core::{analyze, ExecConfig, HardwareConfig, MbsScheduler};
+use mbs::wavecore::WaveCore;
+
+fn main() {
+    let net = resnet(50);
+    let hw = HardwareConfig::default();
+
+    // 1. Build the MBS schedule: layer groups with per-group sub-batches.
+    let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs2).schedule();
+    println!("{}", schedule.describe(&net));
+
+    // 2. Analyze DRAM traffic against the conventional baseline.
+    let baseline = MbsScheduler::new(&net, &hw, ExecConfig::Baseline).schedule();
+    let t_base = analyze(&net, &baseline, hw.global_buffer_bytes);
+    let t_mbs = analyze(&net, &schedule, hw.global_buffer_bytes);
+    println!(
+        "DRAM traffic/step: baseline {:.2} GB -> MBS2 {:.2} GB ({:.1}x reduction)",
+        t_base.dram_bytes() as f64 / 1e9,
+        t_mbs.dram_bytes() as f64 / 1e9,
+        t_base.dram_bytes() as f64 / t_mbs.dram_bytes() as f64
+    );
+
+    // 3. Simulate the accelerator: time, energy, utilization.
+    let wc = WaveCore::new(hw);
+    let base = wc.simulate(&net, ExecConfig::Baseline);
+    let mbs = wc.simulate(&net, ExecConfig::Mbs2);
+    println!(
+        "Step time: baseline {:.1} ms -> MBS2 {:.1} ms (speedup {:.2}x)",
+        base.time_s * 1e3,
+        mbs.time_s * 1e3,
+        base.time_s / mbs.time_s
+    );
+    println!(
+        "Energy: {:.2} J -> {:.2} J; systolic utilization {:.1}% -> {:.1}%",
+        base.energy_j(),
+        mbs.energy_j(),
+        100.0 * base.utilization,
+        100.0 * mbs.utilization
+    );
+}

@@ -1,0 +1,35 @@
+//! Multi-accelerator scale-out (paper §4.2): each WaveCore trains a shard
+//! of the global mini-batch with MBS locally; devices synchronize only for
+//! the gradient all-reduce.
+//!
+//! ```sh
+//! cargo run --release --example scale_out
+//! ```
+
+use mbs::cnn::networks::resnet;
+use mbs::core::{ExecConfig, HardwareConfig};
+use mbs::wavecore::{weak_scaling, Interconnect};
+
+fn main() {
+    let net = resnet(50);
+    let hw = HardwareConfig::default();
+    for (name, link) in [("fabric (100 GB/s)", Interconnect::fabric()), ("PCIe3 (12 GB/s)", Interconnect::pcie3())]
+    {
+        println!("ResNet50 weak scaling over {name}:");
+        println!(
+            "{:>8} {:>13} {:>10} {:>14} {:>11}",
+            "devices", "global batch", "step ms", "samples/s", "efficiency"
+        );
+        for p in weak_scaling(&net, ExecConfig::Mbs2, &hw, link, &[1, 2, 4, 8, 16, 32]) {
+            println!(
+                "{:>8} {:>13} {:>10.2} {:>14.0} {:>10.1}%",
+                p.devices,
+                p.global_batch,
+                p.time_s * 1e3,
+                p.samples_per_s,
+                100.0 * p.efficiency
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's abstract-level claims, asserted end to end:
+//! "Combined, WaveCore and MBS reduce DRAM traffic by 75%, improve
+//! performance by 53%, and save 26% system energy for modern deep CNN
+//! training compared to conventional training mechanisms and accelerators."
+
+use mbs::core::{ExecConfig, HardwareConfig};
+use mbs::wavecore::WaveCore;
+
+/// Geometric-mean helper.
+fn gmean(values: &[f64]) -> f64 {
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[test]
+fn abstract_headline_numbers() {
+    let wc = WaveCore::new(HardwareConfig::default());
+    let deep: Vec<_> = mbs::cnn::networks::evaluation_suite()
+        .into_iter()
+        .filter(|n| n.name() != "AlexNet")
+        .collect();
+
+    let mut traffic_reduction = Vec::new();
+    let mut speedup = Vec::new();
+    let mut energy_saving = Vec::new();
+    for net in &deep {
+        let base = wc.simulate(net, ExecConfig::Baseline);
+        let mbs2 = wc.simulate(net, ExecConfig::Mbs2);
+        traffic_reduction.push(1.0 - mbs2.dram_bytes as f64 / base.dram_bytes as f64);
+        speedup.push(base.time_s / mbs2.time_s);
+        energy_saving.push(1.0 - mbs2.energy_j() / base.energy_j());
+    }
+
+    // Paper: ~75% traffic reduction (4.0x), ~53% performance improvement,
+    // ~26% energy saving, averaged over the deep CNNs.
+    let t = traffic_reduction.iter().sum::<f64>() / traffic_reduction.len() as f64;
+    assert!((0.60..0.85).contains(&t), "mean traffic reduction {t}");
+
+    let s = gmean(&speedup);
+    assert!((1.35..2.3).contains(&s), "gmean speedup {s}");
+
+    let e = energy_saving.iter().sum::<f64>() / energy_saving.len() as f64;
+    assert!((0.18..0.50).contains(&e), "mean energy saving {e}");
+}
+
+#[test]
+fn per_network_bands_from_section1() {
+    // §1: "MBS saves DRAM accesses by 78%, 71%, 74%, improves training
+    // performance by 66%, 36%, 40% ... for ResNet50, Inception v3 and v4".
+    let wc = WaveCore::new(HardwareConfig::default());
+    let cases = [
+        ("ResNet50", 0.78, 0.66),
+        ("InceptionV3", 0.71, 0.36),
+        ("InceptionV4", 0.74, 0.40),
+    ];
+    for (name, paper_traffic, paper_speedup) in cases {
+        let net = mbs::cnn::networks::evaluation_suite()
+            .into_iter()
+            .find(|n| n.name() == name)
+            .expect("network in suite");
+        let base = wc.simulate(&net, ExecConfig::ArchOpt);
+        let mbs2 = wc.simulate(&net, ExecConfig::Mbs2);
+        let traffic = 1.0 - mbs2.dram_bytes as f64 / base.dram_bytes as f64;
+        let speed = base.time_s / mbs2.time_s - 1.0;
+        // Shape check: within +-0.15 absolute of the paper's reductions and
+        // the speedup at least the same sign/regime.
+        assert!(
+            (traffic - paper_traffic).abs() < 0.15,
+            "{name}: traffic reduction {traffic} vs paper {paper_traffic}"
+        );
+        assert!(
+            speed > paper_speedup * 0.5,
+            "{name}: speedup gain {speed} vs paper {paper_speedup}"
+        );
+    }
+}
+
+#[test]
+fn lpddr4_viability_claim() {
+    // §1: "even with 60% less memory bandwidth, training performance is
+    // still 24% above the baseline design" (LPDDR4 vs HBM2-baseline).
+    use mbs::core::MemoryKind;
+    let net = mbs::cnn::networks::resnet(50);
+    let base_hbm = WaveCore::new(HardwareConfig::default())
+        .simulate(&net, ExecConfig::Baseline);
+    let mbs_lp = WaveCore::new(HardwareConfig::default().with_memory(MemoryKind::Lpddr4))
+        .simulate(&net, ExecConfig::Mbs2);
+    let gain = base_hbm.time_s / mbs_lp.time_s - 1.0;
+    assert!(gain > 0.2, "LPDDR4+MBS2 vs HBM2 baseline gain {gain}");
+}
