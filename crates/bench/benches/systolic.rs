@@ -8,7 +8,11 @@ use mbs_wavecore::systolic::{DenseMatrix, FunctionalArray};
 use mbs_wavecore::tile::{gemm_cycles, ArrayGeometry};
 
 fn bench_systolic(c: &mut Criterion) {
-    let geom = ArrayGeometry { rows: 8, cols: 8, tile_rows: 16 };
+    let geom = ArrayGeometry {
+        rows: 8,
+        cols: 8,
+        tile_rows: 16,
+    };
     let a = DenseMatrix::from_vec(32, 24, (0..768).map(|v| (v % 11) as f32).collect());
     let b = DenseMatrix::from_vec(24, 16, (0..384).map(|v| (v % 7) as f32).collect());
 
@@ -18,7 +22,9 @@ fn bench_systolic(c: &mut Criterion) {
             arr.multiply(&a, &b)
         })
     });
-    c.bench_function("reference_matmul_32x24x16", |bench| bench.iter(|| a.matmul(&b)));
+    c.bench_function("reference_matmul_32x24x16", |bench| {
+        bench.iter(|| a.matmul(&b))
+    });
     c.bench_function("analytic_cycles_resnet_conv", |bench| {
         let dims = GemmDims::new(32 * 56 * 56, 64, 576);
         let g = ArrayGeometry::wavecore();

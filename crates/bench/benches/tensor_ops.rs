@@ -1,40 +1,11 @@
-//! Criterion bench: tensor substrate operators (conv forward paths and the
-//! training GEMMs).
+//! Criterion bench: tensor substrate operators (fused conv paths, the
+//! training GEMMs, and their naive baselines). Bodies live in
+//! `mbs_bench::suites` so the quick-mode `bench` binary runs the same
+//! measurements.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main};
 
-use mbs_tensor::ops::{
-    conv2d, conv2d_backward_data, conv2d_backward_weights, conv2d_naive, matmul, Conv2dCfg,
-};
-use mbs_tensor::Tensor;
+use mbs_bench::suites::tensor_ops;
 
-fn tensor(shape: &[usize], salt: usize) -> Tensor {
-    let len: usize = shape.iter().product();
-    Tensor::from_vec(
-        shape,
-        (0..len).map(|v| (((v * 7 + salt) % 17) as f32 - 8.0) / 4.0).collect(),
-    )
-}
-
-fn bench_tensor_ops(c: &mut Criterion) {
-    let cfg = Conv2dCfg::square(3, 1, 1);
-    let x = tensor(&[4, 8, 16, 16], 1);
-    let w = tensor(&[16, 8, 3, 3], 2);
-    let dy = tensor(&[4, 16, 16, 16], 3);
-
-    c.bench_function("conv2d_im2col", |b| b.iter(|| conv2d(&x, &w, cfg)));
-    c.bench_function("conv2d_naive", |b| b.iter(|| conv2d_naive(&x, &w, cfg)));
-    c.bench_function("conv2d_backward_data", |b| {
-        b.iter(|| conv2d_backward_data(&dy, &w, x.shape(), cfg))
-    });
-    c.bench_function("conv2d_backward_weights", |b| {
-        b.iter(|| conv2d_backward_weights(&x, &dy, cfg))
-    });
-
-    let a = tensor(&[128, 128], 4);
-    let bm = tensor(&[128, 128], 5);
-    c.bench_function("matmul_128", |b| b.iter(|| matmul(&a, &bm)));
-}
-
-criterion_group!(benches, bench_tensor_ops);
+criterion_group!(benches, tensor_ops);
 criterion_main!(benches);

@@ -1,33 +1,11 @@
 //! Criterion bench: substrate training steps — full-batch vs MBS
-//! serialized (same arithmetic, different propagation order).
+//! serialized (same arithmetic, different propagation order) at the Fig. 6
+//! batch configuration. Bodies live in `mbs_bench::suites` so the
+//! quick-mode `bench` binary runs the same measurements.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use criterion::{criterion_group, criterion_main};
 
-use mbs_train::data::generate;
-use mbs_train::executor::{train_step_full, train_step_mbs};
-use mbs_train::model::MiniResNet;
-use mbs_train::norm::NormChoice;
-use mbs_train::optim::Sgd;
+use mbs_bench::suites::training_step;
 
-fn bench_training(c: &mut Criterion) {
-    let d = generate(8, 8, 0.3, 55);
-
-    c.bench_function("train_step_full_batch8", |b| {
-        let mut m =
-            MiniResNet::new(3, 4, 1, NormChoice::Group(4), &mut StdRng::seed_from_u64(1));
-        let mut opt = Sgd::new(0.05, 0.9, 1e-4);
-        b.iter(|| train_step_full(&mut m, &d.images, &d.labels, &mut opt))
-    });
-
-    c.bench_function("train_step_mbs_sub2", |b| {
-        let mut m =
-            MiniResNet::new(3, 4, 1, NormChoice::Group(4), &mut StdRng::seed_from_u64(1));
-        let mut opt = Sgd::new(0.05, 0.9, 1e-4);
-        b.iter(|| train_step_mbs(&mut m, &d.images, &d.labels, 2, &mut opt))
-    });
-}
-
-criterion_group!(benches, bench_training);
+criterion_group!(benches, training_step);
 criterion_main!(benches);

@@ -66,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", ablation::render(&ab));
     write_json(&dir, "ablation_grouping", &ab)?;
 
-    let scale = if quick { fig06::Scale::Quick } else { fig06::Scale::Full };
+    let scale = if quick {
+        fig06::Scale::Quick
+    } else {
+        fig06::Scale::Full
+    };
     let f6 = fig06::run(scale);
     println!("{}", fig06::render(&f6));
     write_json(&dir, "fig06", &f6)?;

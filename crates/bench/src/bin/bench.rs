@@ -1,0 +1,89 @@
+//! Quick-mode bench runner: executes the tensor-ops and training-step
+//! Criterion suites with short measurement windows and writes
+//! `BENCH_tensor.json` (measurements plus blocked-vs-naive speedup ratios)
+//! so the perf trajectory is tracked from PR to PR.
+//!
+//! ```text
+//! cargo run --release -p mbs-bench --bin bench [-- <out_dir>]
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use criterion::Criterion;
+use serde::Serialize;
+
+/// The report written to `BENCH_tensor.json`.
+#[derive(Debug, Clone, Serialize)]
+struct Report {
+    /// GEMM worker threads the kernels ran with.
+    threads: usize,
+    /// Raw measurements from both suites.
+    measurements: Vec<criterion::Measurement>,
+    /// `blocked-vs-naive` mean-time ratios (naive / blocked; >1 is a win).
+    speedups: Vec<Speedup>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Speedup {
+    /// Blocked-kernel bench name.
+    fast: String,
+    /// Naive-reference bench name.
+    baseline: String,
+    /// `mean(baseline) / mean(fast)`.
+    ratio: f64,
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| ".".into());
+
+    let mut c = Criterion::with_quick(true);
+    println!("== tensor_ops (quick mode) ==");
+    mbs_bench::suites::tensor_ops(&mut c);
+    println!("== training_step (quick mode) ==");
+    mbs_bench::suites::training_step(&mut c);
+
+    let means: HashMap<&str, f64> = c
+        .measurements()
+        .iter()
+        .map(|m| (m.name.as_str(), m.mean_ns))
+        .collect();
+    let pairs = [
+        ("conv2d_im2col", "conv2d_naive"),
+        ("matmul_128", "matmul_naive_128"),
+        ("matmul_256", "matmul_naive_256"),
+    ];
+    let speedups: Vec<Speedup> = pairs
+        .iter()
+        .filter_map(|&(fast, baseline)| {
+            let (f, b) = (means.get(fast)?, means.get(baseline)?);
+            Some(Speedup {
+                fast: fast.to_string(),
+                baseline: baseline.to_string(),
+                ratio: b / f,
+            })
+        })
+        .collect();
+    for s in &speedups {
+        println!(
+            "speedup {:>24} vs {:<24} {:>6.2}x",
+            s.fast, s.baseline, s.ratio
+        );
+    }
+
+    let report = Report {
+        threads: mbs_tensor::ops::configured_threads(),
+        measurements: c.measurements().to_vec(),
+        speedups,
+    };
+    match mbs_bench::write_json(&out_dir, "BENCH_tensor", &report) {
+        Ok(()) => println!("wrote {}", out_dir.join("BENCH_tensor.json").display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_tensor.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -59,7 +59,12 @@ pub fn run() -> Ablation {
 /// Renders the ablation.
 pub fn render(a: &Ablation) -> String {
     let mut t = TextTable::new(&[
-        "network", "config", "greedy GB", "optimal GB", "gap %", "groups (g/o)",
+        "network",
+        "config",
+        "greedy GB",
+        "optimal GB",
+        "gap %",
+        "groups (g/o)",
     ]);
     for r in &a.rows {
         t.row(vec![
@@ -87,7 +92,13 @@ mod tests {
         let a = run();
         for r in &a.rows {
             assert!(r.gap_pct >= -1e-6, "{:?}", r);
-            assert!(r.gap_pct < 5.0, "{} {} gap {}", r.network, r.config, r.gap_pct);
+            assert!(
+                r.gap_pct < 5.0,
+                "{} {} gap {}",
+                r.network,
+                r.config,
+                r.gap_pct
+            );
         }
     }
 }

@@ -27,7 +27,11 @@ pub fn run() -> Fig03 {
     let mut layers = layer_footprints(&net, batch);
     layers.sort_by_key(|l| std::cmp::Reverse(l.inter_layer_bytes));
     let reuse = reuse_summary(&net, batch, 10 * 1024 * 1024);
-    Fig03 { batch, layers, reuse }
+    Fig03 {
+        batch,
+        layers,
+        reuse,
+    }
 }
 
 /// Renders the series like the paper's figure (top rows + summary).

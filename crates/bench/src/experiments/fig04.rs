@@ -67,7 +67,12 @@ pub fn run() -> Fig04 {
 /// Renders the rows.
 pub fn render(f: &Fig04) -> String {
     let mut t = TextTable::new(&[
-        "node", "tag", "MB/sample", "min iters", "MBS1 grp", "MBS2 grp",
+        "node",
+        "tag",
+        "MB/sample",
+        "min iters",
+        "MBS1 grp",
+        "MBS2 grp",
     ]);
     for r in &f.rows {
         t.row(vec![

@@ -55,12 +55,19 @@ pub fn run() -> Fig05 {
         baseline.describe(&net),
         mbs.describe(&net)
     );
-    Fig05 { batch: mbs.batch(), groups, description }
+    Fig05 {
+        batch: mbs.batch(),
+        groups,
+        description,
+    }
 }
 
 /// Renders the figure.
 pub fn render(f: &Fig05) -> String {
-    format!("Fig. 5 — ResNet50 training flow (batch {}):\n{}", f.batch, f.description)
+    format!(
+        "Fig. 5 — ResNet50 training flow (batch {}):\n{}",
+        f.batch, f.description
+    )
 }
 
 #[cfg(test)]
@@ -82,7 +89,11 @@ mod tests {
         // Paper Fig. 5 shows 4 groups with sub-batches growing 3 -> 16; our
         // grouping lands in the same regime.
         let f = run();
-        assert!((2..=8).contains(&f.groups.len()), "{} groups", f.groups.len());
+        assert!(
+            (2..=8).contains(&f.groups.len()),
+            "{} groups",
+            f.groups.len()
+        );
         let first = f.groups.first().unwrap().sizes[0];
         let last = f.groups.last().unwrap().sizes[0];
         assert!(last > first, "sub-batches should grow: {first} -> {last}");

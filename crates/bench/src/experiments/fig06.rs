@@ -76,7 +76,7 @@ pub fn run(scale: Scale) -> Fig06 {
     // error decays over tens of epochs instead of collapsing immediately
     // (mirroring the paper's 90-epoch ImageNet curves at our scale).
     let (n_train, n_val, size, epochs, milestones) = match scale {
-        Scale::Quick => (96, 48, 8, 6, vec![4]),
+        Scale::Quick => (96, 48, 8, 8, vec![5]),
         Scale::Full => (320, 160, 10, 30, vec![18, 26]),
     };
     let noise = match scale {
@@ -159,8 +159,14 @@ pub fn render(f: &Fig06) -> String {
             format!("{:.1}", f.gn_mbs[i].val_error_pct),
             format!("{:.1}", f.no_norm[i].val_error_pct),
             format!("{:+.2}/{:+.2}", f.bn[i].preact_first, f.bn[i].preact_last),
-            format!("{:+.2}/{:+.2}", f.gn_mbs[i].preact_first, f.gn_mbs[i].preact_last),
-            format!("{:+.2}/{:+.2}", f.no_norm[i].preact_first, f.no_norm[i].preact_last),
+            format!(
+                "{:+.2}/{:+.2}",
+                f.gn_mbs[i].preact_first, f.gn_mbs[i].preact_last
+            ),
+            format!(
+                "{:+.2}/{:+.2}",
+                f.no_norm[i].preact_first, f.no_norm[i].preact_last
+            ),
         ]);
     }
     format!(

@@ -153,7 +153,13 @@ mod tests {
         let f = run();
         // §6 summary: MBS2 cuts deep-CNN DRAM traffic by 71-78% and
         // improves performance 36-66% — we accept the same regime.
-        for net in ["ResNet50", "ResNet101", "ResNet152", "InceptionV3", "InceptionV4"] {
+        for net in [
+            "ResNet50",
+            "ResNet101",
+            "ResNet152",
+            "InceptionV3",
+            "InceptionV4",
+        ] {
             let m = cell(&f, net, "MBS2");
             assert!(
                 m.traffic_vs_archopt < 0.45,

@@ -13,8 +13,12 @@ use crate::table::{ratio, TextTable};
 pub const BUFFER_MIB: [usize; 5] = [5, 10, 20, 30, 40];
 
 /// The configurations compared.
-pub const CONFIGS: [ExecConfig; 4] =
-    [ExecConfig::InterLayer, ExecConfig::MbsFs, ExecConfig::Mbs1, ExecConfig::Mbs2];
+pub const CONFIGS: [ExecConfig; 4] = [
+    ExecConfig::InterLayer,
+    ExecConfig::MbsFs,
+    ExecConfig::Mbs1,
+    ExecConfig::Mbs2,
+];
 
 /// One sweep point.
 #[derive(Debug, Clone, Serialize)]
@@ -94,8 +98,7 @@ mod tests {
         // lot.
         let f = run();
         let il_swing = get(&f, "IL", 5).traffic_norm - get(&f, "IL", 40).traffic_norm;
-        let mbs_swing =
-            get(&f, "MBS2", 5).traffic_norm - get(&f, "MBS2", 40).traffic_norm;
+        let mbs_swing = get(&f, "MBS2", 5).traffic_norm - get(&f, "MBS2", 40).traffic_norm;
         assert!(il_swing > 2.0 * mbs_swing, "il {il_swing} mbs {mbs_swing}");
     }
 

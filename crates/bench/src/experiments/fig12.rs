@@ -12,8 +12,7 @@ use mbs_wavecore::WaveCore;
 use crate::table::{ms, ratio, TextTable};
 
 /// The memory systems swept.
-pub const MEMORIES: [MemoryKind; 3] =
-    [MemoryKind::Hbm2X2, MemoryKind::Gddr5, MemoryKind::Lpddr4];
+pub const MEMORIES: [MemoryKind; 3] = [MemoryKind::Hbm2X2, MemoryKind::Gddr5, MemoryKind::Lpddr4];
 
 /// The configurations compared.
 pub const CONFIGS: [ExecConfig; 4] = [
@@ -67,7 +66,10 @@ pub fn run() -> Fig12 {
             });
         }
     }
-    Fig12 { batch_per_core: batch, cells }
+    Fig12 {
+        batch_per_core: batch,
+        cells,
+    }
 }
 
 /// Renders the sweep with the layer-type breakdown.
@@ -127,8 +129,7 @@ mod tests {
         let f = run();
         // Paper: Baseline loses 39% moving HBM2x2 -> LPDDR4; MBS2 loses
         // <15%.
-        let base_drop =
-            get(&f, "Baseline", "Lpddr4").time_s / get(&f, "Baseline", "Hbm2X2").time_s;
+        let base_drop = get(&f, "Baseline", "Lpddr4").time_s / get(&f, "Baseline", "Hbm2X2").time_s;
         let mbs_drop = get(&f, "MBS2", "Lpddr4").time_s / get(&f, "MBS2", "Hbm2X2").time_s;
         assert!(base_drop > 1.2, "baseline drop {base_drop}");
         assert!(mbs_drop < 1.20, "mbs2 drop {mbs_drop}");

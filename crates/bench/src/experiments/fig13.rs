@@ -64,8 +64,7 @@ pub fn run() -> Fig13 {
 
 /// Renders the comparison.
 pub fn render(f: &Fig13) -> String {
-    let mut t =
-        TextTable::new(&["network", "memory", "WaveCore ms", "V100 ms", "speedup"]);
+    let mut t = TextTable::new(&["network", "memory", "WaveCore ms", "V100 ms", "speedup"]);
     for c in &f.cells {
         t.row(vec![
             c.network.clone(),

@@ -45,15 +45,19 @@ pub fn run() -> Fig14 {
                 .iter()
                 .map(|&c| wc.simulate(&net, c).utilization)
                 .collect();
-            Fig14Row { network: net.name().to_owned(), utilization }
+            Fig14Row {
+                network: net.name().to_owned(),
+                utilization,
+            }
         })
         .collect();
     let avg: Vec<f64> = (0..CONFIGS.len())
-        .map(|i| {
-            rows.iter().map(|r| r.utilization[i]).sum::<f64>() / rows.len() as f64
-        })
+        .map(|i| rows.iter().map(|r| r.utilization[i]).sum::<f64>() / rows.len() as f64)
         .collect();
-    rows.push(Fig14Row { network: "AVG".to_owned(), utilization: avg });
+    rows.push(Fig14Row {
+        network: "AVG".to_owned(),
+        utilization: avg,
+    });
     Fig14 { rows }
 }
 
@@ -68,7 +72,10 @@ pub fn render(f: &Fig14) -> String {
         row.extend(r.utilization.iter().map(|u| format!("{u:.3}")));
         t.row(row);
     }
-    format!("Fig. 14 — systolic array utilization (conv/FC layers):\n{}", t.render())
+    format!(
+        "Fig. 14 — systolic array utilization (conv/FC layers):\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

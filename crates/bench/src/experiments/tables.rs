@@ -71,7 +71,14 @@ pub fn tab02() -> Vec<AcceleratorSpec> {
 /// Renders Tab. 2.
 pub fn render_tab02(rows: &[AcceleratorSpec]) -> String {
     let mut t = TextTable::new(&[
-        "device", "nm", "die mm2", "GHz", "TOPS", "format", "peak W", "buffers MiB",
+        "device",
+        "nm",
+        "die mm2",
+        "GHz",
+        "TOPS",
+        "format",
+        "peak W",
+        "buffers MiB",
     ]);
     for r in rows {
         let opt = |v: f64, fmt: &dyn Fn(f64) -> String| {
@@ -83,7 +90,11 @@ pub fn render_tab02(rows: &[AcceleratorSpec]) -> String {
         };
         t.row(vec![
             r.name.clone(),
-            if r.technology_nm == 0 { "N/A".into() } else { r.technology_nm.to_string() },
+            if r.technology_nm == 0 {
+                "N/A".into()
+            } else {
+                r.technology_nm.to_string()
+            },
             opt(r.die_area_mm2, &|v| format!("{v:.1}")),
             format!("{:.2}", r.clock_ghz),
             format!("{:.0}", r.tops),
@@ -114,16 +125,25 @@ pub fn render_tab03(rows: &[(String, String)]) -> String {
 
 /// Tab. 4: memory configurations.
 pub fn tab04() -> Vec<MemoryConfig> {
-    [MemoryKind::Hbm2, MemoryKind::Hbm2X2, MemoryKind::Gddr5, MemoryKind::Lpddr4]
-        .into_iter()
-        .map(MemoryConfig::preset)
-        .collect()
+    [
+        MemoryKind::Hbm2,
+        MemoryKind::Hbm2X2,
+        MemoryKind::Gddr5,
+        MemoryKind::Lpddr4,
+    ]
+    .into_iter()
+    .map(MemoryConfig::preset)
+    .collect()
 }
 
 /// Renders Tab. 4.
 pub fn render_tab04(rows: &[MemoryConfig]) -> String {
     let mut t = TextTable::new(&[
-        "memory", "GiB/s per chip", "chips", "total BW GiB/s", "capacity GiB",
+        "memory",
+        "GiB/s per chip",
+        "chips",
+        "total BW GiB/s",
+        "capacity GiB",
     ]);
     for r in rows {
         t.row(vec![

@@ -7,6 +7,7 @@
 //! the whole suite and writes JSON reports.
 
 pub mod experiments;
+pub mod suites;
 pub mod table;
 
 use std::fs;

@@ -87,7 +87,15 @@ impl Block {
         }
         let merge = Layer::add(format!("{name}.add"), out);
         let post = vec![Layer::relu(format!("{name}.relu"), out)];
-        Ok(Self { name, kind: BlockKind::Residual, branches, merge, post, input, output: out })
+        Ok(Self {
+            name,
+            kind: BlockKind::Residual,
+            branches,
+            merge,
+            post,
+            input,
+            output: out,
+        })
     }
 
     /// Builds an inception block whose branches merge by concatenation.
@@ -108,8 +116,7 @@ impl Block {
             )));
         }
         validate_branches(input, &branches)?;
-        let outs: Vec<FeatureShape> =
-            branches.iter().map(|b| branch_output(input, b)).collect();
+        let outs: Vec<FeatureShape> = branches.iter().map(|b| branch_output(input, b)).collect();
         let (h, w) = (outs[0].height, outs[0].width);
         for o in &outs {
             if (o.height, o.width) != (h, w) {
@@ -119,10 +126,21 @@ impl Block {
             }
         }
         let total_c: usize = outs.iter().map(|o| o.channels).sum();
-        let merge =
-            Layer::concat(format!("{name}.concat"), FeatureShape::new(0, h, w), total_c);
+        let merge = Layer::concat(
+            format!("{name}.concat"),
+            FeatureShape::new(0, h, w),
+            total_c,
+        );
         let output = merge.output;
-        Ok(Self { name, kind: BlockKind::Inception, branches, merge, post: Vec::new(), input, output })
+        Ok(Self {
+            name,
+            kind: BlockKind::Inception,
+            branches,
+            merge,
+            post: Vec::new(),
+            input,
+            output,
+        })
     }
 
     /// Number of branches.
@@ -282,9 +300,20 @@ mod tests {
         FeatureShape::new(64, 56, 56)
     }
 
-    fn conv_norm_relu(prefix: &str, input: FeatureShape, co: usize, k: usize, stride: usize, pad: usize) -> Vec<Layer> {
+    fn conv_norm_relu(
+        prefix: &str,
+        input: FeatureShape,
+        co: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Vec<Layer> {
         let conv = Layer::conv(format!("{prefix}.conv"), input, co, k, stride, pad).unwrap();
-        let norm = Layer::norm(format!("{prefix}.norm"), conv.output, NormKind::Group { groups: 32 });
+        let norm = Layer::norm(
+            format!("{prefix}.norm"),
+            conv.output,
+            NormKind::Group { groups: 32 },
+        );
         let relu = Layer::relu(format!("{prefix}.relu"), norm.output);
         vec![conv, norm, relu]
     }

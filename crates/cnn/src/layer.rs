@@ -31,12 +31,20 @@ pub struct FeatureShape {
 impl FeatureShape {
     /// Creates a new shape.
     pub fn new(channels: usize, height: usize, width: usize) -> Self {
-        Self { channels, height, width }
+        Self {
+            channels,
+            height,
+            width,
+        }
     }
 
     /// Creates a `C × 1 × 1` vector shape (used for fully-connected layers).
     pub fn vector(channels: usize) -> Self {
-        Self { channels, height: 1, width: 1 }
+        Self {
+            channels,
+            height: 1,
+            width: 1,
+        }
     }
 
     /// Number of scalar elements per sample.
@@ -161,7 +169,10 @@ impl LayerKind {
             LayerKind::Conv { .. }
                 | LayerKind::FullyConnected
                 | LayerKind::Norm { .. }
-                | LayerKind::Pool { kind: PoolKind::Max, .. }
+                | LayerKind::Pool {
+                    kind: PoolKind::Max,
+                    ..
+                }
         )
     }
 }
@@ -174,7 +185,9 @@ pub struct ShapeError {
 
 impl ShapeError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -212,7 +225,12 @@ pub struct Layer {
     pub output: FeatureShape,
 }
 
-fn conv_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> Result<usize, ShapeError> {
+fn conv_extent(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<usize, ShapeError> {
     let padded = input + 2 * pad;
     if kernel == 0 || stride == 0 {
         return Err(ShapeError::new("kernel and stride must be non-zero"));
@@ -239,7 +257,14 @@ impl Layer {
         stride: usize,
         pad: usize,
     ) -> Result<Self, ShapeError> {
-        Self::conv_rect(name, input, out_channels, (kernel, kernel), stride, (pad, pad))
+        Self::conv_rect(
+            name,
+            input,
+            out_channels,
+            (kernel, kernel),
+            stride,
+            (pad, pad),
+        )
     }
 
     /// Builds a rectangular convolution layer (used by Inception's 1×7 / 7×1
@@ -262,7 +287,13 @@ impl Layer {
         let out_w = conv_extent(input.width, kernel_w, stride, pad_w)?;
         Ok(Self {
             name: name.into(),
-            kind: LayerKind::Conv { kernel_h, kernel_w, stride, pad_h, pad_w },
+            kind: LayerKind::Conv {
+                kernel_h,
+                kernel_w,
+                stride,
+                pad_h,
+                pad_w,
+            },
             input,
             output: FeatureShape::new(out_channels, out_h, out_w),
         })
@@ -285,7 +316,12 @@ impl Layer {
         let out_w = conv_extent(input.width, kernel, stride, pad)?;
         Ok(Self {
             name: name.into(),
-            kind: LayerKind::Pool { kind, kernel, stride, pad },
+            kind: LayerKind::Pool {
+                kind,
+                kernel,
+                stride,
+                pad,
+            },
             input,
             output: FeatureShape::new(input.channels, out_h, out_w),
         })
@@ -303,12 +339,22 @@ impl Layer {
 
     /// Builds a normalization layer (shape preserving).
     pub fn norm(name: impl Into<String>, input: FeatureShape, kind: NormKind) -> Self {
-        Self { name: name.into(), kind: LayerKind::Norm { kind }, input, output: input }
+        Self {
+            name: name.into(),
+            kind: LayerKind::Norm { kind },
+            input,
+            output: input,
+        }
     }
 
     /// Builds a ReLU activation layer (shape preserving).
     pub fn relu(name: impl Into<String>, input: FeatureShape) -> Self {
-        Self { name: name.into(), kind: LayerKind::Relu, input, output: input }
+        Self {
+            name: name.into(),
+            kind: LayerKind::Relu,
+            input,
+            output: input,
+        }
     }
 
     /// Builds a fully-connected layer over the flattened input.
@@ -327,15 +373,16 @@ impl Layer {
 
     /// Builds the element-wise sum layer at a residual merge point.
     pub fn add(name: impl Into<String>, input: FeatureShape) -> Self {
-        Self { name: name.into(), kind: LayerKind::Add, input, output: input }
+        Self {
+            name: name.into(),
+            kind: LayerKind::Add,
+            input,
+            output: input,
+        }
     }
 
     /// Builds a concat layer merging `branch_channels` into one tensor.
-    pub fn concat(
-        name: impl Into<String>,
-        spatial: FeatureShape,
-        total_channels: usize,
-    ) -> Self {
+    pub fn concat(name: impl Into<String>, spatial: FeatureShape, total_channels: usize) -> Self {
         Self {
             name: name.into(),
             kind: LayerKind::Concat,
@@ -347,9 +394,9 @@ impl Layer {
     /// Number of learnable parameter elements.
     pub fn param_elems(&self) -> usize {
         match self.kind {
-            LayerKind::Conv { kernel_h, kernel_w, .. } => {
-                self.output.channels * self.input.channels * kernel_h * kernel_w
-            }
+            LayerKind::Conv {
+                kernel_h, kernel_w, ..
+            } => self.output.channels * self.input.channels * kernel_h * kernel_w,
             LayerKind::FullyConnected => {
                 self.input.elems() * self.output.channels + self.output.channels
             }
@@ -367,9 +414,9 @@ impl Layer {
     /// Multiply-accumulate operations per sample in the forward pass.
     pub fn forward_macs(&self) -> usize {
         match self.kind {
-            LayerKind::Conv { kernel_h, kernel_w, .. } => {
-                self.output.elems() * self.input.channels * kernel_h * kernel_w
-            }
+            LayerKind::Conv {
+                kernel_h, kernel_w, ..
+            } => self.output.elems() * self.input.channels * kernel_h * kernel_w,
             LayerKind::FullyConnected => self.input.elems() * self.output.channels,
             LayerKind::Pool { kernel, .. } => self.output.elems() * kernel * kernel,
             LayerKind::GlobalAvgPool => self.input.elems(),
@@ -399,7 +446,14 @@ impl Layer {
 
 impl fmt::Display for Layer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}] {} -> {}", self.name, self.kind.type_tag(), self.input, self.output)
+        write!(
+            f,
+            "{} [{}] {} -> {}",
+            self.name,
+            self.kind.type_tag(),
+            self.input,
+            self.output
+        )
     }
 }
 
@@ -459,8 +513,13 @@ mod tests {
     #[test]
     fn backward_input_requirements() {
         let s = FeatureShape::new(8, 8, 8);
-        assert!(Layer::conv("c", s, 8, 3, 1, 1).unwrap().kind.needs_input_in_backward());
-        assert!(Layer::norm("n", s, NormKind::Batch).kind.needs_input_in_backward());
+        assert!(Layer::conv("c", s, 8, 3, 1, 1)
+            .unwrap()
+            .kind
+            .needs_input_in_backward());
+        assert!(Layer::norm("n", s, NormKind::Batch)
+            .kind
+            .needs_input_in_backward());
         assert!(!Layer::relu("r", s).kind.needs_input_in_backward());
         assert!(Layer::pool("p", s, PoolKind::Max, 2, 2, 0)
             .unwrap()

@@ -86,7 +86,11 @@ impl Network {
 
 impl fmt::Display for Network {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} (input {}, batch {})", self.name, self.input, self.default_batch)?;
+        writeln!(
+            f,
+            "{} (input {}, batch {})",
+            self.name, self.input, self.default_batch
+        )?;
         for node in &self.nodes {
             writeln!(f, "  {node}")?;
         }
@@ -127,7 +131,13 @@ impl NetworkBuilder {
     /// Starts a network with the given input shape and default per-core
     /// mini-batch size.
     pub fn new(name: impl Into<String>, input: FeatureShape, default_batch: usize) -> Self {
-        Self { name: name.into(), input, nodes: Vec::new(), cursor: input, default_batch }
+        Self {
+            name: name.into(),
+            input,
+            nodes: Vec::new(),
+            cursor: input,
+            default_batch,
+        }
     }
 
     /// Current running shape.
@@ -247,8 +257,7 @@ mod tests {
     #[should_panic(expected = "does not match running shape")]
     fn builder_rejects_shape_mismatch() {
         let layer = Layer::relu("r", FeatureShape::new(5, 5, 5));
-        let _ = NetworkBuilder::new("t", FeatureShape::new(3, 8, 8), 4)
-            .push(Node::Single(layer));
+        let _ = NetworkBuilder::new("t", FeatureShape::new(3, 8, 8), 4).push(Node::Single(layer));
     }
 
     #[test]

@@ -50,7 +50,14 @@ fn inception_a(name: &str, input: FeatureShape, pool_proj: usize) -> Block {
         input,
         vec![
             cnr(&format!("{name}.b2a"), input, 48, (1, 1), 1, (0, 0)),
-            cnr(&format!("{name}.b2b"), FeatureShape::new(48, input.height, input.width), 64, (5, 5), 1, (2, 2)),
+            cnr(
+                &format!("{name}.b2b"),
+                FeatureShape::new(48, input.height, input.width),
+                64,
+                (5, 5),
+                1,
+                (2, 2),
+            ),
         ],
     );
     let s96 = FeatureShape::new(96, input.height, input.width);
@@ -58,7 +65,14 @@ fn inception_a(name: &str, input: FeatureShape, pool_proj: usize) -> Block {
         input,
         vec![
             cnr(&format!("{name}.b3a"), input, 64, (1, 1), 1, (0, 0)),
-            cnr(&format!("{name}.b3b"), FeatureShape::new(64, input.height, input.width), 96, (3, 3), 1, (1, 1)),
+            cnr(
+                &format!("{name}.b3b"),
+                FeatureShape::new(64, input.height, input.width),
+                96,
+                (3, 3),
+                1,
+                (1, 1),
+            ),
             cnr(&format!("{name}.b3c"), s96, 96, (3, 3), 1, (1, 1)),
         ],
     );
@@ -75,12 +89,27 @@ fn reduction_a(name: &str, input: FeatureShape) -> Block {
         s,
         vec![
             cnr(&format!("{name}.b2a"), s, 64, (1, 1), 1, (0, 0)),
-            cnr(&format!("{name}.b2b"), FeatureShape::new(64, s.height, s.width), 96, (3, 3), 1, (1, 1)),
-            cnr(&format!("{name}.b2c"), FeatureShape::new(96, s.height, s.width), 96, (3, 3), 2, (0, 0)),
+            cnr(
+                &format!("{name}.b2b"),
+                FeatureShape::new(64, s.height, s.width),
+                96,
+                (3, 3),
+                1,
+                (1, 1),
+            ),
+            cnr(
+                &format!("{name}.b2c"),
+                FeatureShape::new(96, s.height, s.width),
+                96,
+                (3, 3),
+                2,
+                (0, 0),
+            ),
         ],
     );
-    let b3 = vec![Layer::pool(format!("{name}.pool"), input, PoolKind::Max, 3, 2, 0)
-        .expect("reduction pool")];
+    let b3 = vec![
+        Layer::pool(format!("{name}.pool"), input, PoolKind::Max, 3, 2, 0).expect("reduction pool"),
+    ];
     Block::inception(name, input, vec![b1, b2, b3])
         .unwrap_or_else(|e| panic!("reduction_a {name}: {e}"))
 }
@@ -132,8 +161,9 @@ fn reduction_b(name: &str, input: FeatureShape) -> Block {
             cnr(&format!("{name}.b2d"), sp(192), 192, (3, 3), 2, (0, 0)),
         ],
     );
-    let b3 = vec![Layer::pool(format!("{name}.pool"), input, PoolKind::Max, 3, 2, 0)
-        .expect("reduction pool")];
+    let b3 = vec![
+        Layer::pool(format!("{name}.pool"), input, PoolKind::Max, 3, 2, 0).expect("reduction pool"),
+    ];
     Block::inception(name, input, vec![b1, b2, b3])
         .unwrap_or_else(|e| panic!("reduction_b {name}: {e}"))
 }
@@ -197,14 +227,18 @@ pub fn inception_v3() -> Network {
     for l in cnr("stem3", b.shape(), 64, (3, 3), 1, (1, 1)) {
         b = b.push(Node::Single(l));
     }
-    b = b.pool("stem.pool1", PoolKind::Max, 3, 2, 0).expect("stem pool1");
+    b = b
+        .pool("stem.pool1", PoolKind::Max, 3, 2, 0)
+        .expect("stem pool1");
     for l in cnr("stem4", b.shape(), 80, (1, 1), 1, (0, 0)) {
         b = b.push(Node::Single(l));
     }
     for l in cnr("stem5", b.shape(), 192, (3, 3), 1, (0, 0)) {
         b = b.push(Node::Single(l));
     }
-    b = b.pool("stem.pool2", PoolKind::Max, 3, 2, 0).expect("stem pool2");
+    b = b
+        .pool("stem.pool2", PoolKind::Max, 3, 2, 0)
+        .expect("stem pool2");
 
     let blk = inception_a("mixed0", b.shape(), 32);
     b = b.block(blk);
@@ -249,7 +283,10 @@ mod tests {
         let blocks: Vec<_> = net.nodes().iter().filter(|n| n.is_block()).collect();
         assert_eq!(blocks.len(), 11);
         let chans: Vec<usize> = blocks.iter().map(|b| b.output().channels).collect();
-        assert_eq!(chans, [256, 288, 288, 768, 768, 768, 768, 768, 1280, 2048, 2048]);
+        assert_eq!(
+            chans,
+            [256, 288, 288, 768, 768, 768, 768, 768, 1280, 2048, 2048]
+        );
     }
 
     #[test]

@@ -76,8 +76,9 @@ fn reduction_a(name: &str, input: FeatureShape) -> Block {
             cnr(&format!("{name}.b2c"), sp(224), 256, (3, 3), 2, (0, 0)),
         ],
     );
-    let b3 = vec![Layer::pool(format!("{name}.pool"), input, PoolKind::Max, 3, 2, 0)
-        .expect("reduction pool")];
+    let b3 = vec![
+        Layer::pool(format!("{name}.pool"), input, PoolKind::Max, 3, 2, 0).expect("reduction pool"),
+    ];
     Block::inception(name, input, vec![b1, b2, b3])
         .unwrap_or_else(|e| panic!("reduction_a {name}: {e}"))
 }
@@ -126,8 +127,9 @@ fn reduction_b(name: &str, input: FeatureShape) -> Block {
             cnr(&format!("{name}.b2d"), sp(320), 320, (3, 3), 2, (0, 0)),
         ],
     );
-    let b3 = vec![Layer::pool(format!("{name}.pool"), input, PoolKind::Max, 3, 2, 0)
-        .expect("reduction pool")];
+    let b3 = vec![
+        Layer::pool(format!("{name}.pool"), input, PoolKind::Max, 3, 2, 0).expect("reduction pool"),
+    ];
     Block::inception(name, input, vec![b1, b2, b3])
         .unwrap_or_else(|e| panic!("reduction_b {name}: {e}"))
 }
@@ -197,9 +199,7 @@ pub fn inception_v4() -> Network {
     let pool_branch =
         vec![Layer::pool("stem4.pool", s, PoolKind::Max, 3, 2, 0).expect("stem pool")];
     let conv_branch = cnr("stem4.conv", s, 96, (3, 3), 2, (0, 0));
-    b = b.block(
-        Block::inception("stem4", s, vec![conv_branch, pool_branch]).expect("stem4"),
-    );
+    b = b.block(Block::inception("stem4", s, vec![conv_branch, pool_branch]).expect("stem4"));
 
     // Stem split 2: two conv chains -> 192 @ 71
     let s = b.shape();
@@ -225,8 +225,7 @@ pub fn inception_v4() -> Network {
     // Stem split 3: conv3x3/2 || maxpool -> 384 @ 35
     let s = b.shape();
     let br1 = cnr("stem6.conv", s, 192, (3, 3), 2, (0, 0));
-    let br2 =
-        vec![Layer::pool("stem6.pool", s, PoolKind::Max, 3, 2, 0).expect("stem pool")];
+    let br2 = vec![Layer::pool("stem6.pool", s, PoolKind::Max, 3, 2, 0).expect("stem pool")];
     b = b.block(Block::inception("stem6", s, vec![br1, br2]).expect("stem6"));
 
     for i in 0..4 {

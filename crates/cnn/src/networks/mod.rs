@@ -18,8 +18,8 @@ pub use inception_v3::inception_v3;
 pub use inception_v4::inception_v4;
 pub use resnet::{resnet, resnet_custom};
 
-use crate::layer::{FeatureShape, Layer};
 use crate::layer::NormKind;
+use crate::layer::{FeatureShape, Layer};
 
 /// All six networks of the paper's evaluation (Fig. 10), in figure order.
 pub fn evaluation_suite() -> Vec<crate::Network> {
@@ -53,12 +53,21 @@ pub(crate) fn conv_norm_relu(
     stride: usize,
     pad: (usize, usize),
 ) -> Vec<Layer> {
-    let conv = Layer::conv_rect(format!("{prefix}.conv"), input, out_channels, kernel, stride, pad)
-        .unwrap_or_else(|e| panic!("zoo network definition invalid at {prefix}: {e}"));
+    let conv = Layer::conv_rect(
+        format!("{prefix}.conv"),
+        input,
+        out_channels,
+        kernel,
+        stride,
+        pad,
+    )
+    .unwrap_or_else(|e| panic!("zoo network definition invalid at {prefix}: {e}"));
     let norm = Layer::norm(
         format!("{prefix}.norm"),
         conv.output,
-        NormKind::Group { groups: norm_groups(out_channels) },
+        NormKind::Group {
+            groups: norm_groups(out_channels),
+        },
     );
     let relu = Layer::relu(format!("{prefix}.relu"), norm.output);
     vec![conv, norm, relu]
@@ -74,12 +83,21 @@ pub(crate) fn conv_norm(
     stride: usize,
     pad: (usize, usize),
 ) -> Vec<Layer> {
-    let conv = Layer::conv_rect(format!("{prefix}.conv"), input, out_channels, kernel, stride, pad)
-        .unwrap_or_else(|e| panic!("zoo network definition invalid at {prefix}: {e}"));
+    let conv = Layer::conv_rect(
+        format!("{prefix}.conv"),
+        input,
+        out_channels,
+        kernel,
+        stride,
+        pad,
+    )
+    .unwrap_or_else(|e| panic!("zoo network definition invalid at {prefix}: {e}"));
     let norm = Layer::norm(
         format!("{prefix}.norm"),
         conv.output,
-        NormKind::Group { groups: norm_groups(out_channels) },
+        NormKind::Group {
+            groups: norm_groups(out_channels),
+        },
     );
     vec![conv, norm]
 }
@@ -95,7 +113,14 @@ mod tests {
         let names: Vec<&str> = nets.iter().map(|n| n.name()).collect();
         assert_eq!(
             names,
-            ["ResNet50", "ResNet101", "ResNet152", "InceptionV3", "InceptionV4", "AlexNet"]
+            [
+                "ResNet50",
+                "ResNet101",
+                "ResNet152",
+                "InceptionV3",
+                "InceptionV4",
+                "AlexNet"
+            ]
         );
     }
 

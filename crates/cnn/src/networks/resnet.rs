@@ -46,14 +46,22 @@ pub fn resnet_custom(
     for layer in conv_norm_relu("conv1", b.shape(), 64, (7, 7), 2, (3, 3)) {
         b = b.push(Node::Single(layer));
     }
-    b = b.pool("pool1", PoolKind::Max, 3, 2, 1).expect("resnet pool1");
+    b = b
+        .pool("pool1", PoolKind::Max, 3, 2, 1)
+        .expect("resnet pool1");
 
     for (stage, &blocks) in stages.iter().enumerate() {
         let mid = 64 << stage; // 64, 128, 256, 512
         let out = mid * 4;
         for i in 0..blocks {
             let stride = if stage > 0 && i == 0 { 2 } else { 1 };
-            let block = bottleneck(&format!("res{}{}", stage + 2, letter(i)), b.shape(), mid, out, stride);
+            let block = bottleneck(
+                &format!("res{}{}", stage + 2, letter(i)),
+                b.shape(),
+                mid,
+                out,
+                stride,
+            );
             b = b.block(block);
         }
     }
@@ -62,7 +70,9 @@ pub fn resnet_custom(
     b = b.push(Node::Single(crate::layer::Layer::norm(
         "norm5",
         shape,
-        NormKind::Group { groups: norm_groups(shape.channels) },
+        NormKind::Group {
+            groups: norm_groups(shape.channels),
+        },
     )));
     b = b.relu("relu5");
     b = b.global_avg_pool("pool5");
@@ -88,14 +98,42 @@ fn bottleneck(
     stride: usize,
 ) -> Block {
     let mut main = Vec::new();
-    main.extend(conv_norm_relu(&format!("{name}.1"), input, mid_channels, (1, 1), 1, (0, 0)));
+    main.extend(conv_norm_relu(
+        &format!("{name}.1"),
+        input,
+        mid_channels,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
     let s1 = main.last().expect("bottleneck chain non-empty").output;
-    main.extend(conv_norm_relu(&format!("{name}.2"), s1, mid_channels, (3, 3), stride, (1, 1)));
+    main.extend(conv_norm_relu(
+        &format!("{name}.2"),
+        s1,
+        mid_channels,
+        (3, 3),
+        stride,
+        (1, 1),
+    ));
     let s2 = main.last().expect("bottleneck chain non-empty").output;
-    main.extend(conv_norm(&format!("{name}.3"), s2, out_channels, (1, 1), 1, (0, 0)));
+    main.extend(conv_norm(
+        &format!("{name}.3"),
+        s2,
+        out_channels,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
 
     let shortcut = if stride != 1 || input.channels != out_channels {
-        conv_norm(&format!("{name}.sc"), input, out_channels, (1, 1), stride, (0, 0))
+        conv_norm(
+            &format!("{name}.sc"),
+            input,
+            out_channels,
+            (1, 1),
+            stride,
+            (0, 0),
+        )
     } else {
         Vec::new()
     };
@@ -167,7 +205,10 @@ mod tests {
     fn resnet50_macs_are_about_4_gmacs() {
         // ~4.1 GMACs per 224x224 sample for the convolution-dominated graph.
         let macs = resnet(50).forward_macs();
-        assert!((3_500_000_000..5_000_000_000).contains(&macs), "macs {macs}");
+        assert!(
+            (3_500_000_000..5_000_000_000).contains(&macs),
+            "macs {macs}"
+        );
     }
 
     #[test]

@@ -47,12 +47,32 @@ pub fn tiny_resnet(blocks_per_stage: usize, default_batch: usize) -> Network {
             let input = b.shape();
             let stride = if stage > 0 && i == 0 { 2 } else { 1 };
             let name = format!("res{stage}_{i}");
-            let mut main =
-                conv_norm_relu(&format!("{name}.1"), input, channels, (3, 3), stride, (1, 1));
+            let mut main = conv_norm_relu(
+                &format!("{name}.1"),
+                input,
+                channels,
+                (3, 3),
+                stride,
+                (1, 1),
+            );
             let mid = main.last().expect("non-empty").output;
-            main.extend(conv_norm(&format!("{name}.2"), mid, channels, (3, 3), 1, (1, 1)));
+            main.extend(conv_norm(
+                &format!("{name}.2"),
+                mid,
+                channels,
+                (3, 3),
+                1,
+                (1, 1),
+            ));
             let shortcut = if stride != 1 || input.channels != channels {
-                conv_norm(&format!("{name}.sc"), input, channels, (1, 1), stride, (0, 0))
+                conv_norm(
+                    &format!("{name}.sc"),
+                    input,
+                    channels,
+                    (1, 1),
+                    stride,
+                    (0, 0),
+                )
             } else {
                 Vec::new()
             };

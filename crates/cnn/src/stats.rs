@@ -70,7 +70,11 @@ pub fn reuse_summary(net: &Network, batch: usize, buffer_bytes: usize) -> ReuseS
     ReuseSummary {
         total_inter_layer_bytes: total,
         reusable_bytes: reusable,
-        reusable_pct: if total == 0 { 0.0 } else { 100.0 * reusable as f64 / total as f64 },
+        reusable_pct: if total == 0 {
+            0.0
+        } else {
+            100.0 * reusable as f64 / total as f64
+        },
     }
 }
 

@@ -57,9 +57,7 @@ impl ExecConfig {
             ExecConfig::Baseline => "2-level GEMM blocking",
             ExecConfig::ArchOpt => "Baseline + weight double buffering",
             ExecConfig::InterLayer => "ArchOpt + inter-layer data reuse",
-            ExecConfig::MbsFs => {
-                "IL + serialize all layers using the same sub-batch size"
-            }
+            ExecConfig::MbsFs => "IL + serialize all layers using the same sub-batch size",
             ExecConfig::Mbs1 => "IL + greedy layer grouping",
             ExecConfig::Mbs2 => "MBS1 + inter-branch data reuse",
         }
@@ -78,7 +76,10 @@ impl ExecConfig {
 
     /// Whether the mini-batch is serialized into sub-batches.
     pub fn is_mbs(&self) -> bool {
-        matches!(self, ExecConfig::MbsFs | ExecConfig::Mbs1 | ExecConfig::Mbs2)
+        matches!(
+            self,
+            ExecConfig::MbsFs | ExecConfig::Mbs1 | ExecConfig::Mbs2
+        )
     }
 
     /// Whether multi-branch block data (shared inputs, merge operands) is
@@ -272,9 +273,18 @@ mod tests {
 
     #[test]
     fn memory_totals_match_tab4() {
-        assert_eq!(MemoryConfig::preset(MemoryKind::Hbm2).total_bw_gib_s(), 300.0);
-        assert_eq!(MemoryConfig::preset(MemoryKind::Hbm2X2).total_bw_gib_s(), 600.0);
-        assert_eq!(MemoryConfig::preset(MemoryKind::Gddr5).total_bw_gib_s(), 384.0);
+        assert_eq!(
+            MemoryConfig::preset(MemoryKind::Hbm2).total_bw_gib_s(),
+            300.0
+        );
+        assert_eq!(
+            MemoryConfig::preset(MemoryKind::Hbm2X2).total_bw_gib_s(),
+            600.0
+        );
+        assert_eq!(
+            MemoryConfig::preset(MemoryKind::Gddr5).total_bw_gib_s(),
+            384.0
+        );
         let lp = MemoryConfig::preset(MemoryKind::Lpddr4);
         assert!((lp.total_bw_gib_s() - 239.2).abs() < 1e-9);
         assert_eq!(lp.total_capacity_gib(), 16.0);
@@ -299,7 +309,10 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         let labels: Vec<&str> = ExecConfig::all().iter().map(|c| c.label()).collect();
-        assert_eq!(labels, ["Baseline", "ArchOpt", "IL", "MBS-FS", "MBS1", "MBS2"]);
+        assert_eq!(
+            labels,
+            ["Baseline", "ArchOpt", "IL", "MBS-FS", "MBS1", "MBS2"]
+        );
         for c in ExecConfig::all() {
             assert!(!c.description().is_empty());
         }

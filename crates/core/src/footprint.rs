@@ -145,7 +145,10 @@ mod tests {
         let s = FeatureShape::new(16, 8, 8);
         assert_eq!(layer_space(&Layer::relu("r", s)), s.bytes());
         assert_eq!(layer_space(&Layer::add("a", s)), 2 * s.bytes());
-        assert_eq!(layer_space(&Layer::concat("c", FeatureShape::new(0, 8, 8), 16)), s.bytes());
+        assert_eq!(
+            layer_space(&Layer::concat("c", FeatureShape::new(0, 8, 8), 16)),
+            s.bytes()
+        );
     }
 
     #[test]
@@ -177,7 +180,10 @@ mod tests {
             .unwrap();
         let unit = 56 * 56 * 2; // bytes per channel
         let expected = (64 + 256 + 256) * unit;
-        assert_eq!(node_space_branch_reuse(&Node::Block(block.clone())), expected);
+        assert_eq!(
+            node_space_branch_reuse(&Node::Block(block.clone())),
+            expected
+        );
     }
 
     #[test]
@@ -198,8 +204,7 @@ mod tests {
     #[test]
     fn toy_network_spaces_decrease_with_depth() {
         let net = toy::conv_chain(&[16, 32, 64], FeatureShape::new(3, 64, 64), 4);
-        let spaces: Vec<usize> =
-            net.nodes().iter().map(node_space_independent).collect();
+        let spaces: Vec<usize> = net.nodes().iter().map(node_space_independent).collect();
         // Down-sampling shrinks footprints across stages.
         assert!(spaces.first().unwrap() > spaces.last().unwrap());
     }

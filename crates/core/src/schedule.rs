@@ -24,7 +24,12 @@ impl Group {
     /// Builds a group, deriving the iteration count.
     pub fn new(start: usize, end: usize, sub_batch: usize, batch: usize) -> Self {
         let sub = sub_batch.clamp(1, batch.max(1));
-        Self { start, end, sub_batch: sub, iterations: batch.div_ceil(sub) }
+        Self {
+            start,
+            end,
+            sub_batch: sub,
+            iterations: batch.div_ceil(sub),
+        }
     }
 
     /// Number of nodes in the group.
@@ -73,7 +78,12 @@ impl Schedule {
             assert!(g.end > g.start, "groups must be non-empty");
             expected = g.end;
         }
-        Self { config, batch, groups, fits }
+        Self {
+            config,
+            batch,
+            groups,
+            fits,
+        }
     }
 
     /// The execution configuration this schedule was built for.
@@ -128,8 +138,10 @@ impl Schedule {
             self.groups.len()
         );
         for (i, g) in self.groups.iter().enumerate() {
-            let names: Vec<&str> =
-                net.nodes()[g.start..g.end].iter().map(|n| n.name()).collect();
+            let names: Vec<&str> = net.nodes()[g.start..g.end]
+                .iter()
+                .map(|n| n.name())
+                .collect();
             let sizes = g
                 .sub_batch_sizes(self.batch)
                 .iter()

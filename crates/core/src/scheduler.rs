@@ -41,7 +41,12 @@ pub struct MbsScheduler<'a> {
 impl<'a> MbsScheduler<'a> {
     /// Creates a scheduler using the network's default per-core mini-batch.
     pub fn new(net: &'a Network, hw: &'a HardwareConfig, config: ExecConfig) -> Self {
-        Self { net, hw, config, batch: net.default_batch() }
+        Self {
+            net,
+            hw,
+            config,
+            batch: net.default_batch(),
+        }
     }
 
     /// Overrides the per-core mini-batch size.
@@ -202,8 +207,7 @@ impl<'a> MbsScheduler<'a> {
 
     /// Total modeled DRAM traffic for a candidate grouping.
     fn eval(&self, groups: &[Group]) -> u64 {
-        let schedule =
-            Schedule::new(self.config, self.batch, groups.to_vec(), true);
+        let schedule = Schedule::new(self.config, self.batch, groups.to_vec(), true);
         analyze(self.net, &schedule, self.hw.global_buffer_bytes).dram_bytes()
     }
 
@@ -245,7 +249,11 @@ mod tests {
     fn unserialized_schedules_have_one_iteration() {
         let net = resnet(50);
         let hw = hw();
-        for cfg in [ExecConfig::Baseline, ExecConfig::ArchOpt, ExecConfig::InterLayer] {
+        for cfg in [
+            ExecConfig::Baseline,
+            ExecConfig::ArchOpt,
+            ExecConfig::InterLayer,
+        ] {
             let s = MbsScheduler::new(&net, &hw, cfg).schedule();
             assert_eq!(s.groups().len(), net.nodes().len());
             assert!(s.groups().iter().all(|g| g.iterations == 1));
@@ -258,7 +266,10 @@ mod tests {
         let hw = hw();
         let s = MbsScheduler::new(&net, &hw, ExecConfig::MbsFs).schedule();
         assert_eq!(s.groups().len(), 1);
-        assert!(s.groups()[0].iterations > 1, "early layers force serialization");
+        assert!(
+            s.groups()[0].iterations > 1,
+            "early layers force serialization"
+        );
     }
 
     #[test]
@@ -315,7 +326,10 @@ mod tests {
             let s = MbsScheduler::new(&net, &hw, cfg);
             let greedy = s.eval(s.schedule().groups());
             let optimal = s.eval(s.optimal_schedule().groups());
-            assert!(optimal <= greedy, "{cfg}: optimal {optimal} greedy {greedy}");
+            assert!(
+                optimal <= greedy,
+                "{cfg}: optimal {optimal} greedy {greedy}"
+            );
         }
     }
 

@@ -195,7 +195,11 @@ struct Walker<'n> {
 /// Panics if the schedule does not cover every node of the network.
 pub fn analyze(net: &Network, schedule: &Schedule, buffer_bytes: usize) -> TrafficReport {
     let covered: usize = schedule.groups().iter().map(|g| g.end - g.start).sum();
-    assert_eq!(covered, net.nodes().len(), "schedule must cover the network");
+    assert_eq!(
+        covered,
+        net.nodes().len(),
+        "schedule must cover the network"
+    );
     let mut w = Walker {
         net,
         schedule,
@@ -247,7 +251,12 @@ impl<'n> Walker<'n> {
                 }
                 Node::Block(block) => {
                     self.visit_block(
-                        block, idx, group_idx, node_in_on_chip, out_on_chip, out_stored,
+                        block,
+                        idx,
+                        group_idx,
+                        node_in_on_chip,
+                        out_on_chip,
+                        out_stored,
                         is_final,
                     );
                 }
@@ -359,7 +368,10 @@ impl<'n> Walker<'n> {
                 if !on_chip {
                     block_input_dram_reads_needed = true;
                 }
-                merge_operands.push(Operand { bytes: block_in_bytes, on_chip });
+                merge_operands.push(Operand {
+                    bytes: block_in_bytes,
+                    on_chip,
+                });
                 continue;
             }
             for (li, layer) in branch.iter().enumerate() {
@@ -526,8 +538,10 @@ impl<'n> Walker<'n> {
         let out_b = layer.output_bytes() as u64 * n;
         let in_b_total: u64 = v.inputs.iter().map(|o| o.bytes).sum();
         let w = layer.param_bytes() as u64;
-        let is_conv_like =
-            matches!(layer.kind, LayerKind::Conv { .. } | LayerKind::FullyConnected);
+        let is_conv_like = matches!(
+            layer.kind,
+            LayerKind::Conv { .. } | LayerKind::FullyConnected
+        );
         let is_norm = matches!(layer.kind, LayerKind::Norm { .. });
         let second_pass_buffered = self.second_pass_on_chip(layer);
 
@@ -634,7 +648,10 @@ impl<'n> Walker<'n> {
                     2 * in_b_total
                 }
             }
-            LayerKind::Pool { kind: PoolKind::Max, .. } => in_b_total,
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                ..
+            } => in_b_total,
             LayerKind::Relu => relu_mask_read,
             _ => 0,
         };

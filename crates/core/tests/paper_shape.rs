@@ -27,10 +27,26 @@ fn resnet50_traffic_shape_matches_fig10c() {
     let get = |c: ExecConfig| r.iter().find(|(k, _)| *k == c).unwrap().1;
     println!("ResNet50 traffic vs ArchOpt: {r:?}");
     // Paper: IL 0.84, MBS-FS 0.34, MBS1 0.25, MBS2 0.22.
-    assert!((0.70..1.0).contains(&get(ExecConfig::InterLayer)), "IL {}", get(ExecConfig::InterLayer));
-    assert!((0.2..0.55).contains(&get(ExecConfig::MbsFs)), "FS {}", get(ExecConfig::MbsFs));
-    assert!((0.15..0.40).contains(&get(ExecConfig::Mbs1)), "MBS1 {}", get(ExecConfig::Mbs1));
-    assert!((0.12..0.35).contains(&get(ExecConfig::Mbs2)), "MBS2 {}", get(ExecConfig::Mbs2));
+    assert!(
+        (0.70..1.0).contains(&get(ExecConfig::InterLayer)),
+        "IL {}",
+        get(ExecConfig::InterLayer)
+    );
+    assert!(
+        (0.2..0.55).contains(&get(ExecConfig::MbsFs)),
+        "FS {}",
+        get(ExecConfig::MbsFs)
+    );
+    assert!(
+        (0.15..0.40).contains(&get(ExecConfig::Mbs1)),
+        "MBS1 {}",
+        get(ExecConfig::Mbs1)
+    );
+    assert!(
+        (0.12..0.35).contains(&get(ExecConfig::Mbs2)),
+        "MBS2 {}",
+        get(ExecConfig::Mbs2)
+    );
     // Ordering: MBS2 <= MBS1 <= IL <= Baseline
     assert!(get(ExecConfig::Mbs2) <= get(ExecConfig::Mbs1) + 1e-9);
     assert!(get(ExecConfig::Mbs1) < get(ExecConfig::InterLayer));
@@ -45,8 +61,16 @@ fn inception_v3_traffic_shape_matches_fig10c() {
     // Paper: IL 0.96, MBS-FS 0.58, MBS1 0.33, MBS2 0.29. Our IL saves a
     // bit more (the duplicated-branch 8x8 modules fit the buffer).
     assert!(get(ExecConfig::InterLayer) > 0.7);
-    assert!((0.35..0.80).contains(&get(ExecConfig::MbsFs)), "FS {}", get(ExecConfig::MbsFs));
-    assert!((0.2..0.50).contains(&get(ExecConfig::Mbs1)), "MBS1 {}", get(ExecConfig::Mbs1));
+    assert!(
+        (0.35..0.80).contains(&get(ExecConfig::MbsFs)),
+        "FS {}",
+        get(ExecConfig::MbsFs)
+    );
+    assert!(
+        (0.2..0.50).contains(&get(ExecConfig::Mbs1)),
+        "MBS1 {}",
+        get(ExecConfig::Mbs1)
+    );
     assert!(get(ExecConfig::Mbs2) <= get(ExecConfig::Mbs1) + 1e-9);
 }
 
@@ -58,8 +82,16 @@ fn alexnet_mbs_fs_increases_traffic() {
     println!("AlexNet traffic vs ArchOpt: {r:?}");
     // Paper: MBS-FS inflates AlexNet traffic 2.6x (FC weight re-reads);
     // MBS1/MBS2 land at 0.60.
-    assert!(get(ExecConfig::MbsFs) > 1.5, "FS {}", get(ExecConfig::MbsFs));
-    assert!((0.35..0.95).contains(&get(ExecConfig::Mbs1)), "MBS1 {}", get(ExecConfig::Mbs1));
+    assert!(
+        get(ExecConfig::MbsFs) > 1.5,
+        "FS {}",
+        get(ExecConfig::MbsFs)
+    );
+    assert!(
+        (0.35..0.95).contains(&get(ExecConfig::Mbs1)),
+        "MBS1 {}",
+        get(ExecConfig::Mbs1)
+    );
 }
 
 #[test]
@@ -69,7 +101,11 @@ fn resnet50_schedule_shape_matches_fig5() {
     let s = MbsScheduler::new(&net, &hw, ExecConfig::Mbs2).schedule();
     println!("{}", s.describe(&net));
     // Paper Fig. 5: a handful of groups with growing sub-batches (3 .. 16).
-    assert!((2..=8).contains(&s.groups().len()), "groups {}", s.groups().len());
+    assert!(
+        (2..=8).contains(&s.groups().len()),
+        "groups {}",
+        s.groups().len()
+    );
     let first = s.groups().first().unwrap();
     let last = s.groups().last().unwrap();
     assert!(first.sub_batch <= 6, "first sub {}", first.sub_batch);

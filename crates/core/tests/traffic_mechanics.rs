@@ -2,7 +2,7 @@
 //! calculations on minimal networks: weight-gradient partial sums, ReLU
 //! masks, norm double-reads, and conv output-gradient double-reads.
 
-use mbs_cnn::{FeatureShape, NetworkBuilder, Network, NormKind};
+use mbs_cnn::{FeatureShape, Network, NetworkBuilder, NormKind};
 use mbs_core::{analyze, ExecConfig, HardwareConfig, MbsScheduler};
 
 const WORD: u64 = 2;
@@ -110,7 +110,7 @@ fn norm_second_pass_saved_when_buffered() {
         .build();
     let base = report(&net, ExecConfig::Baseline, 10 << 20);
     let tiny_il = report(&net, ExecConfig::InterLayer, 1); // nothing fits
-    // With a 1-byte buffer IL degenerates to baseline exactly.
+                                                           // With a 1-byte buffer IL degenerates to baseline exactly.
     assert_eq!(base.dram_bytes(), tiny_il.dram_bytes());
 
     let il = report(&net, ExecConfig::InterLayer, 10 << 20);

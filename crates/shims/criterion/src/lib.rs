@@ -1,0 +1,273 @@
+//! Offline stand-in for `criterion`: wall-clock micro-benchmark harness
+//! with the subset of the API the MBS bench crate uses (`bench_function`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros).
+//!
+//! Two environment knobs:
+//!
+//! - `MBS_BENCH_QUICK=1` — short warmup/measurement windows so the whole
+//!   suite finishes in seconds (used by CI and the `bench` bin).
+//! - `MBS_BENCH_JSON=<path>` — append every measurement to a JSON report
+//!   when the harness finishes.
+//!
+//! Statistics are deliberately simple (mean over a fixed time window plus
+//! min); there is no outlier rejection or regression analysis.
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+/// One recorded measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/param`).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// Benchmark-id pair, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Re-export of the standard opaque-value helper.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    quick: bool,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("MBS_BENCH_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+        Self {
+            quick,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// A harness with explicitly chosen quick/full mode (bypasses the env
+    /// knob; used by the `bench` bin).
+    pub fn with_quick(quick: bool) -> Self {
+        Self {
+            quick,
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.quick);
+        f(&mut bencher);
+        self.record(name.to_string(), &bencher);
+        self
+    }
+
+    /// Opens a named group; ids inside the group are prefixed with its name.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints a summary table and honors `MBS_BENCH_JSON`.
+    pub fn final_summary(&self) {
+        for m in &self.results {
+            println!(
+                "{:<48} mean {:>12.1} ns   min {:>12.1} ns   ({} iters)",
+                m.name, m.mean_ns, m.min_ns, m.iters
+            );
+        }
+        if let Ok(path) = std::env::var("MBS_BENCH_JSON") {
+            if let Ok(text) = serde_json::to_string_pretty(&self.results) {
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("warning: could not write {path}: {e}");
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, name: String, bencher: &Bencher) {
+        if let Some(m) = bencher.result(name.clone()) {
+            println!("{:<48} mean {:>12.1} ns", m.name, m.mean_ns);
+            self.results.push(m);
+        } else {
+            eprintln!("warning: bench `{name}` never called iter()");
+        }
+    }
+}
+
+/// A group of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark identified by `id` against `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        let mut bencher = Bencher::new(self.criterion.quick);
+        f(&mut bencher, input);
+        self.criterion.record(full, &bencher);
+        self
+    }
+
+    /// Runs a plain benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let mut bencher = Bencher::new(self.criterion.quick);
+        f(&mut bencher);
+        self.criterion.record(full, &bencher);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; dropping works too).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    window: Duration,
+    measured: Option<(f64, f64, u64)>, // (mean_ns, min_ns, iters)
+}
+
+impl Bencher {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Self {
+                warmup: Duration::from_millis(5),
+                window: Duration::from_millis(40),
+                measured: None,
+            }
+        } else {
+            Self {
+                warmup: Duration::from_millis(150),
+                window: Duration::from_millis(700),
+                measured: None,
+            }
+        }
+    }
+
+    /// Times `f` repeatedly over the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup until the window elapses (at least one call).
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            if start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let mut iters = 0u64;
+        let mut min_ns = f64::INFINITY;
+        let measure_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_nanos() as f64;
+            min_ns = min_ns.min(dt);
+            iters += 1;
+            if measure_start.elapsed() >= self.window {
+                break;
+            }
+        }
+        let mean_ns = measure_start.elapsed().as_nanos() as f64 / iters as f64;
+        self.measured = Some((mean_ns, min_ns, iters));
+    }
+
+    fn result(&self, name: String) -> Option<Measurement> {
+        self.measured.map(|(mean_ns, min_ns, iters)| Measurement {
+            name,
+            mean_ns,
+            min_ns,
+            iters,
+        })
+    }
+}
+
+/// Declares a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_measurement() {
+        let mut c = Criterion::with_quick(true);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].iters > 0);
+        assert!(c.measurements()[0].mean_ns > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::with_quick(true);
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("f", 7), &3usize, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        assert_eq!(c.measurements()[0].name, "grp/f/7");
+    }
+}

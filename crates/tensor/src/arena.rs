@@ -1,0 +1,167 @@
+//! Reusable scratch-buffer arena for the compute kernels.
+//!
+//! The MBS executor serializes a mini-batch into many small sub-batch
+//! propagations (paper §3), so the per-op intermediates — GEMM packing
+//! panels, the convolution's flat output staging, the data-gradient column
+//! matrix — would otherwise be allocated and freed once per layer per
+//! sub-batch. This arena keeps those buffers alive in a global pool:
+//! [`take`] hands out a buffer (reusing a pooled allocation when one is
+//! large enough) and dropping the returned [`Scratch`] recycles it.
+//!
+//! The pool is process-global and thread-safe; GEMM worker threads check
+//! buffers in and out independently. [`stats`] exposes hit/miss counters so
+//! tests can pin the reuse behavior.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Buffers kept in the pool at once; excess buffers are simply freed.
+const MAX_POOLED: usize = 64;
+
+/// Largest single buffer worth pooling (elements). Anything bigger is
+/// returned to the allocator so a one-off huge tensor cannot pin memory.
+const MAX_POOLED_LEN: usize = 1 << 24; // 64 MiB of f32
+
+static POOL: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// A pooled `f32` buffer; returns to the arena on drop.
+#[derive(Debug)]
+pub struct Scratch {
+    buf: Vec<f32>,
+}
+
+impl Deref for Scratch {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl DerefMut for Scratch {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        if self.buf.capacity() == 0 || self.buf.capacity() > MAX_POOLED_LEN {
+            return;
+        }
+        let buf = std::mem::take(&mut self.buf);
+        let mut pool = match POOL.lock() {
+            Ok(pool) => pool,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    }
+}
+
+/// Checks out a buffer of exactly `len` elements with **unspecified
+/// contents** (a reused allocation keeps its previous values), reusing a
+/// pooled allocation when one with sufficient capacity exists.
+///
+/// Every current consumer — packing panels, GEMM staging (the blocked core
+/// *stores* its first depth panel rather than accumulating), permuted
+/// inputs — fully overwrites the buffer before reading it, so `take` skips
+/// the zero-fill pass a fresh `vec![0.0; len]` would pay on every call.
+/// Use [`take_zeroed`] when the contract actually needs zeros.
+pub fn take(len: usize) -> Scratch {
+    let reused = {
+        let mut pool = match POOL.lock() {
+            Ok(pool) => pool,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Best fit: the smallest pooled buffer that is large enough, so a
+        // small request does not burn a large buffer.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in pool.iter().enumerate() {
+            if b.capacity() >= len && best.is_none_or(|(_, cap)| b.capacity() < cap) {
+                best = Some((i, b.capacity()));
+            }
+        }
+        best.map(|(i, _)| pool.swap_remove(i))
+    };
+    match reused {
+        Some(mut buf) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            // Shrink without writing; only growth into untouched capacity
+            // pays a fill.
+            if buf.len() > len {
+                buf.truncate(len);
+            } else {
+                buf.resize(len, 0.0);
+            }
+            Scratch { buf }
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            Scratch {
+                buf: vec![0.0; len],
+            }
+        }
+    }
+}
+
+/// [`take`], but the returned buffer is guaranteed to be all zeros.
+pub fn take_zeroed(len: usize) -> Scratch {
+    let mut scratch = take(len);
+    scratch.fill(0.0);
+    scratch
+}
+
+/// `(hits, misses)` counters since process start (or the last [`reset_stats`]).
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Zeroes the hit/miss counters (test isolation).
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Drops every pooled buffer.
+pub fn clear() {
+    let mut pool = match POOL.lock() {
+        Ok(pool) => pool,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    pool.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_reused_and_take_zeroed_zeroes() {
+        clear();
+        reset_stats();
+        {
+            let mut a = take(1000);
+            a[0] = 7.0;
+            a[999] = 3.0;
+        } // recycled here
+        let b = take_zeroed(500);
+        assert!(
+            b.iter().all(|&v| v == 0.0),
+            "take_zeroed must clear reused contents"
+        );
+        assert_eq!(b.len(), 500);
+        let (hits, _) = stats();
+        assert!(hits >= 1, "second take should reuse the pooled buffer");
+    }
+
+    #[test]
+    fn oversized_requests_still_work() {
+        let s = take(10);
+        assert_eq!(s.len(), 10);
+    }
+}

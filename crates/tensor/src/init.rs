@@ -40,11 +40,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = kaiming_normal(&[64, 64], 64, &mut rng);
         let mean = t.mean();
-        let var: f32 =
-            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.01, "mean {mean}");
         let expect = 2.0 / 64.0;
-        assert!((var - expect).abs() < expect * 0.2, "var {var} expect {expect}");
+        assert!(
+            (var - expect).abs() < expect * 0.2,
+            "var {var} expect {expect}"
+        );
     }
 
     #[test]

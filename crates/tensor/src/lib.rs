@@ -18,6 +18,7 @@
 //! assert_eq!(y.shape(), &[1, 4, 8, 8]);
 //! ```
 
+pub mod arena;
 pub mod init;
 pub mod ops;
 pub mod tensor;

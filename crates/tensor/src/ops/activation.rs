@@ -18,7 +18,10 @@ pub struct BitMask {
 impl BitMask {
     /// An all-false mask for `len` elements.
     pub fn new(len: usize) -> Self {
-        Self { len, words: vec![0; len.div_ceil(64)] }
+        Self {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// Number of elements covered.

@@ -1,22 +1,41 @@
-//! 2-D convolution: forward (direct and im2col), data gradient, and weight
-//! gradient — the three GEMMs of the paper's Tab. 1, implemented on the CPU
-//! substrate.
+//! 2-D convolution: forward, data gradient, and weight gradient — the
+//! three GEMMs of the paper's Tab. 1 — on the packed blocked GEMM core.
+//!
+//! The forward and weight-gradient paths are **fused**: the im2col lowering
+//! of the input is a virtual [`MatSrc::Im2col`] operand whose
+//! receptive-field tiles are generated directly into the GEMM packing
+//! buffers, so the full `[n·ho·wo, ci·kh·kw]` column matrix never exists in
+//! memory. The data gradient computes its column-gradient matrix into a
+//! reusable arena buffer (its `col2im` scatter is the adjoint direction, so
+//! there is no input-side lowering to elide) and scatters per sample in
+//! parallel.
+//!
+//! [`conv2d_naive`] keeps the direct loop nest as the reference
+//! implementation the equivalence tests pin everything against.
 
-use crate::ops::im2col::{col2im, im2col, Conv2dCfg};
-use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::arena;
+use crate::ops::im2col::{col2im_t, Conv2dCfg};
+use crate::ops::pack::{configured_threads, gemm, Im2colGeom, MatSrc};
 use crate::tensor::Tensor;
 
-fn dims(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> (usize, usize, usize, usize, usize, usize, usize) {
+fn dims(
+    x: &Tensor,
+    w: &Tensor,
+    cfg: Conv2dCfg,
+) -> (usize, usize, usize, usize, usize, usize, usize) {
     let [n, ci, h, wd]: [usize; 4] = x.shape().try_into().expect("conv expects 4-D input");
-    let [co, ci2, kh, kw]: [usize; 4] =
-        w.shape().try_into().expect("conv expects 4-D weights");
+    let [co, ci2, kh, kw]: [usize; 4] = w.shape().try_into().expect("conv expects 4-D weights");
     assert_eq!(ci, ci2, "channel mismatch");
-    assert_eq!((kh, kw), (cfg.kernel_h, cfg.kernel_w), "kernel/config mismatch");
+    assert_eq!(
+        (kh, kw),
+        (cfg.kernel_h, cfg.kernel_w),
+        "kernel/config mismatch"
+    );
     let (ho, wo) = cfg.out_extent(h, wd);
     (n, ci, h, wd, co, ho, wo)
 }
 
-/// Direct (loop-nest) convolution forward; reference for the im2col path.
+/// Direct (loop-nest) convolution forward; reference for the fused path.
 pub fn conv2d_naive(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> Tensor {
     let (n, ci, h, wd, co, ho, wo) = dims(x, w, cfg);
     let mut out = Tensor::zeros(&[n, co, ho, wo]);
@@ -35,15 +54,12 @@ pub fn conv2d_naive(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> Tensor {
                                 continue;
                             }
                             for kx in 0..cfg.kernel_w {
-                                let ix =
-                                    (ox * cfg.stride + kx) as isize - cfg.pad_w as isize;
+                                let ix = (ox * cfg.stride + kx) as isize - cfg.pad_w as isize;
                                 if ix < 0 || ix as usize >= wd {
                                     continue;
                                 }
-                                acc += xd[((ni * ci + c) * h + iy as usize) * wd
-                                    + ix as usize]
-                                    * wdat[((c_out * ci + c) * cfg.kernel_h + ky)
-                                        * cfg.kernel_w
+                                acc += xd[((ni * ci + c) * h + iy as usize) * wd + ix as usize]
+                                    * wdat[((c_out * ci + c) * cfg.kernel_h + ky) * cfg.kernel_w
                                         + kx];
                             }
                         }
@@ -56,80 +72,159 @@ pub fn conv2d_naive(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> Tensor {
     out
 }
 
-/// im2col + GEMM convolution forward: `y = im2col(x) · Wᵀ`.
+/// Fused im2col + GEMM convolution forward: `y = cols(x) · Wᵀ`, where
+/// `cols(x)` is a virtual operand streamed tile-by-tile into the packed-A
+/// buffer (never materialized).
 pub fn conv2d(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> Tensor {
-    let (n, _ci, _h, _wd, co, ho, wo) = dims(x, w, cfg);
-    let cols = im2col(x, cfg);
-    let w2d = w.reshape(&[co, w.len() / co]);
-    let flat = matmul_a_bt(&cols, &w2d); // [n*ho*wo, co]
-    rows_to_nchw(&flat, n, co, ho, wo)
+    let (n, ci, h, wd, co, ho, wo) = dims(x, w, cfg);
+    let geom = Im2colGeom::new(n, ci, h, wd, cfg);
+    let (m, k) = (geom.rows(), geom.cols());
+    // GEMM in im2col row order ([n·ho·wo, co]), then one cheap transpose
+    // into the NCHW output.
+    let mut flat = arena::take(m * co);
+    gemm(
+        &MatSrc::Im2col { x: x.data(), geom },
+        &MatSrc::ColMajor {
+            data: w.data(),
+            stride: k,
+        },
+        &mut flat,
+        m,
+        co,
+        k,
+    );
+    let mut out = Tensor::zeros(&[n, co, ho, wo]);
+    rows_to_nchw(&flat, n, co, ho, wo, out.data_mut());
+    out
 }
 
 /// Gradient of the loss with respect to the convolution input:
 /// `dX = col2im(dY₂d · W)`.
-pub fn conv2d_backward_data(
-    dy: &Tensor,
-    w: &Tensor,
-    x_shape: &[usize],
-    cfg: Conv2dCfg,
-) -> Tensor {
-    let [n, ci, h, wd]: [usize; 4] =
-        x_shape.try_into().expect("conv expects 4-D input shape");
+///
+/// The GEMM produces the column gradient **transposed** (`[ci·kh·kw,
+/// pixels]`, in a reusable arena buffer) because that layout makes the
+/// [`col2im_t`] scatter a series of contiguous zip-adds; `dY` is read
+/// in-place as a `[co × pixels]` view, so nothing else is materialized.
+pub fn conv2d_backward_data(dy: &Tensor, w: &Tensor, x_shape: &[usize], cfg: Conv2dCfg) -> Tensor {
+    let [n, ci, h, wd]: [usize; 4] = x_shape.try_into().expect("conv expects 4-D input shape");
     let co = w.shape()[0];
     let (ho, wo) = cfg.out_extent(h, wd);
     assert_eq!(dy.shape(), &[n, co, ho, wo], "dy shape mismatch");
-    let dy2d = nchw_to_rows(dy); // [n*ho*wo, co]
-    let w2d = w.reshape(&[co, w.len() / co]);
-    let dcols = matmul(&dy2d, &w2d); // [n*ho*wo, ci*kh*kw]
-    col2im(&dcols, n, ci, h, wd, cfg)
+    let cols_w = ci * cfg.kernel_h * cfg.kernel_w;
+    let pixels = n * ho * wo;
+    let mut dcols_t = arena::take(cols_w * pixels);
+    gemm(
+        &MatSrc::ColMajor {
+            data: w.data(),
+            stride: cols_w,
+        },
+        &MatSrc::NchwCols {
+            data: dy.data(),
+            c: co,
+            hw: ho * wo,
+        },
+        &mut dcols_t,
+        cols_w,
+        pixels,
+        co,
+    );
+    col2im_t(&dcols_t, n, ci, h, wd, cfg, configured_threads())
 }
 
-/// Gradient of the loss with respect to the weights:
-/// `dW = dY₂dᵀ · im2col(x)`.
+/// Gradient of the loss with respect to the weights: `dW = dY₂dᵀ ·
+/// cols(x)`. Both operands are virtual views — `dY` as a `[co × pixels]`
+/// matrix and `cols(x)` as the streamed im2col lowering — so nothing is
+/// materialized besides `dW` itself.
 pub fn conv2d_backward_weights(x: &Tensor, dy: &Tensor, cfg: Conv2dCfg) -> Tensor {
-    let [_n, ci, _h, _wd]: [usize; 4] =
-        x.shape().try_into().expect("conv expects 4-D input");
-    let co = dy.shape()[1];
-    let cols = im2col(x, cfg);
-    let dy2d = nchw_to_rows(dy);
-    let dw2d = matmul_at_b(&dy2d, &cols); // [co, ci*kh*kw]
-    dw2d.reshape(&[co, ci, cfg.kernel_h, cfg.kernel_w])
+    let [n, ci, h, wd]: [usize; 4] = x.shape().try_into().expect("conv expects 4-D input");
+    let [n2, co, ho, wo]: [usize; 4] = dy.shape().try_into().expect("conv expects 4-D dy");
+    assert_eq!(n, n2, "batch mismatch");
+    let geom = Im2colGeom::new(n, ci, h, wd, cfg);
+    assert_eq!((ho, wo), (geom.ho, geom.wo), "dy spatial extent mismatch");
+    let cols_w = geom.cols();
+    let mut dw = Tensor::zeros(&[co, ci, cfg.kernel_h, cfg.kernel_w]);
+    if cfg.stride == 1 {
+        // Stride-1 weight gradients are themselves a convolution: correlate
+        // x (batch and channel axes swapped) with dY read as the filter
+        // bank. That puts the streamed im2col operand on the A side, whose
+        // packing is contiguous, and gives the micro-kernel `ci·kh·kw` rows
+        // of B-panel reuse instead of just `co`.
+        let hw_in = h * wd;
+        let mut x_perm = arena::take(n * ci * hw_in);
+        for ni in 0..n {
+            for c in 0..ci {
+                x_perm[(c * n + ni) * hw_in..(c * n + ni + 1) * hw_in]
+                    .copy_from_slice(&x.data()[(ni * ci + c) * hw_in..(ni * ci + c + 1) * hw_in]);
+            }
+        }
+        let swap_geom = Im2colGeom {
+            n: ci,
+            ci: n,
+            h,
+            w: wd,
+            ho: cfg.kernel_h,
+            wo: cfg.kernel_w,
+            cfg: Conv2dCfg {
+                kernel_h: ho,
+                kernel_w: wo,
+                stride: 1,
+                pad_h: cfg.pad_h,
+                pad_w: cfg.pad_w,
+            },
+        };
+        let mut flat = arena::take(cols_w * co); // [taps, co]
+        gemm(
+            &MatSrc::Im2col {
+                x: &x_perm,
+                geom: swap_geom,
+            },
+            &MatSrc::NchwRows {
+                data: dy.data(),
+                c: co,
+                hw: ho * wo,
+            },
+            &mut flat,
+            cols_w,
+            co,
+            n * ho * wo,
+        );
+        let dwd = dw.data_mut();
+        for t in 0..cols_w {
+            for o in 0..co {
+                dwd[o * cols_w + t] = flat[t * co + o];
+            }
+        }
+        return dw;
+    }
+    gemm(
+        &MatSrc::NchwCols {
+            data: dy.data(),
+            c: co,
+            hw: ho * wo,
+        },
+        &MatSrc::Im2col { x: x.data(), geom },
+        dw.data_mut(),
+        co,
+        cols_w,
+        geom.rows(),
+    );
+    dw
 }
 
-/// `[n, c, h, w] → [n·h·w, c]` (im2col row order).
-fn nchw_to_rows(t: &Tensor) -> Tensor {
-    let [n, c, h, w]: [usize; 4] = t.shape().try_into().expect("expects 4-D");
-    let mut out = Tensor::zeros(&[n * h * w, c]);
-    let td = t.data();
-    let od = out.data_mut();
+/// `[n·h·w, c] → [n, c, h, w]` scatter into `out`.
+fn rows_to_nchw(flat: &[f32], n: usize, c: usize, h: usize, w: usize, out: &mut [f32]) {
+    assert_eq!(flat.len(), n * h * w * c, "row matrix size mismatch");
+    assert_eq!(out.len(), flat.len(), "output size mismatch");
+    let hw = h * w;
     for ni in 0..n {
         for ci in 0..c {
-            for y in 0..h {
-                for x in 0..w {
-                    od[(((ni * h) + y) * w + x) * c + ci] = td[((ni * c + ci) * h + y) * w + x];
-                }
+            let dst = &mut out[(ni * c + ci) * hw..(ni * c + ci + 1) * hw];
+            let src_base = ni * hw * c + ci;
+            for (off, slot) in dst.iter_mut().enumerate() {
+                *slot = flat[src_base + off * c];
             }
         }
     }
-    out
-}
-
-/// `[n·h·w, c] → [n, c, h, w]`.
-fn rows_to_nchw(t: &Tensor, n: usize, c: usize, h: usize, w: usize) -> Tensor {
-    assert_eq!(t.shape(), &[n * h * w, c], "row matrix shape mismatch");
-    let mut out = Tensor::zeros(&[n, c, h, w]);
-    let td = t.data();
-    let od = out.data_mut();
-    for ni in 0..n {
-        for ci in 0..c {
-            for y in 0..h {
-                for x in 0..w {
-                    od[((ni * c + ci) * h + y) * w + x] = td[(((ni * h) + y) * w + x) * c + ci];
-                }
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -147,7 +242,7 @@ mod tests {
     }
 
     #[test]
-    fn im2col_matches_naive_forward() {
+    fn fused_path_matches_naive_forward() {
         for (stride, pad) in [(1, 0), (1, 1), (2, 1)] {
             let cfg = Conv2dCfg::square(3, stride, pad);
             let x = seeded(&[2, 3, 7, 7], 1);
@@ -239,5 +334,21 @@ mod tests {
         let lhs = conv2d(&a.add(&b), &w, cfg);
         let rhs = conv2d(&a, &w, cfg).add(&conv2d(&b, &w, cfg));
         assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn non_square_inputs_and_kernels_work() {
+        let cfg = Conv2dCfg {
+            kernel_h: 3,
+            kernel_w: 2,
+            stride: 1,
+            pad_h: 1,
+            pad_w: 0,
+        };
+        let x = seeded(&[2, 3, 9, 6], 12);
+        let w = seeded(&[5, 3, 3, 2], 13);
+        let a = conv2d_naive(&x, &w, cfg);
+        let b = conv2d(&x, &w, cfg);
+        assert!(a.max_abs_diff(&b) < 1e-4);
     }
 }

@@ -1,5 +1,13 @@
 //! Dense matrix multiplication.
+//!
+//! All three variants route through the packed, blocked, multi-threaded
+//! GEMM core in [`crate::ops::pack`]; the transposed variants feed the
+//! packing stage a transposed *view* instead of materializing `Aᵀ`/`Bᵀ`.
+//! [`matmul_naive`] keeps the original triple loop (minus its broken
+//! `a == 0.0` skip, which suppressed NaN/Inf propagation) as the reference
+//! the property tests and benches compare against.
 
+use crate::ops::pack::{gemm, MatSrc};
 use crate::tensor::Tensor;
 
 /// `C = A · B` for 2-D tensors `A: [m, k]`, `B: [k, n]`.
@@ -19,61 +27,48 @@ use crate::tensor::Tensor;
 /// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().len(), 2, "matmul expects 2-D lhs");
-    assert_eq!(b.shape().len(), 2, "matmul expects 2-D rhs");
-    let (m, k) = (a.shape()[0], a.shape()[1]);
-    let (k2, n) = (b.shape()[0], b.shape()[1]);
-    assert_eq!(k, k2, "inner dimensions must agree");
-
+    let (m, k, n) = check_2d(a.shape(), b.shape(), false, false);
     let mut out = Tensor::zeros(&[m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    let od = out.data_mut();
-    for i in 0..m {
-        for kk in 0..k {
-            let av = ad[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            let orow = &mut od[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
+    gemm(
+        &MatSrc::RowMajor {
+            data: a.data(),
+            stride: k,
+        },
+        &MatSrc::RowMajor {
+            data: b.data(),
+            stride: n,
+        },
+        out.data_mut(),
+        m,
+        n,
+        k,
+    );
     out
 }
 
-/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`.
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (the weight-gradient GEMM of
+/// the paper's Tab. 1).
 ///
 /// # Panics
 ///
 /// Panics on rank or dimension mismatch.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().len(), 2, "matmul expects 2-D lhs");
-    assert_eq!(b.shape().len(), 2, "matmul expects 2-D rhs");
-    let (k, m) = (a.shape()[0], a.shape()[1]);
-    let (k2, n) = (b.shape()[0], b.shape()[1]);
-    assert_eq!(k, k2, "inner dimensions must agree");
-
+    let (m, k, n) = check_2d(a.shape(), b.shape(), true, false);
     let mut out = Tensor::zeros(&[m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    let od = out.data_mut();
-    for kk in 0..k {
-        for i in 0..m {
-            let av = ad[kk * m + i];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            let orow = &mut od[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
+    gemm(
+        &MatSrc::ColMajor {
+            data: a.data(),
+            stride: m,
+        },
+        &MatSrc::RowMajor {
+            data: b.data(),
+            stride: n,
+        },
+        out.data_mut(),
+        m,
+        n,
+        k,
+    );
     out
 }
 
@@ -83,28 +78,60 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics on rank or dimension mismatch.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().len(), 2, "matmul expects 2-D lhs");
-    assert_eq!(b.shape().len(), 2, "matmul expects 2-D rhs");
-    let (m, k) = (a.shape()[0], a.shape()[1]);
-    let (n, k2) = (b.shape()[0], b.shape()[1]);
-    assert_eq!(k, k2, "inner dimensions must agree");
+    let (m, k, n) = check_2d(a.shape(), b.shape(), false, true);
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm(
+        &MatSrc::RowMajor {
+            data: a.data(),
+            stride: k,
+        },
+        &MatSrc::ColMajor {
+            data: b.data(),
+            stride: k,
+        },
+        out.data_mut(),
+        m,
+        n,
+        k,
+    );
+    out
+}
 
+/// Reference triple-loop `C = A · B` (no blocking, no threading). Kept for
+/// equivalence tests and as the bench baseline the blocked core is measured
+/// against.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the inner dimensions disagree.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = check_2d(a.shape(), b.shape(), false, false);
     let mut out = Tensor::zeros(&[m, n]);
     let ad = a.data();
     let bd = b.data();
     let od = out.data_mut();
     for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
+        for kk in 0..k {
+            let av = ad[i * k + kk];
+            let brow = &bd[kk * n..(kk + 1) * n];
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
             }
-            od[i * n + j] = acc;
         }
     }
     out
+}
+
+/// Validates 2-D shapes and returns `(m, k, n)` given which operands are
+/// stored transposed.
+fn check_2d(a: &[usize], b: &[usize], a_t: bool, b_t: bool) -> (usize, usize, usize) {
+    assert_eq!(a.len(), 2, "matmul expects 2-D lhs");
+    assert_eq!(b.len(), 2, "matmul expects 2-D rhs");
+    let (m, k) = if a_t { (a[1], a[0]) } else { (a[0], a[1]) };
+    let (k2, n) = if b_t { (b[1], b[0]) } else { (b[0], b[1]) };
+    assert_eq!(k, k2, "inner dimensions must agree");
+    (m, k, n)
 }
 
 #[cfg(test)]
@@ -149,6 +176,30 @@ mod tests {
             eye.set(&[i, i], 1.0);
         }
         assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn blocked_matches_naive_beyond_tile_boundaries() {
+        let a = seq(&[70, 131]);
+        let b = seq(&[131, 67]);
+        let fast = matmul(&a, &b);
+        let slow = matmul_naive(&a, &b);
+        assert!(
+            fast.max_abs_diff(&slow) < 1e-2,
+            "diff {}",
+            fast.max_abs_diff(&slow)
+        );
+    }
+
+    #[test]
+    fn nan_propagates_through_zero_lhs() {
+        // The seed kernel's `av == 0.0` early-continue silently dropped
+        // NaN/Inf contributions from B; the blocked core must not.
+        let a = Tensor::from_vec(&[1, 2], vec![0.0, 0.0]);
+        let b = Tensor::from_vec(&[2, 1], vec![f32::NAN, 1.0]);
+        assert!(matmul(&a, &b).data()[0].is_nan());
+        let at = Tensor::from_vec(&[2, 1], vec![0.0, 0.0]);
+        assert!(matmul_at_b(&at, &b).data()[0].is_nan());
     }
 
     #[test]

@@ -1,0 +1,1013 @@
+//! Register/cache-blocked GEMM core with operand packing and deterministic
+//! multi-threading — the compute engine behind all three of the paper's
+//! per-layer training GEMMs (Tab. 1).
+//!
+//! # Architecture
+//!
+//! The classic three-level blocking (BLIS-style): the k dimension is split
+//! into `KC`-deep panels, columns into `NC`-wide panels, and rows into
+//! `MC`-tall blocks. For each panel the operands are *packed* into
+//! contiguous tiles — A into `MR`-row strips, B into `NR`-column strips — so
+//! the `MR×NR` register micro-kernel streams both operands sequentially and
+//! keeps all `MR·NR` accumulators live across the whole `KC` depth.
+//!
+//! Operands are described by [`MatSrc`], which abstracts *where elements
+//! come from*: a row-major or column-major matrix in memory, an NCHW
+//! feature map viewed as a `[pixels × channels]` matrix, or a **virtual
+//! im2col matrix** generated straight from the convolution input. The last
+//! one is the fusion that makes `conv2d`/`conv2d_backward_weights` stream
+//! receptive-field tiles directly into the packing buffers instead of
+//! materializing the full `[n·ho·wo, ci·kh·kw]` lowering (the dominant
+//! memory cost the paper's data-reuse argument targets).
+//!
+//! # Threading and determinism
+//!
+//! Row blocks are distributed contiguously over scoped threads
+//! (`std::thread::scope`); each thread owns a disjoint slice of C rows and
+//! packs its own panels. Thread boundaries are aligned to the `MC` grid, so
+//! every output element sees the *same* accumulation order regardless of
+//! thread count: results are bitwise identical for 1 thread and N threads.
+//! The thread count comes from the `MBS_THREADS` environment variable
+//! (default: available parallelism), read once per process.
+//!
+//! Unlike the previous naive kernels there is no `a == 0.0` skip: zeros are
+//! multiplied like any other value, so NaN/Inf propagate correctly and the
+//! inner loop carries no data-dependent branch.
+
+use std::sync::OnceLock;
+
+use crate::arena;
+use crate::ops::im2col::Conv2dCfg;
+
+/// Micro-kernel rows (A strip height).
+pub const MR: usize = 8;
+/// Micro-kernel columns (B strip width). The 8×8 tile keeps the 64-float
+/// accumulator inside LLVM's scalar-replacement limit, so it is promoted
+/// to vector registers on both AVX2 and AVX-512 targets; larger tiles
+/// (tested: 8×16, 16×16, 8×32, 4×16) either spill the tile to the stack
+/// (~10× slower) or shrink the packing fast path.
+pub const NR: usize = 8;
+/// Rows per packed A block (multiple of `MR`; sized for L1).
+pub const MC: usize = 64;
+/// Depth of one packed panel (shared by A and B; sized for L1/L2).
+pub const KC: usize = 128;
+/// Columns per packed B panel (multiple of `NR`; sized for L2).
+pub const NC: usize = 256;
+
+/// Number of GEMM worker threads: `MBS_THREADS` if set and positive, else
+/// the machine's available parallelism. Read once per process.
+pub fn configured_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("MBS_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Convolution lowering geometry for the virtual im2col operand.
+#[derive(Debug, Clone, Copy)]
+pub struct Im2colGeom {
+    /// Batch size.
+    pub n: usize,
+    /// Input channels.
+    pub ci: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Output height.
+    pub ho: usize,
+    /// Output width.
+    pub wo: usize,
+    /// Kernel/stride/padding geometry.
+    pub cfg: Conv2dCfg,
+}
+
+impl Im2colGeom {
+    /// Geometry for input `[n, ci, h, w]` under `cfg`.
+    pub fn new(n: usize, ci: usize, h: usize, w: usize, cfg: Conv2dCfg) -> Self {
+        let (ho, wo) = cfg.out_extent(h, w);
+        Self {
+            n,
+            ci,
+            h,
+            w,
+            ho,
+            wo,
+            cfg,
+        }
+    }
+
+    /// Rows of the virtual im2col matrix (`n·ho·wo` output pixels).
+    pub fn rows(&self) -> usize {
+        self.n * self.ho * self.wo
+    }
+
+    /// Columns of the virtual im2col matrix (`ci·kh·kw` filter taps).
+    pub fn cols(&self) -> usize {
+        self.ci * self.cfg.kernel_h * self.cfg.kernel_w
+    }
+}
+
+/// Where a GEMM operand's elements come from.
+///
+/// Logical coordinates are always `(r, c)` in the orientation the GEMM
+/// needs: A sources are indexed `(i ∈ m, p ∈ k)`, B sources `(p ∈ k,
+/// j ∈ n)`.
+#[derive(Debug, Clone, Copy)]
+pub enum MatSrc<'a> {
+    /// `(r, c) → data[r·stride + c]`.
+    RowMajor {
+        /// Backing storage.
+        data: &'a [f32],
+        /// Row stride.
+        stride: usize,
+    },
+    /// `(r, c) → data[c·stride + r]` — a transposed view, used for `Aᵀ·B`
+    /// and `A·Bᵀ` without materializing the transpose.
+    ColMajor {
+        /// Backing storage.
+        data: &'a [f32],
+        /// Column stride (the stored row length).
+        stride: usize,
+    },
+    /// An `[n, c, h, w]` feature map read as `[n·h·w pixels × c channels]`
+    /// (im2col row order): `(r, ch) → data[(rₙ·c + ch)·hw + r_off]`.
+    NchwRows {
+        /// Backing storage.
+        data: &'a [f32],
+        /// Channel count.
+        c: usize,
+        /// Spatial extent `h·w`.
+        hw: usize,
+    },
+    /// The transpose of [`MatSrc::NchwRows`]: `[c channels × n·h·w pixels]`.
+    NchwCols {
+        /// Backing storage.
+        data: &'a [f32],
+        /// Channel count.
+        c: usize,
+        /// Spatial extent `h·w`.
+        hw: usize,
+    },
+    /// Virtual im2col lowering of a convolution input: row `r` is output
+    /// pixel `r`, column `c` is filter tap `(ci, ky, kx)`. Elements are
+    /// generated on the fly during packing; the full matrix never exists.
+    Im2col {
+        /// The convolution input `[n, ci, h, w]`.
+        x: &'a [f32],
+        /// Lowering geometry.
+        geom: Im2colGeom,
+    },
+}
+
+/// `C[m×n] = A[m×k] · B[k×n]` with the process-default thread count.
+///
+/// `c` must hold exactly `m·n` elements and is overwritten (it need not be
+/// zeroed first); when `k == 0` the output is left untouched.
+///
+/// # Panics
+///
+/// Panics if `c.len() != m·n` or an operand is smaller than its logical
+/// extent.
+pub fn gemm(a: &MatSrc<'_>, b: &MatSrc<'_>, c: &mut [f32], m: usize, n: usize, k: usize) {
+    gemm_with_threads(a, b, c, m, n, k, configured_threads());
+}
+
+/// [`gemm`] with an explicit thread count (used by the determinism tests;
+/// results are bitwise identical for any `threads ≥ 1`).
+///
+/// # Panics
+///
+/// Panics if `c.len() != m·n`.
+pub fn gemm_with_threads(
+    a: &MatSrc<'_>,
+    b: &MatSrc<'_>,
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+) {
+    assert_eq!(c.len(), m * n, "output buffer must be m·n");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Contiguous MC-aligned row ranges per thread: alignment to the global
+    // MC grid keeps the per-element accumulation order identical to the
+    // single-threaded schedule (bitwise determinism).
+    let blocks = m.div_ceil(MC);
+    scoped_chunks(c, MC * n, blocks, threads, |first_block, chunk| {
+        let rows = chunk.len() / n;
+        worker(a, b, chunk, first_block * MC, rows, n, k);
+    });
+}
+
+/// Splits `buf` into contiguous runs of whole `unit`-sized items (`items`
+/// of them; the final item may be short) and runs `f(first_item, chunk)`
+/// for each run on a scoped thread. The partition is a pure function of
+/// `(items, threads)`, so any work whose per-item order is fixed stays
+/// bitwise-deterministic for every thread count. Shared by the GEMM row
+/// split and the [`crate::ops::im2col::col2im_t`] sample split.
+pub(crate) fn scoped_chunks<F>(buf: &mut [f32], unit: usize, items: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if buf.is_empty() || items == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(items);
+    if threads == 1 {
+        f(0, buf);
+        return;
+    }
+    let per = items / threads;
+    let extra = items % threads;
+    std::thread::scope(|scope| {
+        let mut rest = buf;
+        let mut item = 0usize;
+        for t in 0..threads {
+            let count = per + usize::from(t < extra);
+            let len = (count * unit).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let first = item;
+            item += count;
+            let f = &f;
+            scope.spawn(move || f(first, chunk));
+        }
+    });
+}
+
+/// Computes rows `[r0, r0+rows)` of C into `c_rows` (a `rows×n` slice).
+fn worker(
+    a: &MatSrc<'_>,
+    b: &MatSrc<'_>,
+    c_rows: &mut [f32],
+    r0: usize,
+    rows: usize,
+    n: usize,
+    k: usize,
+) {
+    let mut a_buf = arena::take(MC * KC);
+    let mut b_buf = arena::take(KC * NC);
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let nr_strips = nc.div_ceil(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            // The first depth panel *stores* its tile into C, later panels
+            // accumulate — so callers never pre-zero C and the store pass
+            // skips C's read traffic.
+            let first_panel = pc == 0;
+            pack_b(b, &mut b_buf, pc, kc, jc, nc);
+            for ic in (0..rows).step_by(MC) {
+                let mc = MC.min(rows - ic);
+                pack_a(a, &mut a_buf, r0 + ic, mc, pc, kc);
+                let mr_strips = mc.div_ceil(MR);
+                for js in 0..nr_strips {
+                    let b_strip = &b_buf[js * kc * NR..(js + 1) * kc * NR];
+                    let j_hi = NR.min(nc - js * NR);
+                    for is in 0..mr_strips {
+                        let a_strip = &a_buf[is * kc * MR..(is + 1) * kc * MR];
+                        let i_hi = MR.min(mc - is * MR);
+                        let mut acc = [[0.0f32; NR]; MR];
+                        micro_kernel(kc, a_strip, b_strip, &mut acc);
+                        for (i, acc_row) in acc.iter().enumerate().take(i_hi) {
+                            let off = (ic + is * MR + i) * n + jc + js * NR;
+                            let c_row = &mut c_rows[off..off + j_hi];
+                            if first_panel {
+                                for (cv, av) in c_row.iter_mut().zip(acc_row) {
+                                    *cv = *av;
+                                }
+                            } else {
+                                for (cv, av) in c_row.iter_mut().zip(acc_row) {
+                                    *cv += av;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The `MR×NR` register tile: accumulates `kc` outer products from packed
+/// strips. `a` is `kc×MR` (strip-major), `b` is `kc×NR`.
+#[inline(always)]
+fn micro_kernel(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (av, bv) in a.chunks_exact(MR).zip(b.chunks_exact(NR)).take(kc) {
+        for (ai, row) in av.iter().zip(acc.iter_mut()) {
+            for (slot, bj) in row.iter_mut().zip(bv) {
+                *slot += ai * bj;
+            }
+        }
+    }
+}
+
+/// Packs A rows `[i0, i0+mc) × depth [p0, p0+kc)` into `MR`-row strips:
+/// `buf[strip·kc·MR + p·MR + i]`, zero-padded to full strips. Every source
+/// variant gets a specialized loop (contiguous copies or one divmod per
+/// run) — the packing pass is the fused paths' only touch of the operand,
+/// so its per-element cost directly bounds kernel throughput.
+fn pack_a(src: &MatSrc<'_>, buf: &mut [f32], i0: usize, mc: usize, p0: usize, kc: usize) {
+    let strips = mc.div_ceil(MR);
+    match *src {
+        MatSrc::RowMajor { data, stride } => {
+            for s in 0..strips {
+                let strip = &mut buf[s * kc * MR..(s + 1) * kc * MR];
+                let lanes = MR.min(mc - s * MR);
+                for ii in 0..MR {
+                    if ii >= lanes {
+                        zero_lane(strip, kc, MR, ii);
+                        continue;
+                    }
+                    let row = &data[(i0 + s * MR + ii) * stride + p0..][..kc];
+                    for (p, &v) in row.iter().enumerate() {
+                        strip[p * MR + ii] = v;
+                    }
+                }
+            }
+        }
+        MatSrc::ColMajor { data, stride } => {
+            for s in 0..strips {
+                let strip = &mut buf[s * kc * MR..(s + 1) * kc * MR];
+                let lanes = MR.min(mc - s * MR);
+                for p in 0..kc {
+                    let col = &data[(p0 + p) * stride + i0 + s * MR..][..lanes];
+                    let cell = &mut strip[p * MR..(p + 1) * MR];
+                    cell[..lanes].copy_from_slice(col);
+                    for slot in &mut cell[lanes..] {
+                        *slot = 0.0;
+                    }
+                }
+            }
+        }
+        MatSrc::NchwRows { data, c, hw } => {
+            for s in 0..strips {
+                let strip = &mut buf[s * kc * MR..(s + 1) * kc * MR];
+                let lanes = MR.min(mc - s * MR);
+                for ii in 0..MR {
+                    if ii >= lanes {
+                        zero_lane(strip, kc, MR, ii);
+                        continue;
+                    }
+                    let r = i0 + s * MR + ii;
+                    let base = (r / hw) * c * hw + r % hw;
+                    for p in 0..kc {
+                        strip[p * MR + ii] = data[base + (p0 + p) * hw];
+                    }
+                }
+            }
+        }
+        MatSrc::NchwCols { data, c, hw } => {
+            for s in 0..strips {
+                let strip = &mut buf[s * kc * MR..(s + 1) * kc * MR];
+                let lanes = MR.min(mc - s * MR);
+                for ii in 0..MR {
+                    if ii >= lanes {
+                        zero_lane(strip, kc, MR, ii);
+                        continue;
+                    }
+                    let ch = i0 + s * MR + ii;
+                    let mut p = 0usize;
+                    while p < kc {
+                        let pix = p0 + p;
+                        let off = pix % hw;
+                        let run = (hw - off).min(kc - p);
+                        let src_run = &data[(pix / hw * c + ch) * hw + off..][..run];
+                        for (q, &v) in src_run.iter().enumerate() {
+                            strip[(p + q) * MR + ii] = v;
+                        }
+                        p += run;
+                    }
+                }
+            }
+        }
+        MatSrc::Im2col { x, geom } => pack_a_im2col(x, &geom, buf, i0, mc, p0, kc),
+    }
+}
+
+/// Packs B depth `[p0, p0+kc) × cols [j0, j0+nc)` into `NR`-column strips:
+/// `buf[strip·kc·NR + p·NR + j]`, zero-padded to full strips.
+fn pack_b(src: &MatSrc<'_>, buf: &mut [f32], p0: usize, kc: usize, j0: usize, nc: usize) {
+    let strips = nc.div_ceil(NR);
+    match *src {
+        MatSrc::RowMajor { data, stride } => {
+            for s in 0..strips {
+                let strip = &mut buf[s * kc * NR..(s + 1) * kc * NR];
+                let lanes = NR.min(nc - s * NR);
+                for p in 0..kc {
+                    let row = &data[(p0 + p) * stride + j0 + s * NR..][..lanes];
+                    let cell = &mut strip[p * NR..(p + 1) * NR];
+                    cell[..lanes].copy_from_slice(row);
+                    for slot in &mut cell[lanes..] {
+                        *slot = 0.0;
+                    }
+                }
+            }
+        }
+        MatSrc::ColMajor { data, stride } => {
+            for s in 0..strips {
+                let strip = &mut buf[s * kc * NR..(s + 1) * kc * NR];
+                let lanes = NR.min(nc - s * NR);
+                for jj in 0..NR {
+                    if jj >= lanes {
+                        zero_lane(strip, kc, NR, jj);
+                        continue;
+                    }
+                    let col = &data[(j0 + s * NR + jj) * stride + p0..][..kc];
+                    for (p, &v) in col.iter().enumerate() {
+                        strip[p * NR + jj] = v;
+                    }
+                }
+            }
+        }
+        MatSrc::NchwRows { data, c, hw } => {
+            for s in 0..strips {
+                let strip = &mut buf[s * kc * NR..(s + 1) * kc * NR];
+                let lanes = NR.min(nc - s * NR);
+                for p in 0..kc {
+                    let r = p0 + p;
+                    let base = (r / hw) * c * hw + r % hw;
+                    let cell = &mut strip[p * NR..(p + 1) * NR];
+                    for (jj, slot) in cell.iter_mut().enumerate() {
+                        *slot = if jj < lanes {
+                            data[base + (j0 + s * NR + jj) * hw]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+        MatSrc::NchwCols { data, c, hw } => {
+            for s in 0..strips {
+                let strip = &mut buf[s * kc * NR..(s + 1) * kc * NR];
+                let lanes = NR.min(nc - s * NR);
+                for jj in 0..NR {
+                    if jj >= lanes {
+                        zero_lane(strip, kc, NR, jj);
+                        continue;
+                    }
+                    let pix = j0 + s * NR + jj;
+                    let base = (pix / hw * c) * hw + pix % hw;
+                    for p in 0..kc {
+                        strip[p * NR + jj] = data[base + (p0 + p) * hw];
+                    }
+                }
+            }
+        }
+        MatSrc::Im2col { x, geom } => pack_b_im2col(x, &geom, buf, p0, kc, j0, nc),
+    }
+}
+
+/// Zeroes one padding lane of a packed strip (`width` = MR or NR).
+#[inline(always)]
+fn zero_lane(strip: &mut [f32], kc: usize, width: usize, lane: usize) {
+    for p in 0..kc {
+        strip[p * width + lane] = 0.0;
+    }
+}
+
+/// Streams im2col *rows* (output pixels) into packed-A strips: the fused
+/// conv-forward path.
+///
+/// Fast path: when a strip's `MR` pixels lie in one output row, the `MR`
+/// lanes of a tap read `MR` consecutive (stride 1) or evenly strided input
+/// values, so the whole tap packs as one bounds-checked copy; only strips
+/// touching the padding halo or an image-row boundary fall back to the
+/// per-lane loop.
+fn pack_a_im2col(
+    x: &[f32],
+    geom: &Im2colGeom,
+    buf: &mut [f32],
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+) {
+    let runs = tap_runs(geom, p0, kc);
+    let strips = mc.div_ceil(MR);
+    let hw = geom.ho * geom.wo;
+    let stride = geom.cfg.stride;
+    for s in 0..strips {
+        let strip = &mut buf[s * kc * MR..(s + 1) * kc * MR];
+        let lanes = MR.min(mc - s * MR);
+        let r0 = i0 + s * MR;
+        // Whole strip in one (sample, output-row) pair?
+        let same_row =
+            lanes == MR && (r0 % geom.wo) + MR <= geom.wo && r0 / hw == (r0 + MR - 1) / hw;
+        if same_row {
+            let ni = r0 / hw;
+            let off = r0 % hw;
+            let oy = off / geom.wo;
+            let ox0 = off % geom.wo;
+            let iy0 = (oy * stride) as isize - geom.cfg.pad_h as isize;
+            let ix_first0 = (ox0 * stride) as isize - geom.cfg.pad_w as isize;
+            for run in &runs {
+                let iy = iy0 + run.ky;
+                if iy < 0 || iy as usize >= geom.h {
+                    for q in 0..run.len {
+                        strip[(run.start + q) * MR..(run.start + q) * MR + MR].fill(0.0);
+                    }
+                    continue;
+                }
+                let row_base = ((ni * geom.ci + run.ch) * geom.h + iy as usize) * geom.w;
+                for q in 0..run.len {
+                    let ix_first = ix_first0 + run.kx0 + q as isize;
+                    let ix_last = ix_first + ((MR - 1) * stride) as isize;
+                    let cell = &mut strip[(run.start + q) * MR..(run.start + q) * MR + MR];
+                    if ix_first >= 0 && (ix_last as usize) < geom.w {
+                        let src0 = row_base + ix_first as usize;
+                        if stride == 1 {
+                            cell.copy_from_slice(&x[src0..src0 + MR]);
+                        } else {
+                            for (ii, slot) in cell.iter_mut().enumerate() {
+                                *slot = x[src0 + ii * stride];
+                            }
+                        }
+                    } else if stride == 1 {
+                        // Boundary tile: zero the out-of-image lanes, copy
+                        // the contiguous in-bounds span.
+                        let lo = (-ix_first).clamp(0, MR as isize) as usize;
+                        let hi = (geom.w as isize - ix_first).clamp(0, MR as isize) as usize;
+                        cell[..lo].fill(0.0);
+                        cell[hi..].fill(0.0);
+                        if hi > lo {
+                            let src0 = (row_base as isize + ix_first + lo as isize) as usize;
+                            cell[lo..hi].copy_from_slice(&x[src0..src0 + hi - lo]);
+                        }
+                    } else {
+                        for (ii, slot) in cell.iter_mut().enumerate() {
+                            let ix = ix_first + (ii * stride) as isize;
+                            *slot = if ix < 0 || ix as usize >= geom.w {
+                                0.0
+                            } else {
+                                x[row_base + ix as usize]
+                            };
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        for ii in 0..MR {
+            if ii >= lanes {
+                zero_lane(strip, kc, MR, ii);
+                continue;
+            }
+            let r = r0 + ii;
+            let ni = r / hw;
+            let off = r % hw;
+            let oy = off / geom.wo;
+            let ox = off % geom.wo;
+            let iy0 = (oy * stride) as isize - geom.cfg.pad_h as isize;
+            let ix0 = (ox * stride) as isize - geom.cfg.pad_w as isize;
+            for run in &runs {
+                let iy = iy0 + run.ky;
+                if iy < 0 || iy as usize >= geom.h {
+                    for q in 0..run.len {
+                        strip[(run.start + q) * MR + ii] = 0.0;
+                    }
+                    continue;
+                }
+                let row_base = ((ni * geom.ci + run.ch) * geom.h + iy as usize) * geom.w;
+                let ix_first = ix0 + run.kx0;
+                if ix_first >= 0 && (ix_first as usize) + run.len <= geom.w {
+                    let src0 = row_base + ix_first as usize;
+                    for (q, &v) in x[src0..src0 + run.len].iter().enumerate() {
+                        strip[(run.start + q) * MR + ii] = v;
+                    }
+                } else {
+                    for q in 0..run.len {
+                        let ix = ix_first + q as isize;
+                        strip[(run.start + q) * MR + ii] = if ix < 0 || ix as usize >= geom.w {
+                            0.0
+                        } else {
+                            x[row_base + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streams im2col rows as a packed-B operand (rows are the *k* dimension —
+/// the fused weight-gradient path `dW = dY₂dᵀ · cols(x)`).
+///
+/// Two passes over a panel-sized scratch buffer: pixel-major row
+/// generation (contiguous writes, one bounds decision per tap run), then a
+/// re-pack into `NR`-column strips as contiguous `NR`-float copies. Only
+/// the `kc×nc` panel ever exists; the full lowering is never materialized.
+fn pack_b_im2col(
+    x: &[f32],
+    geom: &Im2colGeom,
+    buf: &mut [f32],
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+) {
+    let runs = tap_runs(geom, j0, nc);
+    let hw = geom.ho * geom.wo;
+    let stride = geom.cfg.stride;
+    let pad_w = geom.cfg.pad_w as isize;
+    let mut scratch = arena::take(kc * nc);
+
+    // Pass 1: scratch[p][·] = im2col row of pixel p0+p, taps [j0, j0+nc).
+    let mut ni = (p0) / hw;
+    let mut off = (p0) % hw;
+    for p in 0..kc {
+        let oy = off / geom.wo;
+        let ox = off % geom.wo;
+        let iy0 = (oy * stride) as isize - geom.cfg.pad_h as isize;
+        let ix0 = (ox * stride) as isize - pad_w;
+        let kx_lo = (-ix0).max(0);
+        let kx_hi = (geom.w as isize - ix0).max(0);
+        let row = &mut scratch[p * nc..(p + 1) * nc];
+        for run in &runs {
+            let iy = iy0 + run.ky;
+            let dst = &mut row[run.start..run.start + run.len];
+            if iy < 0 || iy as usize >= geom.h {
+                dst.fill(0.0);
+                continue;
+            }
+            // Valid kx sub-interval of [kx0, kx0+len).
+            let lo = kx_lo.clamp(run.kx0, run.kx0 + run.len as isize);
+            let hi = kx_hi.clamp(run.kx0, run.kx0 + run.len as isize);
+            let row_base = ((ni * geom.ci + run.ch) * geom.h + iy as usize) * geom.w;
+            dst[..(lo - run.kx0) as usize].fill(0.0);
+            dst[(hi - run.kx0) as usize..].fill(0.0);
+            if hi > lo {
+                let from = (row_base as isize + ix0 + lo) as usize;
+                dst[(lo - run.kx0) as usize..(hi - run.kx0) as usize]
+                    .copy_from_slice(&x[from..from + (hi - lo) as usize]);
+            }
+        }
+        off += 1;
+        if off == hw {
+            off = 0;
+            ni += 1;
+        }
+    }
+
+    // Pass 2: strip re-pack (contiguous NR-float copies).
+    let strips = nc.div_ceil(NR);
+    for s in 0..strips {
+        let strip = &mut buf[s * kc * NR..(s + 1) * kc * NR];
+        let lanes = NR.min(nc - s * NR);
+        for p in 0..kc {
+            let cell = &mut strip[p * NR..(p + 1) * NR];
+            cell[..lanes].copy_from_slice(&scratch[p * nc + s * NR..p * nc + s * NR + lanes]);
+            cell[lanes..].fill(0.0);
+        }
+    }
+}
+
+/// A maximal run of consecutive im2col taps sharing `(channel, ky)` — the
+/// unit at which the streaming packers do bounds checks and row lookups.
+struct TapRun {
+    /// Offset of the run's first tap within the packed range.
+    start: usize,
+    /// Taps in the run (≤ `kernel_w`).
+    len: usize,
+    /// Input channel.
+    ch: usize,
+    /// Kernel row, as a signed offset for padding arithmetic.
+    ky: isize,
+    /// First kernel column in the run, signed.
+    kx0: isize,
+}
+
+/// Decomposes taps `[first, first+count)` into [`TapRun`]s.
+fn tap_runs(geom: &Im2colGeom, first: usize, count: usize) -> Vec<TapRun> {
+    let (kh, kw) = (geom.cfg.kernel_h, geom.cfg.kernel_w);
+    let khkw = kh * kw;
+    let mut runs = Vec::with_capacity(count.div_ceil(kw) + 1);
+    let mut t = 0usize;
+    while t < count {
+        let col = first + t;
+        let ch = col / khkw;
+        let rem = col % khkw;
+        let ky = rem / kw;
+        let kx0 = rem % kw;
+        let len = (kw - kx0).min(count - t);
+        runs.push(TapRun {
+            start: t,
+            len,
+            ch,
+            ky: ky as isize,
+            kx0: kx0 as isize,
+        });
+        t += len;
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(len: usize, salt: usize) -> Vec<f32> {
+        (0..len)
+            .map(|v| ((v * 13 + salt * 7) % 19) as f32 - 9.0)
+            .collect()
+    }
+
+    fn naive(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_naive_on_non_tile_shapes() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (7, 9, 5),
+            (65, 17, 130),
+            (64, 256, 128),
+            (100, 3, 300),
+        ] {
+            let a = seq(m * k, 1);
+            let b = seq(k * n, 2);
+            let mut c = vec![0.0f32; m * n];
+            gemm(
+                &MatSrc::RowMajor {
+                    data: &a,
+                    stride: k,
+                },
+                &MatSrc::RowMajor {
+                    data: &b,
+                    stride: n,
+                },
+                &mut c,
+                m,
+                n,
+                k,
+            );
+            let expect = naive(&a, &b, m, n, k);
+            for (x, y) in c.iter().zip(&expect) {
+                assert!(
+                    (x - y).abs() <= 1e-3 * y.abs().max(1.0),
+                    "({m},{n},{k}): {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_counts_are_bitwise_identical() {
+        let (m, n, k) = (133, 37, 97);
+        let a = seq(m * k, 3);
+        let b = seq(k * n, 4);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c4 = vec![0.0f32; m * n];
+        let asrc = MatSrc::RowMajor {
+            data: &a,
+            stride: k,
+        };
+        let bsrc = MatSrc::RowMajor {
+            data: &b,
+            stride: n,
+        };
+        gemm_with_threads(&asrc, &bsrc, &mut c1, m, n, k, 1);
+        gemm_with_threads(&asrc, &bsrc, &mut c4, m, n, k, 4);
+        assert_eq!(c1, c4, "thread count must not change results bitwise");
+    }
+
+    #[test]
+    fn transposed_sources_match_explicit_transpose() {
+        let (m, n, k) = (13, 11, 21);
+        let a = seq(m * k, 5);
+        let b = seq(k * n, 6);
+        // A stored column-major ([k, m] layout).
+        let mut at = vec![0.0f32; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut c = vec![0.0f32; m * n];
+        gemm(
+            &MatSrc::ColMajor {
+                data: &at,
+                stride: m,
+            },
+            &MatSrc::RowMajor {
+                data: &b,
+                stride: n,
+            },
+            &mut c,
+            m,
+            n,
+            k,
+        );
+        let expect = naive(&a, &b, m, n, k);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() <= 1e-3 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn nchw_sources_match_explicit_matrices() {
+        // An [n, c, h, w] map viewed as pixels×channels (NchwRows) and
+        // channels×pixels (NchwCols), exercised as BOTH the A and B
+        // operand against explicitly materialized matrices.
+        let (n, c, h, w) = (3usize, 5usize, 4usize, 3usize);
+        let hw = h * w;
+        let pixels = n * hw;
+        let map: Vec<f32> = (0..n * c * hw).map(|v| (v % 13) as f32 - 6.0).collect();
+        // rows[pixel][ch] and its transpose, materialized.
+        let mut rows = vec![0.0f32; pixels * c];
+        for r in 0..pixels {
+            for ch in 0..c {
+                rows[r * c + ch] = map[(r / hw * c + ch) * hw + r % hw];
+            }
+        }
+        let other = seq(pixels * 7, 9); // shared dense operand
+
+        // NchwRows as A ([pixels, c] · [c, 7]).
+        let w2: Vec<f32> = other[..c * 7].to_vec();
+        let mut got = vec![0.0f32; pixels * 7];
+        let mut want = vec![0.0f32; pixels * 7];
+        gemm(
+            &MatSrc::NchwRows { data: &map, c, hw },
+            &MatSrc::RowMajor {
+                data: &w2,
+                stride: 7,
+            },
+            &mut got,
+            pixels,
+            7,
+            c,
+        );
+        gemm(
+            &MatSrc::RowMajor {
+                data: &rows,
+                stride: c,
+            },
+            &MatSrc::RowMajor {
+                data: &w2,
+                stride: 7,
+            },
+            &mut want,
+            pixels,
+            7,
+            c,
+        );
+        assert_eq!(got, want, "NchwRows as A");
+
+        // NchwCols as A ([c, pixels] · [pixels, 7]).
+        let mut got = vec![0.0f32; c * 7];
+        let mut want = vec![0.0f32; c * 7];
+        gemm(
+            &MatSrc::NchwCols { data: &map, c, hw },
+            &MatSrc::RowMajor {
+                data: &other,
+                stride: 7,
+            },
+            &mut got,
+            c,
+            7,
+            pixels,
+        );
+        gemm(
+            &MatSrc::ColMajor {
+                data: &rows,
+                stride: c,
+            },
+            &MatSrc::RowMajor {
+                data: &other,
+                stride: 7,
+            },
+            &mut want,
+            c,
+            7,
+            pixels,
+        );
+        assert_eq!(got, want, "NchwCols as A");
+
+        // NchwRows as B ([7, pixels] · [pixels, c]).
+        let mut got = vec![0.0f32; 7 * c];
+        let mut want = vec![0.0f32; 7 * c];
+        gemm(
+            &MatSrc::ColMajor {
+                data: &other,
+                stride: 7,
+            },
+            &MatSrc::NchwRows { data: &map, c, hw },
+            &mut got,
+            7,
+            c,
+            pixels,
+        );
+        gemm(
+            &MatSrc::ColMajor {
+                data: &other,
+                stride: 7,
+            },
+            &MatSrc::RowMajor {
+                data: &rows,
+                stride: c,
+            },
+            &mut want,
+            7,
+            c,
+            pixels,
+        );
+        assert_eq!(got, want, "NchwRows as B");
+
+        // NchwCols as B ([7, c] · [c, pixels]).
+        let a7: Vec<f32> = other[..7 * c].to_vec();
+        let mut got = vec![0.0f32; 7 * pixels];
+        let mut want = vec![0.0f32; 7 * pixels];
+        gemm(
+            &MatSrc::RowMajor {
+                data: &a7,
+                stride: c,
+            },
+            &MatSrc::NchwCols { data: &map, c, hw },
+            &mut got,
+            7,
+            pixels,
+            c,
+        );
+        gemm(
+            &MatSrc::RowMajor {
+                data: &a7,
+                stride: c,
+            },
+            &MatSrc::ColMajor {
+                data: &rows,
+                stride: c,
+            },
+            &mut want,
+            7,
+            pixels,
+            c,
+        );
+        assert_eq!(got, want, "NchwCols as B");
+    }
+
+    #[test]
+    fn zero_operands_propagate_nan() {
+        // The old kernels skipped a==0.0, silently dropping NaN/Inf in B.
+        let a = vec![0.0f32, 0.0];
+        let b = vec![f32::NAN, 1.0];
+        let mut c = vec![0.0f32; 1];
+        gemm(
+            &MatSrc::RowMajor {
+                data: &a,
+                stride: 2,
+            },
+            &MatSrc::RowMajor {
+                data: &b,
+                stride: 1,
+            },
+            &mut c,
+            1,
+            1,
+            2,
+        );
+        assert!(c[0].is_nan(), "0·NaN must propagate, got {}", c[0]);
+    }
+
+    #[test]
+    fn overwrites_existing_output() {
+        let a = vec![1.0f32];
+        let b = vec![2.0f32];
+        let mut c = vec![5.0f32];
+        gemm(
+            &MatSrc::RowMajor {
+                data: &a,
+                stride: 1,
+            },
+            &MatSrc::RowMajor {
+                data: &b,
+                stride: 1,
+            },
+            &mut c,
+            1,
+            1,
+            1,
+        );
+        assert_eq!(c[0], 2.0, "gemm overwrites stale output contents");
+    }
+}

@@ -24,13 +24,19 @@ impl Tensor {
     /// A tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; len] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
     }
 
     /// A tensor filled with a constant.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let len = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![value; len] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
     }
 
     /// Builds a tensor from raw data.
@@ -44,7 +50,10 @@ impl Tensor {
             shape.iter().product::<usize>(),
             "data length must match shape"
         );
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The tensor shape.
@@ -98,6 +107,25 @@ impl Tensor {
         self.data[off] = value;
     }
 
+    /// Overwrites this tensor with a copy of `data` under `shape`, reusing
+    /// the existing allocation (the executor's sub-batch loop relies on
+    /// this to avoid a fresh allocation per sub-batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn assign(&mut self, shape: &[usize], data: &[f32]) {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length must match shape"
+        );
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.clear();
+        self.data.extend_from_slice(data);
+    }
+
     /// Returns a tensor with a new shape sharing the same data.
     ///
     /// # Panics
@@ -109,7 +137,10 @@ impl Tensor {
             shape.iter().product::<usize>(),
             "reshape must preserve element count"
         );
-        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// Element-wise addition.
@@ -119,8 +150,16 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch in add");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// In-place element-wise addition.

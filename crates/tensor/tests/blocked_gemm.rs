@@ -1,0 +1,227 @@
+//! Property tests pinning the packed blocked GEMM core and the fused
+//! convolution paths against their naive references, across
+//! non-tile-divisible shapes, padding, stride, and thread counts.
+
+use proptest::prelude::*;
+
+use mbs_tensor::ops::pack::{gemm_with_threads, Im2colGeom, MatSrc};
+use mbs_tensor::ops::{
+    col2im, col2im_t, conv2d, conv2d_backward_data, conv2d_backward_weights, conv2d_naive, im2col,
+    matmul, matmul_a_bt, matmul_at_b, matmul_naive, Conv2dCfg,
+};
+use mbs_tensor::Tensor;
+
+fn tensor_strategy(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let len: usize = shape.iter().product();
+    proptest::collection::vec(-2.0f32..2.0, len)
+        .prop_map(move |data| Tensor::from_vec(&shape, data))
+}
+
+/// Max |a - b| with a tolerance scaled by the reduction depth.
+fn assert_close(a: &Tensor, b: &Tensor, k: usize, what: &str) {
+    let tol = 1e-5 * (k as f32).max(1.0) * 4.0;
+    let diff = a.max_abs_diff(b);
+    assert!(diff < tol, "{what}: diff {diff} tol {tol}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The blocked core matches the naive triple loop on shapes that are
+    /// deliberately not multiples of MR/NR/MC/KC/NC.
+    #[test]
+    fn blocked_matmul_matches_naive(
+        m in 1usize..70,
+        k in 1usize..140,
+        n in 1usize..40,
+        seed in 0usize..1000,
+    ) {
+        let a = Tensor::from_vec(
+            &[m, k],
+            (0..m * k).map(|v| ((v * 31 + seed) % 17) as f32 / 4.0 - 2.0).collect(),
+        );
+        let b = Tensor::from_vec(
+            &[k, n],
+            (0..k * n).map(|v| ((v * 13 + seed * 7) % 19) as f32 / 4.0 - 2.0).collect(),
+        );
+        assert_close(&matmul(&a, &b), &matmul_naive(&a, &b), k, "matmul");
+    }
+
+    /// Transposed-view variants equal transpose-then-multiply.
+    #[test]
+    fn transposed_variants_match_naive(
+        m in 1usize..40,
+        k in 1usize..80,
+        n in 1usize..30,
+    ) {
+        let av = Tensor::from_vec(&[m, k], (0..m * k).map(|v| (v % 11) as f32 - 5.0).collect());
+        let bv = Tensor::from_vec(&[k, n], (0..k * n).map(|v| (v % 7) as f32 - 3.0).collect());
+        let reference = matmul_naive(&av, &bv);
+
+        let mut at = Tensor::zeros(&[k, m]);
+        for i in 0..m {
+            for p in 0..k {
+                at.set(&[p, i], av.get(&[i, p]));
+            }
+        }
+        assert_close(&matmul_at_b(&at, &bv), &reference, k, "matmul_at_b");
+
+        let mut bt = Tensor::zeros(&[n, k]);
+        for p in 0..k {
+            for j in 0..n {
+                bt.set(&[j, p], bv.get(&[p, j]));
+            }
+        }
+        assert_close(&matmul_a_bt(&av, &bt), &reference, k, "matmul_a_bt");
+    }
+
+    /// Fused conv forward equals the direct loop nest for every geometry,
+    /// including non-square kernels and non-divisible channel counts.
+    #[test]
+    fn fused_conv_matches_naive(
+        x in tensor_strategy(vec![2, 3, 9, 7]),
+        w in tensor_strategy(vec![5, 3, 3, 3]),
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let cfg = Conv2dCfg::square(3, stride, pad);
+        let a = conv2d_naive(&x, &w, cfg);
+        let b = conv2d(&x, &w, cfg);
+        assert_close(&a, &b, 27, "conv2d");
+    }
+
+    /// Fused weight gradient equals the materialized-im2col reference
+    /// (`dW = dy₂dᵀ · im2col(x)` computed with the naive kernel).
+    #[test]
+    fn fused_weight_grad_matches_reference(
+        x in tensor_strategy(vec![2, 2, 6, 6]),
+        dy_seed in 0usize..100,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let cfg = Conv2dCfg::square(3, stride, pad);
+        let (ho, wo) = cfg.out_extent(6, 6);
+        let co = 4;
+        let dy = Tensor::from_vec(
+            &[2, co, ho, wo],
+            (0..2 * co * ho * wo)
+                .map(|v| ((v * 17 + dy_seed) % 13) as f32 / 3.0 - 2.0)
+                .collect(),
+        );
+        let fused = conv2d_backward_weights(&x, &dy, cfg);
+
+        // Reference: materialize im2col and dy rows, multiply naively.
+        let cols = im2col(&x, cfg);
+        let mut dy_rows = Tensor::zeros(&[2 * ho * wo, co]);
+        for ni in 0..2 {
+            for o in 0..co {
+                for p in 0..ho * wo {
+                    dy_rows.set(&[ni * ho * wo + p, o], dy.data()[(ni * co + o) * ho * wo + p]);
+                }
+            }
+        }
+        let mut dyt = Tensor::zeros(&[co, 2 * ho * wo]);
+        for r in 0..2 * ho * wo {
+            for o in 0..co {
+                dyt.set(&[o, r], dy_rows.get(&[r, o]));
+            }
+        }
+        let reference = matmul_naive(&dyt, &cols).reshape(&[co, 2, 3, 3]);
+        assert_close(&fused, &reference, 2 * ho * wo, "conv2d_backward_weights");
+    }
+
+    /// Data gradient equals the materialized reference
+    /// (`dX = col2im(dy₂d · W₂d)` with the naive kernel).
+    #[test]
+    fn data_grad_matches_reference(
+        w in tensor_strategy(vec![4, 2, 3, 3]),
+        dy_seed in 0usize..100,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let cfg = Conv2dCfg::square(3, stride, pad);
+        let (ho, wo) = cfg.out_extent(6, 6);
+        let co = 4;
+        let dy = Tensor::from_vec(
+            &[2, co, ho, wo],
+            (0..2 * co * ho * wo)
+                .map(|v| ((v * 23 + dy_seed) % 11) as f32 / 3.0 - 1.5)
+                .collect(),
+        );
+        let fast = conv2d_backward_data(&dy, &w, &[2, 2, 6, 6], cfg);
+
+        let mut dy_rows = Tensor::zeros(&[2 * ho * wo, co]);
+        for ni in 0..2 {
+            for o in 0..co {
+                for p in 0..ho * wo {
+                    dy_rows.set(&[ni * ho * wo + p, o], dy.data()[(ni * co + o) * ho * wo + p]);
+                }
+            }
+        }
+        let w2d = w.reshape(&[co, 18]);
+        let dcols = matmul_naive(&dy_rows, &w2d);
+        let reference = col2im(&dcols, 2, 2, 6, 6, cfg);
+        assert_close(&fast, &reference, co, "conv2d_backward_data");
+    }
+
+    /// Bitwise determinism: the blocked GEMM produces *identical* bits for
+    /// 1 thread and any other thread count, for every operand source kind.
+    #[test]
+    fn gemm_is_bitwise_deterministic_across_threads(
+        m in 1usize..200,
+        n in 1usize..50,
+        k in 1usize..100,
+        threads in 2usize..6,
+    ) {
+        let a: Vec<f32> = (0..m * k).map(|v| (v % 23) as f32 / 7.0 - 1.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|v| (v % 19) as f32 / 5.0 - 1.8).collect();
+        let asrc = MatSrc::RowMajor { data: &a, stride: k };
+        let bsrc = MatSrc::RowMajor { data: &b, stride: n };
+        let mut c1 = vec![0.0f32; m * n];
+        let mut cn = vec![0.0f32; m * n];
+        gemm_with_threads(&asrc, &bsrc, &mut c1, m, n, k, 1);
+        gemm_with_threads(&asrc, &bsrc, &mut cn, m, n, k, threads);
+        prop_assert_eq!(c1, cn);
+    }
+
+    /// The same bitwise guarantee for the fused im2col operand and the
+    /// transposed col2im scatter (the two places convolution threads).
+    #[test]
+    fn fused_conv_gemm_is_bitwise_deterministic(
+        x in tensor_strategy(vec![3, 2, 6, 5]),
+        threads in 2usize..5,
+    ) {
+        let cfg = Conv2dCfg::square(3, 1, 1);
+        let geom = Im2colGeom::new(3, 2, 6, 5, cfg);
+        let w: Vec<f32> = (0..4 * geom.cols()).map(|v| (v % 13) as f32 / 3.0 - 2.0).collect();
+        let asrc = MatSrc::Im2col { x: x.data(), geom };
+        let bsrc = MatSrc::ColMajor { data: &w, stride: geom.cols() };
+        let (m, n, k) = (geom.rows(), 4, geom.cols());
+        let mut c1 = vec![0.0f32; m * n];
+        let mut cn = vec![0.0f32; m * n];
+        gemm_with_threads(&asrc, &bsrc, &mut c1, m, n, k, 1);
+        gemm_with_threads(&asrc, &bsrc, &mut cn, m, n, k, threads);
+        prop_assert_eq!(&c1, &cn);
+
+        // col2im_t: per-sample scatter must also be thread-invariant.
+        let cols_t: Vec<f32> =
+            (0..geom.cols() * geom.rows()).map(|v| (v % 9) as f32 - 4.0).collect();
+        let d1 = col2im_t(&cols_t, 3, 2, 6, 5, cfg, 1);
+        let dn = col2im_t(&cols_t, 3, 2, 6, 5, cfg, threads);
+        prop_assert_eq!(d1.data(), dn.data());
+    }
+}
+
+/// NaN/Inf propagation: the old kernels' `a == 0.0` skip is gone.
+#[test]
+fn non_finite_values_propagate() {
+    let a = Tensor::from_vec(&[1, 3], vec![0.0, 0.0, 0.0]);
+    let b = Tensor::from_vec(&[3, 2], vec![f32::NAN, 1.0, f32::INFINITY, 1.0, 0.5, 1.0]);
+    let c = matmul(&a, &b);
+    assert!(
+        c.data()[0].is_nan(),
+        "0·NaN + 0·Inf must be NaN, got {}",
+        c.data()[0]
+    );
+    assert_eq!(c.data()[1], 0.0);
+}

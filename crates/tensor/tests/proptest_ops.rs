@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use mbs_tensor::ops::{
-    col2im, conv2d, conv2d_backward_data, conv2d_backward_weights, conv2d_naive, im2col,
-    matmul, relu, relu_backward, softmax, softmax_xent_backward, Conv2dCfg,
+    col2im, conv2d, conv2d_backward_data, conv2d_backward_weights, conv2d_naive, im2col, matmul,
+    relu, relu_backward, softmax, softmax_xent_backward, Conv2dCfg,
 };
 use mbs_tensor::Tensor;
 

@@ -56,8 +56,11 @@ pub fn generate(n: usize, size: usize, noise: f32, seed: u64) -> Dataset {
         labels.push(class);
         let freq = rng.gen_range(1.0f32..3.0);
         let phase = rng.gen_range(0.0f32..std::f32::consts::TAU);
-        let gains: [f32; 3] =
-            [rng.gen_range(0.7..1.3), rng.gen_range(0.7..1.3), rng.gen_range(0.7..1.3)];
+        let gains: [f32; 3] = [
+            rng.gen_range(0.7..1.3),
+            rng.gen_range(0.7..1.3),
+            rng.gen_range(0.7..1.3),
+        ];
         for c in 0..3 {
             for y in 0..size {
                 for x in 0..size {
@@ -78,8 +81,7 @@ pub fn generate(n: usize, size: usize, noise: f32, seed: u64) -> Dataset {
                         // Box-Muller on the shared stream.
                         let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                         let u2: f32 = rng.gen_range(0.0f32..1.0);
-                        (-2.0 * u1.ln()).sqrt()
-                            * (std::f32::consts::TAU * u2).cos()
+                        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
                     };
                     images.set(&[i, c, y, x], gains[c] * v + noise * noise_v);
                 }

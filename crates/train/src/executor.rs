@@ -13,7 +13,7 @@
 use mbs_tensor::ops::{cross_entropy, softmax, softmax_xent_backward};
 use mbs_tensor::Tensor;
 
-use crate::module::{slice_batch, Module};
+use crate::module::{slice_batch_into, Module};
 use crate::optim::Sgd;
 
 /// One conventional training step over the full mini-batch. Returns the
@@ -22,12 +22,7 @@ use crate::optim::Sgd;
 /// # Panics
 ///
 /// Panics if `labels` length differs from the batch size.
-pub fn train_step_full(
-    model: &mut dyn Module,
-    x: &Tensor,
-    labels: &[usize],
-    opt: &mut Sgd,
-) -> f32 {
+pub fn train_step_full(model: &mut dyn Module, x: &Tensor, labels: &[usize], opt: &mut Sgd) -> f32 {
     let n = x.shape()[0];
     assert_eq!(labels.len(), n, "one label per sample");
     model.zero_grad();
@@ -63,9 +58,13 @@ pub fn train_step_mbs(
     model.zero_grad();
     let mut loss_sum = 0.0f32;
     let mut start = 0;
+    // One reusable sub-batch buffer for the whole serialized loop; the
+    // kernels' scratch (packing panels, column gradients) is pooled in
+    // `mbs_tensor::arena`, so steady-state sub-batches allocate nothing new.
+    let mut xs = Tensor::zeros(&[0]);
     while start < n {
         let end = (start + sub_batch).min(n);
-        let xs = slice_batch(x, start, end);
+        slice_batch_into(x, start, end, &mut xs);
         let ls = &labels[start..end];
         let logits = model.forward(&xs, true);
         let probs = softmax(&logits);
@@ -92,15 +91,15 @@ pub fn evaluate(
     let mut loss_sum = 0.0f32;
     let mut hits = 0usize;
     let mut start = 0;
+    let mut xs = Tensor::zeros(&[0]);
     while start < n {
         let end = (start + batch.max(1)).min(n);
-        let xs = slice_batch(images, start, end);
+        slice_batch_into(images, start, end, &mut xs);
         let ls = &labels[start..end];
         let logits = model.forward(&xs, false);
         let probs = softmax(&logits);
         loss_sum += cross_entropy(&probs, ls) * (end - start) as f32;
-        hits += (mbs_tensor::ops::accuracy(&logits, ls) * (end - start) as f64).round()
-            as usize;
+        hits += (mbs_tensor::ops::accuracy(&logits, ls) * (end - start) as f64).round() as usize;
         start = end;
     }
     let loss = loss_sum / n as f32;
@@ -196,7 +195,13 @@ mod tests {
     #[test]
     fn evaluate_reports_loss_and_error() {
         let d = generate(16, 8, 0.3, 25);
-        let mut m = MiniResNet::new(3, 4, 1, NormChoice::Group(4), &mut StdRng::seed_from_u64(10));
+        let mut m = MiniResNet::new(
+            3,
+            4,
+            1,
+            NormChoice::Group(4),
+            &mut StdRng::seed_from_u64(10),
+        );
         let (loss, err) = evaluate(&mut m, &d.images, &d.labels, 4);
         assert!(loss > 0.0);
         assert!((0.0..=100.0).contains(&err));

@@ -5,8 +5,8 @@ use rand::rngs::StdRng;
 use mbs_tensor::init::kaiming_normal;
 use mbs_tensor::ops::{
     conv2d, conv2d_backward_data, conv2d_backward_weights, global_avg_pool,
-    global_avg_pool_backward, matmul, matmul_a_bt, matmul_at_b, maxpool2d,
-    maxpool2d_backward, relu, relu_backward, BitMask, Conv2dCfg,
+    global_avg_pool_backward, matmul, matmul_a_bt, matmul_at_b, maxpool2d, maxpool2d_backward,
+    relu, relu_backward, BitMask, Conv2dCfg,
 };
 use mbs_tensor::Tensor;
 
@@ -36,7 +36,11 @@ impl Conv2d {
             fan_in,
             rng,
         ));
-        Self { weight, cfg: Conv2dCfg::square(kernel, stride, pad), cache_x: None }
+        Self {
+            weight,
+            cfg: Conv2dCfg::square(kernel, stride, pad),
+            cache_x: None,
+        }
     }
 
     /// The convolution geometry.
@@ -59,7 +63,10 @@ impl Module for Conv2d {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let x = self.cache_x.as_ref().expect("backward requires a training forward");
+        let x = self
+            .cache_x
+            .as_ref()
+            .expect("backward requires a training forward");
         let dw = conv2d_backward_weights(x, dy, self.cfg);
         self.weight.grad.add_assign(&dw);
         conv2d_backward_data(dy, &self.weight.value, x.shape(), self.cfg)
@@ -82,7 +89,11 @@ impl Linear {
     /// Kaiming-initialized linear layer.
     pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
         Self {
-            weight: Param::new(kaiming_normal(&[out_features, in_features], in_features, rng)),
+            weight: Param::new(kaiming_normal(
+                &[out_features, in_features],
+                in_features,
+                rng,
+            )),
             bias: Param::new(Tensor::zeros(&[out_features])),
             cache_x: None,
         }
@@ -107,7 +118,10 @@ impl Module for Linear {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let x = self.cache_x.as_ref().expect("backward requires a training forward");
+        let x = self
+            .cache_x
+            .as_ref()
+            .expect("backward requires a training forward");
         let dw = matmul_at_b(dy, x); // [out, in]
         self.weight.grad.add_assign(&dw);
         let (n, o) = (dy.shape()[0], dy.shape()[1]);
@@ -150,7 +164,10 @@ impl Module for Relu {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let mask = self.mask.as_ref().expect("backward requires a training forward");
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("backward requires a training forward");
         relu_backward(dy, mask)
     }
 
@@ -168,7 +185,11 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     /// A `kernel × kernel` max pool with the given stride.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        Self { kernel, stride, cache: None }
+        Self {
+            kernel,
+            stride,
+            cache: None,
+        }
     }
 }
 
@@ -182,8 +203,10 @@ impl Module for MaxPool2d {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let (arg, shape) =
-            self.cache.as_ref().expect("backward requires a training forward");
+        let (arg, shape) = self
+            .cache
+            .as_ref()
+            .expect("backward requires a training forward");
         maxpool2d_backward(dy, arg, shape)
     }
 

@@ -247,7 +247,10 @@ mod tests {
         let mut m = MiniResNet::new(3, 3, 1, NormChoice::Group(4), &mut rng());
         let x = input(2);
         let y = m.forward(&x, true);
-        let dy = Tensor::from_vec(y.shape(), (0..y.len()).map(|v| (v as f32 - 2.5) / 4.0).collect());
+        let dy = Tensor::from_vec(
+            y.shape(),
+            (0..y.len()).map(|v| (v as f32 - 2.5) / 4.0).collect(),
+        );
         m.zero_grad();
         let _ = m.backward(&dy);
 

@@ -62,9 +62,38 @@ pub fn slice_batch(x: &Tensor, start: usize, end: usize) -> Tensor {
     Tensor::from_vec(&shape, x.data()[start * row..end * row].to_vec())
 }
 
+/// [`slice_batch`] into an existing tensor, reusing its allocation — the
+/// MBS executor calls this once per sub-batch so the serialized loop does
+/// not allocate a fresh input tensor per iteration.
+///
+/// # Panics
+///
+/// Panics if the range is out of bounds.
+pub fn slice_batch_into(x: &Tensor, start: usize, end: usize, out: &mut Tensor) {
+    let n = x.shape()[0];
+    assert!(start <= end && end <= n, "batch slice out of range");
+    let row = x.len() / n.max(1);
+    let mut shape = x.shape().to_vec();
+    shape[0] = end - start;
+    out.assign(&shape, &x.data()[start * row..end * row]);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slice_batch_into_reuses_allocation() {
+        let x = Tensor::from_vec(&[4, 2], (0..8).map(|v| v as f32).collect());
+        let mut buf = Tensor::zeros(&[0]);
+        slice_batch_into(&x, 1, 3, &mut buf);
+        assert_eq!(buf.shape(), &[2, 2]);
+        assert_eq!(buf.data(), &[2.0, 3.0, 4.0, 5.0]);
+        // Shrinking to a smaller final sub-batch also works.
+        slice_batch_into(&x, 3, 4, &mut buf);
+        assert_eq!(buf.shape(), &[1, 2]);
+        assert_eq!(buf.data(), &[6.0, 7.0]);
+    }
 
     #[test]
     fn slice_batch_extracts_rows() {

@@ -95,7 +95,10 @@ impl Module for BatchNorm2d {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("backward requires a training forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward requires a training forward");
         let [n, c, h, w]: [usize; 4] = dy.shape().try_into().expect("bn expects 4-D");
         let m = (n * h * w) as f32;
         let dyd = dy.data();
@@ -119,8 +122,7 @@ impl Module for BatchNorm2d {
             for ni in 0..n {
                 let base = (ni * c + ci) * h * w;
                 for i in base..base + h * w {
-                    dx.data_mut()[i] =
-                        scale * (m * dyd[i] - sum_dy - xh[i] * sum_dy_xhat);
+                    dx.data_mut()[i] = scale * (m * dyd[i] - sum_dy - xh[i] * sum_dy_xhat);
                 }
             }
         }
@@ -155,7 +157,10 @@ impl GroupNorm {
     ///
     /// Panics if `groups` does not divide `channels`.
     pub fn new(channels: usize, groups: usize) -> Self {
-        assert!(groups > 0 && channels.is_multiple_of(groups), "groups must divide channels");
+        assert!(
+            groups > 0 && channels.is_multiple_of(groups),
+            "groups must divide channels"
+        );
         Self {
             groups,
             gamma: Param::new(Tensor::full(&[channels], 1.0)),
@@ -177,6 +182,8 @@ impl Module for GroupNorm {
         let gd = self.gamma.value.data().to_vec();
         let bd = self.beta.value.data().to_vec();
 
+        let yd = y.data_mut();
+        let xhd = xhat.data_mut();
         for ni in 0..n {
             for gi in 0..self.groups {
                 let mut sum = 0.0;
@@ -194,10 +201,14 @@ impl Module for GroupNorm {
                 ivar[ni * self.groups + gi] = iv;
                 for cc in gi * cpg..(gi + 1) * cpg {
                     let base = (ni * c + cc) * h * w;
-                    for i in base..base + h * w {
-                        let v = (xd[i] - mean) * iv;
-                        xhat.data_mut()[i] = v;
-                        y.data_mut()[i] = gd[cc] * v + bd[cc];
+                    let (gcc, bcc) = (gd[cc], bd[cc]);
+                    let xs = &xd[base..base + h * w];
+                    let xh = &mut xhd[base..base + h * w];
+                    let ys = &mut yd[base..base + h * w];
+                    for ((&v, xh_i), y_i) in xs.iter().zip(xh.iter_mut()).zip(ys.iter_mut()) {
+                        let t = (v - mean) * iv;
+                        *xh_i = t;
+                        *y_i = gcc * t + bcc;
                     }
                 }
             }
@@ -209,7 +220,10 @@ impl Module for GroupNorm {
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("backward requires a training forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward requires a training forward");
         let [n, c, h, w]: [usize; 4] = dy.shape().try_into().expect("gn expects 4-D");
         let cpg = c / self.groups;
         let m = (cpg * h * w) as f32;
@@ -224,9 +238,9 @@ impl Module for GroupNorm {
             let mut s_dyx = 0.0;
             for ni in 0..n {
                 let base = (ni * c + cc) * h * w;
-                for i in base..base + h * w {
-                    s_dy += dyd[i];
-                    s_dyx += dyd[i] * xh[i];
+                for (&d, &xv) in dyd[base..base + h * w].iter().zip(&xh[base..base + h * w]) {
+                    s_dy += d;
+                    s_dyx += d * xv;
                 }
             }
             self.beta.grad.data_mut()[cc] += s_dy;
@@ -234,25 +248,30 @@ impl Module for GroupNorm {
         }
 
         // Per-(sample, group) input gradients.
+        let dxd = dx.data_mut();
         for ni in 0..n {
             for gi in 0..self.groups {
                 let mut sum_g = 0.0; // Σ γ·dy
                 let mut sum_gx = 0.0; // Σ γ·dy·xhat
                 for cc in gi * cpg..(gi + 1) * cpg {
                     let base = (ni * c + cc) * h * w;
-                    for i in base..base + h * w {
-                        let g = gd[cc] * dyd[i];
+                    let gcc = gd[cc];
+                    for (&d, &xv) in dyd[base..base + h * w].iter().zip(&xh[base..base + h * w]) {
+                        let g = gcc * d;
                         sum_g += g;
-                        sum_gx += g * xh[i];
+                        sum_gx += g * xv;
                     }
                 }
                 let iv = cache.ivar[ni * self.groups + gi];
                 for cc in gi * cpg..(gi + 1) * cpg {
                     let base = (ni * c + cc) * h * w;
-                    for i in base..base + h * w {
-                        let g = gd[cc] * dyd[i];
-                        dx.data_mut()[i] =
-                            iv / m * (m * g - sum_g - xh[i] * sum_gx);
+                    let gcc = gd[cc];
+                    let dys = &dyd[base..base + h * w];
+                    let xs = &xh[base..base + h * w];
+                    let dst = &mut dxd[base..base + h * w];
+                    for ((&d, &xv), out) in dys.iter().zip(xs).zip(dst.iter_mut()) {
+                        let g = gcc * d;
+                        *out = iv / m * (m * g - sum_g - xv * sum_gx);
                     }
                 }
             }

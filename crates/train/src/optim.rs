@@ -20,7 +20,12 @@ pub struct Sgd {
 impl Sgd {
     /// Creates the optimizer.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Self { lr, momentum, weight_decay, velocities: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocities: Vec::new(),
+        }
     }
 
     /// Applies one update using the gradients accumulated in the model.
@@ -90,7 +95,10 @@ mod tests {
             let _ = lin.backward(&dy);
             opt.step(&mut lin);
             if it % 50 == 49 {
-                assert!(loss < last + 1e-3, "loss should not increase: {loss} > {last}");
+                assert!(
+                    loss < last + 1e-3,
+                    "loss should not increase: {loss} > {last}"
+                );
                 last = loss;
             }
         }

@@ -159,7 +159,10 @@ mod tests {
     fn curves_are_deterministic_given_seed() {
         let train_set = generate(32, 8, 0.25, 33);
         let val_set = generate(16, 8, 0.25, 34);
-        let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        };
         let a = train(NormChoice::Group(4), &train_set, &val_set, &cfg);
         let b = train(NormChoice::Group(4), &train_set, &val_set, &cfg);
         assert_eq!(a, b);

@@ -130,7 +130,11 @@ impl WaveCore {
         }
 
         let pes = (self.hw.array_rows * self.hw.array_cols) as f64;
-        let utilization = if cycles == 0 { 0.0 } else { macs as f64 / (cycles as f64 * pes) };
+        let utilization = if cycles == 0 {
+            0.0
+        } else {
+            macs as f64 / (cycles as f64 * pes)
+        };
 
         let cores = self.hw.cores as u64;
         let dram_bytes = traffic.dram_bytes() * cores;
@@ -210,7 +214,11 @@ mod tests {
         let wc = WaveCore::new(HardwareConfig::default());
         for cfg in ExecConfig::all() {
             let r = wc.simulate(&toy::tiny_resnet(1, 8), cfg);
-            assert!((0.0..=1.0).contains(&r.utilization), "{cfg}: {}", r.utilization);
+            assert!(
+                (0.0..=1.0).contains(&r.utilization),
+                "{cfg}: {}",
+                r.utilization
+            );
         }
     }
 }

@@ -162,7 +162,11 @@ mod tests {
     #[test]
     fn pe_array_area_matches_paper() {
         let a = AreaModel::wavecore();
-        assert!((a.pe_array_mm2() - 199.45).abs() < 0.1, "{}", a.pe_array_mm2());
+        assert!(
+            (a.pe_array_mm2() - 199.45).abs() < 0.1,
+            "{}",
+            a.pe_array_mm2()
+        );
     }
 
     #[test]

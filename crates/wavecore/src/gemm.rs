@@ -28,7 +28,11 @@ pub enum TrainingPhase {
 impl TrainingPhase {
     /// All three phases in execution order.
     pub fn all() -> [TrainingPhase; 3] {
-        [TrainingPhase::Forward, TrainingPhase::DataGradient, TrainingPhase::WeightGradient]
+        [
+            TrainingPhase::Forward,
+            TrainingPhase::DataGradient,
+            TrainingPhase::WeightGradient,
+        ]
     }
 }
 
@@ -73,7 +77,9 @@ impl GemmDims {
 /// ```
 pub fn gemm_dims(layer: &Layer, phase: TrainingPhase, sub_batch: usize) -> Option<GemmDims> {
     match layer.kind {
-        LayerKind::Conv { kernel_h, kernel_w, .. } => {
+        LayerKind::Conv {
+            kernel_h, kernel_w, ..
+        } => {
             let (ci, co) = (layer.input.channels, layer.output.channels);
             let rs = kernel_h * kernel_w;
             let out_hw = layer.output.height * layer.output.width;

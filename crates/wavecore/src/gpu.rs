@@ -68,8 +68,7 @@ impl GpuModel {
     pub fn step_time(&self, net: &Network, batch: usize) -> f64 {
         // A pseudo hardware description carrying the GPU's buffer size for
         // the traffic model; bandwidth fields are unused here.
-        let hw = HardwareConfig::default()
-            .with_global_buffer(self.on_chip_bytes);
+        let hw = HardwareConfig::default().with_global_buffer(self.on_chip_bytes);
         let schedule = MbsScheduler::new(net, &hw, ExecConfig::InterLayer)
             .with_batch(batch)
             .schedule();
@@ -81,9 +80,7 @@ impl GpuModel {
             let mem_s = bytes / self.mem_bw_bytes;
             let compute_s: f64 = training_gemms(&rec.layer, batch, i == 0)
                 .iter()
-                .map(|d| {
-                    d.macs() as f64 / (self.peak_macs_per_s * self.efficiency(d))
-                })
+                .map(|d| d.macs() as f64 / (self.peak_macs_per_s * self.efficiency(d)))
                 .sum();
             total += compute_s.max(mem_s) + self.layer_overhead_s;
         }

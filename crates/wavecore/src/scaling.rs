@@ -26,12 +26,18 @@ pub struct Interconnect {
 impl Interconnect {
     /// A PCIe-3 x16-class link (~12 GB/s effective).
     pub fn pcie3() -> Self {
-        Self { link_bw_bytes: 12.0e9, latency_s: 20.0e-6 }
+        Self {
+            link_bw_bytes: 12.0e9,
+            latency_s: 20.0e-6,
+        }
     }
 
     /// A proprietary accelerator fabric (~100 GB/s, NVLink/ICI-class).
     pub fn fabric() -> Self {
-        Self { link_bw_bytes: 100.0e9, latency_s: 5.0e-6 }
+        Self {
+            link_bw_bytes: 100.0e9,
+            latency_s: 5.0e-6,
+        }
     }
 }
 
@@ -145,7 +151,11 @@ mod tests {
         for w in p.windows(2) {
             assert!(w[1].efficiency <= w[0].efficiency + 1e-12);
         }
-        assert!(p.last().unwrap().efficiency > 0.9, "{}", p.last().unwrap().efficiency);
+        assert!(
+            p.last().unwrap().efficiency > 0.9,
+            "{}",
+            p.last().unwrap().efficiency
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from row-major data.
@@ -137,7 +141,11 @@ pub struct FunctionalArray {
 impl FunctionalArray {
     /// Creates an array with the given geometry and weight-buffering mode.
     pub fn new(geom: ArrayGeometry, double_buffered: bool) -> Self {
-        Self { geom, double_buffered, stats: RunStats::default() }
+        Self {
+            geom,
+            double_buffered,
+            stats: RunStats::default(),
+        }
     }
 
     /// Statistics accumulated since construction (or the last reset).
@@ -240,7 +248,11 @@ impl FunctionalArray {
                     } else {
                         a_regs[r * n_t + cc - 1]
                     };
-                    let above = if r == 0 { 0.0 } else { psums[(r - 1) * n_t + cc] };
+                    let above = if r == 0 {
+                        0.0
+                    } else {
+                        psums[(r - 1) * n_t + cc]
+                    };
                     match arriving {
                         Some(m) => {
                             let w_val = planes[m.wave][r * n_t + cc];
@@ -287,8 +299,16 @@ impl FunctionalArray {
             if (rel as usize) < m_t {
                 let i = rel as usize;
                 let k_col = w * k_phys + r;
-                let value = if k_col < a.cols() { a.get(row0 + i, k_col) } else { 0.0 };
-                return Some(Moving { value, out_row: i, wave: w });
+                let value = if k_col < a.cols() {
+                    a.get(row0 + i, k_col)
+                } else {
+                    0.0
+                };
+                return Some(Moving {
+                    value,
+                    out_row: i,
+                    wave: w,
+                });
             }
         }
         None
@@ -301,7 +321,11 @@ mod tests {
     use crate::tile::gemm_cycles_isolated;
 
     fn geom(rows: usize, cols: usize, tile_rows: usize) -> ArrayGeometry {
-        ArrayGeometry { rows, cols, tile_rows }
+        ArrayGeometry {
+            rows,
+            cols,
+            tile_rows,
+        }
     }
 
     fn filled(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> DenseMatrix {
@@ -348,11 +372,7 @@ mod tests {
                 let mut arr = FunctionalArray::new(g, db);
                 let _ = arr.multiply(&a, &b);
                 let analytic = gemm_cycles_isolated(dims, g, db);
-                assert_eq!(
-                    arr.stats().cycles,
-                    analytic.cycles,
-                    "dims {dims:?} db={db}"
-                );
+                assert_eq!(arr.stats().cycles, analytic.cycles, "dims {dims:?} db={db}");
             }
         }
     }

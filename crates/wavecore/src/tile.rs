@@ -28,7 +28,11 @@ pub struct ArrayGeometry {
 impl ArrayGeometry {
     /// WaveCore's geometry: 128×128 array, 256-row tiles (64 KiB A buffer).
     pub fn wavecore() -> Self {
-        Self { rows: 128, cols: 128, tile_rows: 256 }
+        Self {
+            rows: 128,
+            cols: 128,
+            tile_rows: 256,
+        }
     }
 
     /// Number of processing elements.
@@ -98,7 +102,11 @@ pub fn gemm_cycles(dims: GemmDims, g: ArrayGeometry, double_buffered: bool) -> C
     // partial sums reduced in the accumulation buffer, multiplying the
     // reduction depth handled per wave. Each column still shifts its own
     // weights in, so the load time per wave is the per-column depth.
-    let fold = if dims.gw * 2 <= g.cols { g.cols / dims.gw } else { 1 };
+    let fold = if dims.gw * 2 <= g.cols {
+        g.cols / dims.gw
+    } else {
+        1
+    };
     let k_per_wave = g.rows * fold;
     let waves = dims.k.div_ceil(k_per_wave);
     let mut first_wave = true;
@@ -161,7 +169,14 @@ pub fn gemm_cycles_isolated(
         let mut row = 0;
         while row < dims.gh {
             let m_t = (dims.gh - row).min(g.tile_rows);
-            report.add(tile_cycles_isolated(dims.k, waves, m_t, n_t, g, double_buffered));
+            report.add(tile_cycles_isolated(
+                dims.k,
+                waves,
+                m_t,
+                n_t,
+                g,
+                double_buffered,
+            ));
             row += m_t;
         }
         col += n_t;
@@ -208,7 +223,11 @@ fn tile_cycles_isolated(
     let drain = (g.rows + n_t - 1) as u64;
     cycles += drain;
     idle += drain;
-    CycleReport { cycles, macs: 0, idle_cycles: idle }
+    CycleReport {
+        cycles,
+        macs: 0,
+        idle_cycles: idle,
+    }
 }
 
 #[cfg(test)]
@@ -233,7 +252,12 @@ mod tests {
 
     #[test]
     fn double_buffering_never_slower() {
-        for (gh, gw, k) in [(100, 64, 64), (1000, 256, 576), (9, 1000, 4608), (64, 4096, 9216)] {
+        for (gh, gw, k) in [
+            (100, 64, 64),
+            (1000, 256, 576),
+            (9, 1000, 4608),
+            (64, 4096, 9216),
+        ] {
             let dims = GemmDims::new(gh, gw, k);
             let base = gemm_cycles(dims, g(), false);
             let opt = gemm_cycles(dims, g(), true);

@@ -42,7 +42,11 @@ pub struct LayerTime {
 
 /// Geometry helper from the hardware configuration.
 pub fn geometry(hw: &HardwareConfig) -> ArrayGeometry {
-    ArrayGeometry { rows: hw.array_rows, cols: hw.array_cols, tile_rows: hw.tile_rows() }
+    ArrayGeometry {
+        rows: hw.array_rows,
+        cols: hw.array_cols,
+        tile_rows: hw.tile_rows(),
+    }
 }
 
 /// Computes the systolic cycle total of one layer across all sub-batch

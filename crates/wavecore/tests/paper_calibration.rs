@@ -82,7 +82,10 @@ fn fig14_utilization() {
     let mbs2 = wc.simulate(&net, ExecConfig::Mbs2).utilization;
     assert!((0.40..0.70).contains(&base), "baseline util {base}");
     assert!(arch > base + 0.1, "archopt util {arch}");
-    assert!(fs < arch, "fs {fs} should lose utilization vs archopt {arch}");
+    assert!(
+        fs < arch,
+        "fs {fs} should lose utilization vs archopt {arch}"
+    );
     assert!(mbs2 > fs, "mbs2 {mbs2} regains utilization over fs {fs}");
 }
 

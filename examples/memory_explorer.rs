@@ -27,16 +27,26 @@ fn pick_network(name: &str) -> Network {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "resnet50".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "resnet50".to_owned());
     let net = pick_network(&name);
-    println!("Exploring memory systems for {} (MBS2 vs Baseline):\n", net.name());
+    println!(
+        "Exploring memory systems for {} (MBS2 vs Baseline):\n",
+        net.name()
+    );
     println!(
         "{:<8} {:>12} {:>14} {:>14} {:>10}",
         "memory", "BW (GiB/s)", "baseline (ms)", "MBS2 (ms)", "MBS2 win"
     );
 
     let mut best: Option<(MemoryKind, f64)> = None;
-    for kind in [MemoryKind::Hbm2X2, MemoryKind::Hbm2, MemoryKind::Gddr5, MemoryKind::Lpddr4] {
+    for kind in [
+        MemoryKind::Hbm2X2,
+        MemoryKind::Hbm2,
+        MemoryKind::Gddr5,
+        MemoryKind::Lpddr4,
+    ] {
         let hw = HardwareConfig::default().with_memory(kind);
         let bw = hw.memory.total_bw_gib_s();
         let wc = WaveCore::new(hw);

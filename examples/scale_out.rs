@@ -13,8 +13,10 @@ use mbs::wavecore::{weak_scaling, Interconnect};
 fn main() {
     let net = resnet(50);
     let hw = HardwareConfig::default();
-    for (name, link) in [("fabric (100 GB/s)", Interconnect::fabric()), ("PCIe3 (12 GB/s)", Interconnect::pcie3())]
-    {
+    for (name, link) in [
+        ("fabric (100 GB/s)", Interconnect::fabric()),
+        ("PCIe3 (12 GB/s)", Interconnect::pcie3()),
+    ] {
         println!("ResNet50 weak scaling over {name}:");
         println!(
             "{:>8} {:>13} {:>10} {:>14} {:>11}",

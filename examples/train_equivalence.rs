@@ -33,7 +33,10 @@ fn main() {
     let train_set = generate(64, 8, 0.25, 404);
     let val_set = generate(32, 8, 0.25, 405);
 
-    for (label, choice) in [("GroupNorm", NormChoice::Group(4)), ("BatchNorm", NormChoice::Batch)] {
+    for (label, choice) in [
+        ("GroupNorm", NormChoice::Group(4)),
+        ("BatchNorm", NormChoice::Batch),
+    ] {
         // Identically seeded twins: one trains conventionally, one with MBS.
         let mut full = MiniResNet::new(3, 4, 1, choice, &mut StdRng::seed_from_u64(42));
         let mut mbs = MiniResNet::new(3, 4, 1, choice, &mut StdRng::seed_from_u64(42));
@@ -42,8 +45,7 @@ fn main() {
 
         for step in 0..10 {
             let lf = train_step_full(&mut full, &train_set.images, &train_set.labels, &mut oa);
-            let lm =
-                train_step_mbs(&mut mbs, &train_set.images, &train_set.labels, 4, &mut ob);
+            let lm = train_step_mbs(&mut mbs, &train_set.images, &train_set.labels, 4, &mut ob);
             if step % 3 == 0 {
                 println!(
                     "{label} step {step}: loss full={lf:.4} mbs={lm:.4}, max param diff {:.2e}",
@@ -61,8 +63,10 @@ fn main() {
         if diff < 1e-3 {
             println!("=> {label} + MBS is numerically faithful to full-batch training\n");
         } else {
-            println!("=> {label} diverges under serialization (expected for BN: its \
-                      statistics need the whole mini-batch)\n");
+            println!(
+                "=> {label} diverges under serialization (expected for BN: its \
+                      statistics need the whole mini-batch)\n"
+            );
         }
     }
 }

@@ -80,8 +80,7 @@ fn lpddr4_viability_claim() {
     // still 24% above the baseline design" (LPDDR4 vs HBM2-baseline).
     use mbs::core::MemoryKind;
     let net = mbs::cnn::networks::resnet(50);
-    let base_hbm = WaveCore::new(HardwareConfig::default())
-        .simulate(&net, ExecConfig::Baseline);
+    let base_hbm = WaveCore::new(HardwareConfig::default()).simulate(&net, ExecConfig::Baseline);
     let mbs_lp = WaveCore::new(HardwareConfig::default().with_memory(MemoryKind::Lpddr4))
         .simulate(&net, ExecConfig::Mbs2);
     let gain = base_hbm.time_s / mbs_lp.time_s - 1.0;

@@ -48,12 +48,7 @@ fn layer_records_cover_every_layer_of_every_network() {
     for net in mbs::cnn::networks::evaluation_suite() {
         let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs2).schedule();
         let traffic = analyze(&net, &schedule, hw.global_buffer_bytes);
-        assert_eq!(
-            traffic.layers.len(),
-            net.layers().count(),
-            "{}",
-            net.name()
-        );
+        assert_eq!(traffic.layers.len(), net.layers().count(), "{}", net.name());
     }
 }
 
