@@ -1,11 +1,14 @@
 //! Quick-mode bench runner: executes the tensor-ops and training-step
-//! Criterion suites with short measurement windows and writes
-//! `BENCH_tensor.json` (measurements plus blocked-vs-naive speedup ratios)
-//! so the perf trajectory is tracked from PR to PR.
+//! Criterion suites plus two GEMM-core sweeps — a per-micro-kernel
+//! comparison and an `MBS_THREADS` scaling run — and writes
+//! `BENCH_tensor.json` so the perf trajectory is tracked from PR to PR.
 //!
 //! ```text
 //! cargo run --release -p mbs-bench --bin bench [-- <out_dir>]
 //! ```
+//!
+//! See `docs/ARCHITECTURE.md` ("BENCH_tensor.json schema") for the full
+//! layout of the report.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -13,15 +16,26 @@ use std::path::PathBuf;
 use criterion::Criterion;
 use serde::Serialize;
 
+use mbs_tensor::ops::kernel::{self, MicroKernel};
+use mbs_tensor::ops::{gemm_with_kernel, Conv2dCfg, Im2colGeom, MatSrc};
+
 /// The report written to `BENCH_tensor.json`.
 #[derive(Debug, Clone, Serialize)]
 struct Report {
-    /// GEMM worker threads the kernels ran with.
+    /// GEMM worker threads the suites ran with (the process default).
     threads: usize,
-    /// Raw measurements from both suites.
+    /// The micro-kernel every suite measurement used.
+    kernel: String,
+    /// Raw measurements from all suites and sweeps.
     measurements: Vec<criterion::Measurement>,
     /// `blocked-vs-naive` mean-time ratios (naive / blocked; >1 is a win).
     speedups: Vec<Speedup>,
+    /// Single-core GEMM core, one entry per micro-kernel available on this
+    /// CPU (hand-written FMA tiles vs the autovectorized scalar tile).
+    kernel_comparison: Vec<KernelBench>,
+    /// Multi-thread GEMM core at `MBS_THREADS ∈ {1, 2, 4, max}` (deduped),
+    /// with bitwise-identity checks against the 1-thread result.
+    thread_scaling: Vec<ThreadScale>,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -32,6 +46,195 @@ struct Speedup {
     baseline: String,
     /// `mean(baseline) / mean(fast)`.
     ratio: f64,
+}
+
+/// One micro-kernel's single-core GEMM-core measurement.
+#[derive(Debug, Clone, Serialize)]
+struct KernelBench {
+    /// Kernel identifier (`scalar-8x8`, `avx2-fma-8x8`, …).
+    kernel: String,
+    /// Register tile shape, `mr x nr`.
+    tile: String,
+    /// Mean ns for the 256×256×256 GEMM core, 1 thread.
+    matmul_256_mean_ns: f64,
+    /// `mean(scalar) / mean(this)` — >1 means the hand-written kernel
+    /// beats the autovectorized one.
+    speedup_vs_scalar: f64,
+    /// Whether this is the kernel [`kernel::selected`] picked.
+    selected: bool,
+}
+
+/// One thread count of the scaling sweep.
+#[derive(Debug, Clone, Serialize)]
+struct ThreadScale {
+    /// Sweep workload (`matmul_256` or `conv_fwd_gemm`).
+    bench: String,
+    /// Worker threads (the value `MBS_THREADS` would be set to).
+    threads: usize,
+    /// Workers that actually ran: the GEMM clamps to the row-block count
+    /// (`m.div_ceil(MC)`), so small workloads cap out — flat scaling
+    /// beyond this value is the workload, not the scheduler.
+    effective_threads: usize,
+    /// Mean ns at this thread count.
+    mean_ns: f64,
+    /// `mean(1 thread) / mean(this)` — >1 is a multi-core win.
+    speedup_vs_1: f64,
+    /// Whether the output matched the 1-thread run bit-for-bit (the
+    /// shared-B-panel determinism guarantee).
+    bitwise_equal_to_1_thread: bool,
+}
+
+fn filled(len: usize, salt: usize) -> Vec<f32> {
+    (0..len)
+        .map(|v| (((v * 7 + salt) % 17) as f32 - 8.0) / 4.0)
+        .collect()
+}
+
+/// Benches the bare GEMM core (256×256×256, row-major) under every
+/// available micro-kernel, single-threaded.
+fn kernel_comparison(c: &mut Criterion) -> Vec<KernelBench> {
+    const DIM: usize = 256;
+    let a = filled(DIM * DIM, 6);
+    let b = filled(DIM * DIM, 7);
+    let asrc = MatSrc::RowMajor {
+        data: &a,
+        stride: DIM,
+    };
+    let bsrc = MatSrc::RowMajor {
+        data: &b,
+        stride: DIM,
+    };
+    let kernels = kernel::available();
+    for kern in &kernels {
+        let mut out = vec![0.0f32; DIM * DIM];
+        c.bench_function(&format!("matmul_256_kernel/{}", kern.name), |bch| {
+            bch.iter(|| gemm_with_kernel(&asrc, &bsrc, &mut out, DIM, DIM, DIM, 1, kern))
+        });
+    }
+    let means: HashMap<String, f64> = c
+        .measurements()
+        .iter()
+        .map(|m| (m.name.clone(), m.mean_ns))
+        .collect();
+    let scalar_mean = means
+        .get(&format!("matmul_256_kernel/{}", kernel::SCALAR_8X8.name))
+        .copied()
+        .unwrap_or(f64::NAN);
+    kernels
+        .iter()
+        .map(|kern| {
+            let mean = means
+                .get(&format!("matmul_256_kernel/{}", kern.name))
+                .copied()
+                .unwrap_or(f64::NAN);
+            KernelBench {
+                kernel: kern.name.to_string(),
+                tile: format!("{}x{}", kern.mr, kern.nr),
+                matmul_256_mean_ns: mean,
+                speedup_vs_scalar: scalar_mean / mean,
+                selected: std::ptr::eq(*kern, kernel::selected()),
+            }
+        })
+        .collect()
+}
+
+/// One workload of the thread-scaling sweep: a named GEMM-core shape run
+/// at every swept thread count on the process-selected kernel.
+#[allow(clippy::too_many_arguments)]
+fn scale_workload(
+    c: &mut Criterion,
+    bench: &str,
+    a: &MatSrc<'_>,
+    b: &MatSrc<'_>,
+    m: usize,
+    n: usize,
+    k: usize,
+    counts: &[usize],
+    kern: &MicroKernel,
+) -> Vec<ThreadScale> {
+    let mut reference = vec![0.0f32; m * n];
+    gemm_with_kernel(a, b, &mut reference, m, n, k, 1, kern);
+    let mut rows = Vec::with_capacity(counts.len());
+    let mut base_mean = f64::NAN;
+    for &threads in counts {
+        let mut out = vec![0.0f32; m * n];
+        gemm_with_kernel(a, b, &mut out, m, n, k, threads, kern);
+        let bitwise = out == reference;
+        c.bench_function(&format!("gemm_threads/{bench}/{threads}"), |bch| {
+            bch.iter(|| gemm_with_kernel(a, b, &mut out, m, n, k, threads, kern))
+        });
+        let mean = c
+            .measurements()
+            .last()
+            .map(|meas| meas.mean_ns)
+            .unwrap_or(f64::NAN);
+        if threads == 1 {
+            base_mean = mean;
+        }
+        rows.push(ThreadScale {
+            bench: bench.to_string(),
+            threads,
+            effective_threads: mbs_tensor::ops::pack::effective_workers(m, threads),
+            mean_ns: mean,
+            speedup_vs_1: base_mean / mean,
+            bitwise_equal_to_1_thread: bitwise,
+        });
+    }
+    rows
+}
+
+/// Sweeps `MBS_THREADS ∈ {1, 2, 4, max}` (deduped, sorted) over a square
+/// GEMM and a conv-forward-shaped fused-im2col GEMM.
+fn thread_scaling(c: &mut Criterion) -> Vec<ThreadScale> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4, max];
+    counts.sort_unstable();
+    counts.dedup();
+    let kern = kernel::selected();
+
+    const DIM: usize = 256;
+    let a = filled(DIM * DIM, 8);
+    let b = filled(DIM * DIM, 9);
+    let mut rows = scale_workload(
+        c,
+        "matmul_256",
+        &MatSrc::RowMajor {
+            data: &a,
+            stride: DIM,
+        },
+        &MatSrc::RowMajor {
+            data: &b,
+            stride: DIM,
+        },
+        DIM,
+        DIM,
+        DIM,
+        &counts,
+        kern,
+    );
+
+    // The conv-forward GEMM at the tensor_ops suite shape: virtual im2col
+    // of x[4, 8, 16, 16] against 16 3×3 filters.
+    let geom = Im2colGeom::new(4, 8, 16, 16, Conv2dCfg::square(3, 1, 1));
+    let x = filled(4 * 8 * 16 * 16, 1);
+    let w = filled(16 * geom.cols(), 2);
+    rows.extend(scale_workload(
+        c,
+        "conv_fwd_gemm",
+        &MatSrc::Im2col { x: &x, geom },
+        &MatSrc::ColMajor {
+            data: &w,
+            stride: geom.cols(),
+        },
+        geom.rows(),
+        16,
+        geom.cols(),
+        &counts,
+        kern,
+    ));
+    rows
 }
 
 fn main() {
@@ -45,6 +248,10 @@ fn main() {
     mbs_bench::suites::tensor_ops(&mut c);
     println!("== training_step (quick mode) ==");
     mbs_bench::suites::training_step(&mut c);
+    println!("== kernel comparison (1 thread) ==");
+    let kernel_comparison = kernel_comparison(&mut c);
+    println!("== thread scaling (MBS_THREADS sweep) ==");
+    let thread_scaling = thread_scaling(&mut c);
 
     let means: HashMap<&str, f64> = c
         .measurements()
@@ -73,11 +280,30 @@ fn main() {
             s.fast, s.baseline, s.ratio
         );
     }
+    for kb in &kernel_comparison {
+        println!(
+            "kernel {:>20} ({}) {:>12.0} ns  {:>5.2}x vs scalar{}",
+            kb.kernel,
+            kb.tile,
+            kb.matmul_256_mean_ns,
+            kb.speedup_vs_scalar,
+            if kb.selected { "  [selected]" } else { "" }
+        );
+    }
+    for ts in &thread_scaling {
+        println!(
+            "threads {:>14} x{:<2} {:>12.0} ns  {:>5.2}x vs 1 thread  bitwise_equal={}",
+            ts.bench, ts.threads, ts.mean_ns, ts.speedup_vs_1, ts.bitwise_equal_to_1_thread
+        );
+    }
 
     let report = Report {
         threads: mbs_tensor::ops::configured_threads(),
+        kernel: kernel::selected().name.to_string(),
         measurements: c.measurements().to_vec(),
         speedups,
+        kernel_comparison,
+        thread_scaling,
     };
     match mbs_bench::write_json(&out_dir, "BENCH_tensor", &report) {
         Ok(()) => println!("wrote {}", out_dir.join("BENCH_tensor.json").display()),

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Mini-batch Serialization (MBS): the paper's primary contribution.
 //!
 //! MBS reduces CNN *training* DRAM traffic by partially serializing the

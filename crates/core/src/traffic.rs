@@ -193,6 +193,19 @@ struct Walker<'n> {
 /// # Panics
 ///
 /// Panics if the schedule does not cover every node of the network.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_core::{analyze, ExecConfig, HardwareConfig, MbsScheduler};
+/// use mbs_cnn::networks::resnet;
+///
+/// let net = resnet(50);
+/// let hw = HardwareConfig::default();
+/// let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs2).schedule();
+/// let report = analyze(&net, &schedule, hw.global_buffer_bytes);
+/// assert!(report.dram_bytes() > 0);
+/// ```
 pub fn analyze(net: &Network, schedule: &Schedule, buffer_bytes: usize) -> TrafficReport {
     let covered: usize = schedule.groups().iter().map(|g| g.end - g.start).sum();
     assert_eq!(

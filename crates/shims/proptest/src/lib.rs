@@ -141,8 +141,8 @@ pub mod bool {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specifiers accepted by [`vec`]: a fixed `usize` or a
-    /// half-open `Range<usize>`.
+    /// Length specifiers accepted by [`vec()`](vec()): a fixed `usize` or
+    /// a half-open `Range<usize>`.
     pub trait IntoLen {
         /// Draws a concrete length.
         fn draw(&self, rng: &mut TestRng) -> usize;

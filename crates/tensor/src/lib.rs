@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Dense f32 tensor substrate for the MBS training experiments.
 //!
 //! This is the computational foundation of the Fig. 6 reproduction: a

@@ -75,6 +75,22 @@ pub fn conv2d_naive(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> Tensor {
 /// Fused im2col + GEMM convolution forward: `y = cols(x) · Wᵀ`, where
 /// `cols(x)` is a virtual operand streamed tile-by-tile into the packed-A
 /// buffer (never materialized).
+///
+/// # Examples
+///
+/// ```
+/// use mbs_tensor::ops::{conv2d, Conv2dCfg};
+/// use mbs_tensor::Tensor;
+///
+/// // A 3×3 all-ones kernel over an all-ones 5×5 image (stride 1, pad 1):
+/// // interior outputs see the full 9-tap window.
+/// let x = Tensor::full(&[1, 1, 5, 5], 1.0);
+/// let w = Tensor::full(&[1, 1, 3, 3], 1.0);
+/// let y = conv2d(&x, &w, Conv2dCfg::square(3, 1, 1));
+/// assert_eq!(y.shape(), &[1, 1, 5, 5]);
+/// assert_eq!(y.get(&[0, 0, 2, 2]), 9.0); // interior
+/// assert_eq!(y.get(&[0, 0, 0, 0]), 4.0); // corner: 2×2 window in-bounds
+/// ```
 pub fn conv2d(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> Tensor {
     let (n, ci, h, wd, co, ho, wo) = dims(x, w, cfg);
     let geom = Im2colGeom::new(n, ci, h, wd, cfg);
@@ -105,6 +121,18 @@ pub fn conv2d(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> Tensor {
 /// pixels]`, in a reusable arena buffer) because that layout makes the
 /// [`col2im_t`] scatter a series of contiguous zip-adds; `dY` is read
 /// in-place as a `[co × pixels]` view, so nothing else is materialized.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_tensor::ops::{conv2d_backward_data, Conv2dCfg};
+/// use mbs_tensor::Tensor;
+///
+/// let dy = Tensor::full(&[2, 4, 8, 8], 1.0);
+/// let w = Tensor::full(&[4, 3, 3, 3], 0.5);
+/// let dx = conv2d_backward_data(&dy, &w, &[2, 3, 8, 8], Conv2dCfg::square(3, 1, 1));
+/// assert_eq!(dx.shape(), &[2, 3, 8, 8]); // gradient matches the input shape
+/// ```
 pub fn conv2d_backward_data(dy: &Tensor, w: &Tensor, x_shape: &[usize], cfg: Conv2dCfg) -> Tensor {
     let [n, ci, h, wd]: [usize; 4] = x_shape.try_into().expect("conv expects 4-D input shape");
     let co = w.shape()[0];
@@ -135,6 +163,20 @@ pub fn conv2d_backward_data(dy: &Tensor, w: &Tensor, x_shape: &[usize], cfg: Con
 /// cols(x)`. Both operands are virtual views — `dY` as a `[co × pixels]`
 /// matrix and `cols(x)` as the streamed im2col lowering — so nothing is
 /// materialized besides `dW` itself.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_tensor::ops::{conv2d_backward_weights, Conv2dCfg};
+/// use mbs_tensor::Tensor;
+///
+/// let x = Tensor::full(&[2, 3, 8, 8], 1.0);
+/// let dy = Tensor::full(&[2, 4, 8, 8], 1.0);
+/// let dw = conv2d_backward_weights(&x, &dy, Conv2dCfg::square(3, 1, 1));
+/// assert_eq!(dw.shape(), &[4, 3, 3, 3]); // gradient matches the weight shape
+/// // The center tap sees every one of the 2·8·8 output pixels.
+/// assert_eq!(dw.get(&[0, 0, 1, 1]), 128.0);
+/// ```
 pub fn conv2d_backward_weights(x: &Tensor, dy: &Tensor, cfg: Conv2dCfg) -> Tensor {
     let [n, ci, h, wd]: [usize; 4] = x.shape().try_into().expect("conv expects 4-D input");
     let [n2, co, ho, wo]: [usize; 4] = dy.shape().try_into().expect("conv expects 4-D dy");

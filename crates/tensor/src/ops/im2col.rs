@@ -167,7 +167,7 @@ pub fn col2im_t(
     assert_eq!(cols_t.len(), cols_w * pixels, "col2im_t size mismatch");
     let mut out = Tensor::zeros(&[n, ci, h, w]);
     let plane = ci * h * w;
-    crate::ops::pack::scoped_chunks(out.data_mut(), plane, n, threads, |first, planes| {
+    crate::ops::pack::scoped_chunks(out.data_mut(), plane, n, threads, |_, first, planes| {
         for (s, dst) in planes.chunks_mut(plane).enumerate() {
             scatter_sample_t(cols_t, pixels, first + s, dst, ci, h, w, cfg);
         }

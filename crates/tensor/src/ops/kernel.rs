@@ -1,0 +1,351 @@
+//! Register micro-kernels for the blocked GEMM core and their runtime
+//! dispatch.
+//!
+//! The innermost unit of the packed GEMM (see [`crate::ops::pack`]) is an
+//! `mr × nr` register tile accumulated over a `kc`-deep panel. The seed
+//! shipped a single autovectorized 8×8 tile whose size was pinned by LLVM's
+//! 64-float scalar-replacement limit; this module adds hand-written
+//! `core::arch` FMA kernels that sidestep that limit:
+//!
+//! | kernel | tile | ISA | accumulators |
+//! |---|---|---|---|
+//! | `avx512-fma-16x16` | 16×16 | AVX-512F | 16 zmm (one per row) |
+//! | `avx2-fma-8x8` | 8×8 | AVX2+FMA | 8 ymm (one per row) |
+//! | `scalar-8x8` | 8×8 | portable | 64-float stack tile (autovectorized) |
+//!
+//! The widest supported kernel is chosen **once per process** via
+//! [`selected`], using `is_x86_feature_detected!` so a binary built for a
+//! generic target still uses AVX-512 on capable hosts. The `MBS_KERNEL`
+//! environment variable (`auto` | `avx512` | `avx2` | `scalar`) overrides
+//! the choice for A/B testing and for forcing the portable path in parity
+//! tests; requesting an ISA the CPU lacks falls back to the best available
+//! kernel with a warning rather than faulting.
+//!
+//! # Contract
+//!
+//! A kernel reads `kc × mr` packed A (strip-major: `a[p·mr + i]`) and
+//! `kc × nr` packed B (`b[p·nr + j]`), and **overwrites** `acc[i·nr + j]`
+//! with `Σ_p a[p·mr+i] · b[p·nr+j]`. Accumulation over `p` is strictly
+//! in-order within one kernel, so for a fixed kernel the blocked GEMM stays
+//! bitwise thread-count-invariant; *different* kernels may round
+//! differently (FMA fuses the multiply-add), which is why the dispatch is
+//! per-process, never per-call.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbs_tensor::ops::kernel;
+//!
+//! let k = kernel::selected();
+//! // One depth step: A strip = [1, 2, ...], B strip = all ones.
+//! let a: Vec<f32> = (0..k.mr).map(|i| i as f32 + 1.0).collect();
+//! let b = vec![1.0f32; k.nr];
+//! let mut acc = vec![0.0f32; k.mr * k.nr];
+//! k.run(1, &a, &b, &mut acc);
+//! assert_eq!(acc[0], 1.0); // row 0 · col 0
+//! assert_eq!(acc[k.nr], 2.0); // row 1 · col 0
+//! ```
+
+use std::sync::OnceLock;
+
+/// Largest `mr` any registered kernel uses (sizes the caller's packing
+/// strips and accumulator scratch).
+pub const MAX_MR: usize = 16;
+/// Largest `nr` any registered kernel uses.
+pub const MAX_NR: usize = 16;
+
+/// One register micro-kernel: an `mr × nr` tile accumulated over `kc`
+/// packed depth steps. See the [module docs](self) for the data contract.
+#[derive(Debug)]
+pub struct MicroKernel {
+    /// Stable identifier (recorded in `BENCH_tensor.json`).
+    pub name: &'static str,
+    /// Tile rows — the A packing strip width.
+    pub mr: usize,
+    /// Tile columns — the B packing strip width.
+    pub nr: usize,
+    /// The tile body. Safety: callable only when the ISA this kernel was
+    /// registered for is present; [`available`] guarantees that.
+    run: unsafe fn(kc: usize, a: *const f32, b: *const f32, acc: *mut f32),
+}
+
+impl MicroKernel {
+    /// Runs the tile: `acc[i·nr + j] = Σ_p a[p·mr+i] · b[p·nr+j]`,
+    /// overwriting `acc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`, `b`, or `acc` is shorter than `kc·mr`, `kc·nr`, or
+    /// `mr·nr` respectively.
+    #[inline]
+    pub fn run(&self, kc: usize, a: &[f32], b: &[f32], acc: &mut [f32]) {
+        assert!(a.len() >= kc * self.mr, "packed A strip too short");
+        assert!(b.len() >= kc * self.nr, "packed B strip too short");
+        assert!(acc.len() >= self.mr * self.nr, "accumulator too short");
+        // SAFETY: bounds asserted above; the ISA requirement is upheld by
+        // construction — kernels only enter `available()` after their
+        // target feature is detected on this CPU.
+        unsafe { (self.run)(kc, a.as_ptr(), b.as_ptr(), acc.as_mut_ptr()) }
+    }
+}
+
+/// The portable autovectorized 8×8 tile (the seed's micro-kernel). LLVM
+/// promotes the 64-float stack tile to vector registers on AVX2/AVX-512
+/// targets; on anything else it is still a correct dense loop nest.
+pub static SCALAR_8X8: MicroKernel = MicroKernel {
+    name: "scalar-8x8",
+    mr: 8,
+    nr: 8,
+    run: scalar_8x8,
+};
+
+/// Hand-written AVX2+FMA 8×8 tile: 8 ymm accumulators, one `vbroadcastss`
+/// + `vfmadd` per row per depth step.
+#[cfg(target_arch = "x86_64")]
+pub static AVX2_8X8: MicroKernel = MicroKernel {
+    name: "avx2-fma-8x8",
+    mr: 8,
+    nr: 8,
+    run: avx2_8x8,
+};
+
+/// Hand-written AVX-512F 16×16 tile: 16 zmm accumulators (4× the FLOPs of
+/// the 8×8 tile per B-row load), beyond what scalar replacement allows the
+/// autovectorizer.
+#[cfg(target_arch = "x86_64")]
+pub static AVX512_16X16: MicroKernel = MicroKernel {
+    name: "avx512-fma-16x16",
+    mr: 16,
+    nr: 16,
+    run: avx512_16x16,
+};
+
+/// Every kernel usable on this CPU, widest first. The scalar kernel is
+/// always present and always last.
+pub fn available() -> Vec<&'static MicroKernel> {
+    let mut kernels: Vec<&'static MicroKernel> = Vec::with_capacity(3);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            kernels.push(&AVX512_16X16);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            kernels.push(&AVX2_8X8);
+        }
+    }
+    kernels.push(&SCALAR_8X8);
+    kernels
+}
+
+/// The kernel every GEMM in this process uses: the `MBS_KERNEL` override
+/// if set and satisfiable, else the widest detected kernel. Resolved once;
+/// subsequent calls are a static load.
+pub fn selected() -> &'static MicroKernel {
+    static SELECTED: OnceLock<&'static MicroKernel> = OnceLock::new();
+    SELECTED.get_or_init(|| select(std::env::var("MBS_KERNEL").ok().as_deref()))
+}
+
+/// Resolves an `MBS_KERNEL` value against the detected kernel set
+/// (separated from [`selected`] so tests can exercise the parsing without
+/// touching process-global state).
+pub(crate) fn select(request: Option<&str>) -> &'static MicroKernel {
+    let kernels = available();
+    let fallback = kernels[0];
+    let Some(req) = request else {
+        return fallback;
+    };
+    let req = req.trim();
+    if req.is_empty() || req.eq_ignore_ascii_case("auto") {
+        return fallback;
+    }
+    let wanted = kernels.iter().find(|k| {
+        k.name.eq_ignore_ascii_case(req)
+            || k.name
+                .split('-')
+                .next()
+                .is_some_and(|isa| isa.eq_ignore_ascii_case(req))
+    });
+    match wanted {
+        Some(k) => k,
+        None => {
+            eprintln!(
+                "warning: MBS_KERNEL={req} is not available on this CPU \
+                 (have: {}); using {}",
+                kernels
+                    .iter()
+                    .map(|k| k.name)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                fallback.name
+            );
+            fallback
+        }
+    }
+}
+
+/// The seed's 8×8 tile, verbatim: a `[[f32; 8]; 8]` accumulator small
+/// enough for LLVM scalar replacement, written back at the end.
+///
+/// # Safety
+///
+/// `a` must hold `kc·8` floats, `b` `kc·8`, `acc` 64 (asserted by
+/// [`MicroKernel::run`]); no ISA requirement.
+unsafe fn scalar_8x8(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
+    let a = std::slice::from_raw_parts(a, kc * 8);
+    let b = std::slice::from_raw_parts(b, kc * 8);
+    let mut tile = [[0.0f32; 8]; 8];
+    for (av, bv) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+        for (ai, row) in av.iter().zip(tile.iter_mut()) {
+            for (slot, bj) in row.iter_mut().zip(bv) {
+                *slot += ai * bj;
+            }
+        }
+    }
+    let out = std::slice::from_raw_parts_mut(acc, 64);
+    for (dst, src) in out.chunks_exact_mut(8).zip(tile.iter()) {
+        dst.copy_from_slice(src);
+    }
+}
+
+/// 8×8 AVX2 FMA tile: one ymm accumulator per row; each depth step is one
+/// B-row load plus eight broadcast-FMAs.
+///
+/// # Safety
+///
+/// Requires AVX2 and FMA; operand extents as in [`scalar_8x8`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_8x8(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
+    use core::arch::x86_64::*;
+    let mut c0 = _mm256_setzero_ps();
+    let mut c1 = _mm256_setzero_ps();
+    let mut c2 = _mm256_setzero_ps();
+    let mut c3 = _mm256_setzero_ps();
+    let mut c4 = _mm256_setzero_ps();
+    let mut c5 = _mm256_setzero_ps();
+    let mut c6 = _mm256_setzero_ps();
+    let mut c7 = _mm256_setzero_ps();
+    for p in 0..kc {
+        let bv = _mm256_loadu_ps(b.add(p * 8));
+        let ap = a.add(p * 8);
+        c0 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap), bv, c0);
+        c1 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(1)), bv, c1);
+        c2 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(2)), bv, c2);
+        c3 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(3)), bv, c3);
+        c4 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(4)), bv, c4);
+        c5 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(5)), bv, c5);
+        c6 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(6)), bv, c6);
+        c7 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(7)), bv, c7);
+    }
+    _mm256_storeu_ps(acc, c0);
+    _mm256_storeu_ps(acc.add(8), c1);
+    _mm256_storeu_ps(acc.add(16), c2);
+    _mm256_storeu_ps(acc.add(24), c3);
+    _mm256_storeu_ps(acc.add(32), c4);
+    _mm256_storeu_ps(acc.add(40), c5);
+    _mm256_storeu_ps(acc.add(48), c6);
+    _mm256_storeu_ps(acc.add(56), c7);
+}
+
+/// 16×16 AVX-512 FMA tile: 16 zmm accumulators; each depth step is one
+/// 16-float B-row load plus sixteen broadcast-FMAs (the broadcasts fold
+/// into the FMAs' embedded-broadcast memory operands).
+///
+/// # Safety
+///
+/// Requires AVX-512F; `a` must hold `kc·16` floats, `b` `kc·16`, `acc`
+/// 256.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn avx512_16x16(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
+    use core::arch::x86_64::*;
+    macro_rules! rows {
+        ($mac:ident) => {
+            $mac!(0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15)
+        };
+    }
+    let mut cc = [_mm512_setzero_ps(); 16];
+    for p in 0..kc {
+        let bv = _mm512_loadu_ps(b.add(p * 16));
+        let ap = a.add(p * 16);
+        macro_rules! fma_rows {
+            ($($i:literal)+) => {
+                $(cc[$i] = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add($i)), bv, cc[$i]);)+
+            };
+        }
+        rows!(fma_rows);
+    }
+    macro_rules! store_rows {
+        ($($i:literal)+) => {
+            $(_mm512_storeu_ps(acc.add($i * 16), cc[$i]);)+
+        };
+    }
+    rows!(store_rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference dot-product tile for arbitrary (mr, nr).
+    fn reference(kc: usize, mr: usize, nr: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; mr * nr];
+        for p in 0..kc {
+            for i in 0..mr {
+                for j in 0..nr {
+                    acc[i * nr + j] += a[p * mr + i] * b[p * nr + j];
+                }
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn every_available_kernel_matches_reference_tile() {
+        for kern in available() {
+            for kc in [0usize, 1, 3, 37] {
+                let a: Vec<f32> = (0..kc * kern.mr)
+                    .map(|v| ((v * 7) % 23) as f32 / 4.0 - 2.5)
+                    .collect();
+                let b: Vec<f32> = (0..kc * kern.nr)
+                    .map(|v| ((v * 11) % 19) as f32 / 4.0 - 2.0)
+                    .collect();
+                let mut acc = vec![f32::NAN; kern.mr * kern.nr]; // must overwrite
+                kern.run(kc, &a, &b, &mut acc);
+                let want = reference(kc, kern.mr, kern.nr, &a, &b);
+                for (idx, (x, y)) in acc.iter().zip(&want).enumerate() {
+                    assert!(
+                        (x - y).abs() <= 1e-4 * y.abs().max(1.0),
+                        "{} kc={kc} idx={idx}: {x} vs {y}",
+                        kern.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_is_always_available_and_last() {
+        let kernels = available();
+        assert_eq!(kernels.last().unwrap().name, "scalar-8x8");
+    }
+
+    #[test]
+    fn select_honors_requests_and_falls_back() {
+        assert_eq!(select(None).name, available()[0].name);
+        assert_eq!(select(Some("auto")).name, available()[0].name);
+        assert_eq!(select(Some("scalar")).name, "scalar-8x8");
+        assert_eq!(select(Some("SCALAR-8X8")).name, "scalar-8x8");
+        // Unknown names warn and fall back to the widest kernel.
+        assert_eq!(select(Some("neon")).name, available()[0].name);
+    }
+
+    #[test]
+    fn tiles_fit_the_declared_maximums() {
+        for kern in available() {
+            assert!(kern.mr <= MAX_MR, "{}", kern.name);
+            assert!(kern.nr <= MAX_NR, "{}", kern.name);
+        }
+    }
+}

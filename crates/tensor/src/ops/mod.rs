@@ -5,6 +5,7 @@
 pub mod activation;
 pub mod conv;
 pub mod im2col;
+pub mod kernel;
 pub mod matmul;
 pub mod pack;
 pub mod pool;
@@ -13,7 +14,8 @@ pub mod softmax;
 pub use activation::{relu, relu_backward, BitMask};
 pub use conv::{conv2d, conv2d_backward_data, conv2d_backward_weights, conv2d_naive};
 pub use im2col::{col2im, col2im_slice, col2im_t, im2col, Conv2dCfg};
+pub use kernel::MicroKernel;
 pub use matmul::{matmul, matmul_a_bt, matmul_at_b, matmul_naive};
-pub use pack::{configured_threads, gemm, gemm_with_threads, Im2colGeom, MatSrc};
+pub use pack::{configured_threads, gemm, gemm_with_kernel, gemm_with_threads, Im2colGeom, MatSrc};
 pub use pool::{global_avg_pool, global_avg_pool_backward, maxpool2d, maxpool2d_backward};
 pub use softmax::{accuracy, cross_entropy, softmax, softmax_xent_backward};

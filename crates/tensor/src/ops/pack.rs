@@ -1,15 +1,19 @@
-//! Register/cache-blocked GEMM core with operand packing and deterministic
-//! multi-threading — the compute engine behind all three of the paper's
-//! per-layer training GEMMs (Tab. 1).
+//! Cache-blocked GEMM core with operand packing, SIMD micro-kernel
+//! dispatch, and deterministic multi-threading — the compute engine behind
+//! all three of the paper's per-layer training GEMMs (Tab. 1).
 //!
 //! # Architecture
 //!
 //! The classic three-level blocking (BLIS-style): the k dimension is split
 //! into `KC`-deep panels, columns into `NC`-wide panels, and rows into
 //! `MC`-tall blocks. For each panel the operands are *packed* into
-//! contiguous tiles — A into `MR`-row strips, B into `NR`-column strips — so
-//! the `MR×NR` register micro-kernel streams both operands sequentially and
-//! keeps all `MR·NR` accumulators live across the whole `KC` depth.
+//! contiguous tiles — A into `mr`-row strips, B into `nr`-column strips —
+//! so the `mr×nr` register micro-kernel streams both operands sequentially
+//! and keeps all `mr·nr` accumulators live across the whole `KC` depth.
+//! The tile shape comes from the micro-kernel chosen at startup
+//! ([`crate::ops::kernel`]): hand-written AVX-512 (16×16) or AVX2 (8×8)
+//! FMA kernels where the CPU supports them, the portable autovectorized
+//! 8×8 tile otherwise.
 //!
 //! Operands are described by [`MatSrc`], which abstracts *where elements
 //! come from*: a row-major or column-major matrix in memory, an NCHW
@@ -20,38 +24,42 @@
 //! materializing the full `[n·ho·wo, ci·kh·kw]` lowering (the dominant
 //! memory cost the paper's data-reuse argument targets).
 //!
-//! # Threading and determinism
+//! # Threading, the shared B panel, and determinism
 //!
 //! Row blocks are distributed contiguously over scoped threads
 //! (`std::thread::scope`); each thread owns a disjoint slice of C rows and
-//! packs its own panels. Thread boundaries are aligned to the `MC` grid, so
-//! every output element sees the *same* accumulation order regardless of
-//! thread count: results are bitwise identical for 1 thread and N threads.
-//! The thread count comes from the `MBS_THREADS` environment variable
-//! (default: available parallelism), read once per process.
+//! packs its own A strips. The packed **B panel is shared**: for every
+//! `(KC, NC)` panel the workers pack disjoint strip ranges of one
+//! arena-backed buffer, meet at a [`Barrier`], and then all read the same
+//! panel — so B is packed exactly once per panel instead of once per
+//! worker (the seed paid T× redundant B traffic at T threads).
 //!
-//! Unlike the previous naive kernels there is no `a == 0.0` skip: zeros are
-//! multiplied like any other value, so NaN/Inf propagate correctly and the
-//! inner loop carries no data-dependent branch.
+//! Thread boundaries are aligned to the `MC` grid and `MC` is a multiple
+//! of every kernel's `mr`, so every output element sees the *same*
+//! accumulation order regardless of thread count: results are bitwise
+//! identical for 1 thread and N threads. The thread count comes from the
+//! `MBS_THREADS` environment variable (default: available parallelism),
+//! read once per process; the micro-kernel likewise is fixed per process
+//! (`MBS_KERNEL`), because different tile shapes round differently.
+//!
+//! Unlike the original naive kernels there is no `a == 0.0` skip: zeros
+//! are multiplied like any other value, so NaN/Inf propagate correctly and
+//! the inner loop carries no data-dependent branch.
 
-use std::sync::OnceLock;
+use std::sync::{Barrier, OnceLock};
 
 use crate::arena;
 use crate::ops::im2col::Conv2dCfg;
+use crate::ops::kernel::{self, MicroKernel, MAX_MR, MAX_NR};
 
-/// Micro-kernel rows (A strip height).
-pub const MR: usize = 8;
-/// Micro-kernel columns (B strip width). The 8×8 tile keeps the 64-float
-/// accumulator inside LLVM's scalar-replacement limit, so it is promoted
-/// to vector registers on both AVX2 and AVX-512 targets; larger tiles
-/// (tested: 8×16, 16×16, 8×32, 4×16) either spill the tile to the stack
-/// (~10× slower) or shrink the packing fast path.
-pub const NR: usize = 8;
-/// Rows per packed A block (multiple of `MR`; sized for L1).
+/// Rows per packed A block. A multiple of every registered kernel's `mr`
+/// (8 and 16), which keeps packed-strip boundaries on a global grid no
+/// matter how rows are split across threads; sized for L1.
 pub const MC: usize = 64;
 /// Depth of one packed panel (shared by A and B; sized for L1/L2).
 pub const KC: usize = 128;
-/// Columns per packed B panel (multiple of `NR`; sized for L2).
+/// Columns per packed B panel. A multiple of every registered kernel's
+/// `nr`; sized for L2.
 pub const NC: usize = 256;
 
 /// Number of GEMM worker threads: `MBS_THREADS` if set and positive, else
@@ -121,6 +129,28 @@ impl Im2colGeom {
 /// Logical coordinates are always `(r, c)` in the orientation the GEMM
 /// needs: A sources are indexed `(i ∈ m, p ∈ k)`, B sources `(p ∈ k,
 /// j ∈ n)`.
+///
+/// # Examples
+///
+/// A transposed view multiplies without materializing the transpose:
+///
+/// ```
+/// use mbs_tensor::ops::{gemm, MatSrc};
+///
+/// // A = [[1, 2], [3, 4]] stored column-major (i.e. as [[1, 3], [2, 4]]).
+/// let a_t = [1.0f32, 3.0, 2.0, 4.0];
+/// let b = [1.0f32, 0.0, 0.0, 1.0]; // identity
+/// let mut c = [0.0f32; 4];
+/// gemm(
+///     &MatSrc::ColMajor { data: &a_t, stride: 2 },
+///     &MatSrc::RowMajor { data: &b, stride: 2 },
+///     &mut c,
+///     2,
+///     2,
+///     2,
+/// );
+/// assert_eq!(c, [1.0, 2.0, 3.0, 4.0]);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub enum MatSrc<'a> {
     /// `(r, c) → data[r·stride + c]`.
@@ -168,7 +198,8 @@ pub enum MatSrc<'a> {
     },
 }
 
-/// `C[m×n] = A[m×k] · B[k×n]` with the process-default thread count.
+/// `C[m×n] = A[m×k] · B[k×n]` with the process-default thread count and
+/// micro-kernel.
 ///
 /// `c` must hold exactly `m·n` elements and is overwritten (it need not be
 /// zeroed first); when `k == 0` the output is left untouched.
@@ -181,8 +212,9 @@ pub fn gemm(a: &MatSrc<'_>, b: &MatSrc<'_>, c: &mut [f32], m: usize, n: usize, k
     gemm_with_threads(a, b, c, m, n, k, configured_threads());
 }
 
-/// [`gemm`] with an explicit thread count (used by the determinism tests;
-/// results are bitwise identical for any `threads ≥ 1`).
+/// [`gemm`] with an explicit thread count (used by the determinism tests
+/// and the bench runner's scaling sweep; results are bitwise identical for
+/// any `threads ≥ 1`).
 ///
 /// # Panics
 ///
@@ -196,36 +228,314 @@ pub fn gemm_with_threads(
     k: usize,
     threads: usize,
 ) {
+    gemm_with_kernel(a, b, c, m, n, k, threads, kernel::selected());
+}
+
+/// [`gemm_with_threads`] with an explicit micro-kernel (used by the
+/// per-kernel parity tests and the bench runner's kernel comparison; the
+/// production entry points always use the process-wide
+/// [`kernel::selected`] so results stay run-to-run identical).
+///
+/// # Panics
+///
+/// Panics if `c.len() != m·n`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_kernel(
+    a: &MatSrc<'_>,
+    b: &MatSrc<'_>,
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+    kern: &MicroKernel,
+) {
     assert_eq!(c.len(), m * n, "output buffer must be m·n");
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    // Contiguous MC-aligned row ranges per thread: alignment to the global
-    // MC grid keeps the per-element accumulation order identical to the
-    // single-threaded schedule (bitwise determinism).
+    // Validate operand extents up-front, on the calling thread: a panic
+    // inside a spawned worker would leave its siblings waiting forever on
+    // the shared-panel barrier instead of propagating.
+    check_extent(a, m, k, "A");
+    check_extent(b, k, n, "B");
+    // Hard asserts (not debug): a non-dividing tile would mis-slice the
+    // packing buffers inside a worker thread, and a worker panic strands
+    // its siblings at the shared-panel barrier. One comparison per call.
+    assert_eq!(MC % kern.mr, 0, "MC must be a multiple of the tile mr");
+    assert_eq!(NC % kern.nr, 0, "NC must be a multiple of the tile nr");
+    run_shared(a, b, c, m, n, k, threads, kern);
+}
+
+/// Panics unless `src` can serve every access of a logical `rows × cols`
+/// operand (the packing loops then never index out of bounds, so worker
+/// threads cannot panic mid-panel and strand their siblings at a barrier).
+fn check_extent(src: &MatSrc<'_>, rows: usize, cols: usize, which: &str) {
+    let (len, need) = match *src {
+        MatSrc::RowMajor { data, stride } => (data.len(), (rows - 1) * stride + cols),
+        MatSrc::ColMajor { data, stride } => (data.len(), (cols - 1) * stride + rows),
+        // (r, ch) → ((r/hw)·c + ch)·hw + r%hw, maximal at r = rows-1,
+        // ch = cols-1.
+        MatSrc::NchwRows { data, c, hw } => (
+            data.len(),
+            ((rows - 1) / hw * c + cols - 1) * hw + (rows - 1) % hw + 1,
+        ),
+        MatSrc::NchwCols { data, c, hw } => (
+            data.len(),
+            ((cols - 1) / hw * c + rows - 1) * hw + (cols - 1) % hw + 1,
+        ),
+        MatSrc::Im2col { x, geom } => {
+            // The logical shape must also fit the lowering: packing maps
+            // row/col indices through the geometry, so an oversized m or
+            // k would index past x even when the map itself is complete.
+            assert!(
+                rows <= geom.rows() && cols <= geom.cols(),
+                "{which} operand too small: im2col lowering is {}×{}, GEMM wants {rows}×{cols}",
+                geom.rows(),
+                geom.cols()
+            );
+            (x.len(), geom.n * geom.ci * geom.h * geom.w)
+        }
+    };
+    assert!(
+        len >= need,
+        "{which} operand too small: {len} elements, logical {rows}×{cols} extent needs {need}"
+    );
+}
+
+/// Raw view of the shared packed-B panel handed to every worker. Workers
+/// write disjoint strip ranges before the pack barrier and only read after
+/// it; the `Barrier` orders those accesses, so no two live references ever
+/// alias.
+struct SharedPanel {
+    ptr: *mut f32,
+    len: usize,
+}
+
+// SAFETY: access is coordinated by the barrier protocol described above;
+// the raw pointer itself is just an address.
+unsafe impl Sync for SharedPanel {}
+
+impl SharedPanel {
+    /// Mutable view of elements `[start, start + len)`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the only worker touching that range until the
+    /// next barrier (the strip partition in [`shared_worker`] is disjoint).
+    // The &self → &mut route is the point of this type: exclusivity is
+    // guaranteed by the barrier protocol, not the borrow checker.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn strips_mut(&self, start: usize, len: usize) -> &mut [f32] {
+        debug_assert!(start + len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+
+    /// Shared view of the first `len` elements.
+    ///
+    /// # Safety
+    ///
+    /// Callable only between the pack barrier and the end-of-panel barrier,
+    /// while no `strips_mut` view is live.
+    unsafe fn panel(&self, len: usize) -> &[f32] {
+        debug_assert!(len <= self.len);
+        std::slice::from_raw_parts(self.ptr, len)
+    }
+}
+
+/// The schedule behind every GEMM: C rows are split contiguously
+/// (MC-aligned) across scoped workers that cooperatively pack one shared
+/// B panel per `(jc, pc)` block. At one worker the body runs inline on
+/// the calling thread and the one-participant barrier waits are no-ops.
+#[allow(clippy::too_many_arguments)]
+fn run_shared(
+    a: &MatSrc<'_>,
+    b: &MatSrc<'_>,
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+    kern: &MicroKernel,
+) {
     let blocks = m.div_ceil(MC);
-    scoped_chunks(c, MC * n, blocks, threads, |first_block, chunk| {
-        let rows = chunk.len() / n;
-        worker(a, b, chunk, first_block * MC, rows, n, k);
+    // The barrier size must equal the spawned worker count: both come
+    // from the same `chunk_workers` clamp (`scoped_chunks` applies it
+    // idempotently to the value we pass).
+    let workers = chunk_workers(blocks, threads);
+    let mut b_buf = arena::take(KC * NC);
+    let shared = SharedPanel {
+        ptr: b_buf.as_mut_ptr(),
+        len: b_buf.len(),
+    };
+    let barrier = Barrier::new(workers);
+    scoped_chunks(c, MC * n, blocks, workers, |t, first_block, chunk| {
+        shared_worker(
+            a,
+            b,
+            chunk,
+            first_block * MC,
+            n,
+            k,
+            t,
+            workers,
+            kern,
+            &shared,
+            &barrier,
+        );
     });
+    // `b_buf` outlives every worker's panel view (the scope inside
+    // `scoped_chunks` joins them) before the buffer returns to the arena.
+    drop(b_buf);
+}
+
+/// One worker of the shared-panel schedule: packs its strip share of B,
+/// waits for the panel to be complete, then computes its own C rows
+/// (packing its own A strips). Every worker executes the same `(jc, pc)`
+/// loop so the two barriers per panel always pair up across threads.
+#[allow(clippy::too_many_arguments)]
+fn shared_worker(
+    a: &MatSrc<'_>,
+    b: &MatSrc<'_>,
+    c_rows: &mut [f32],
+    r0: usize,
+    n: usize,
+    k: usize,
+    t: usize,
+    threads: usize,
+    kern: &MicroKernel,
+    shared: &SharedPanel,
+    barrier: &Barrier,
+) {
+    let nr = kern.nr;
+    let rows = c_rows.len() / n;
+    let mut a_buf = arena::take(MC * KC);
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let strips = nc.div_ceil(nr);
+        // This worker's contiguous strip share of the panel. The packed
+        // bytes are a pure function of (B, jc, pc), not of which worker
+        // writes them, so the shared panel preserves bitwise determinism.
+        let s_per = strips / threads;
+        let s_extra = strips % threads;
+        let s_lo = t * s_per + t.min(s_extra);
+        let s_hi = s_lo + s_per + usize::from(t < s_extra);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            if s_hi > s_lo {
+                // SAFETY: strip ranges are disjoint across workers, and no
+                // worker reads the panel before the barrier below.
+                let my = unsafe { shared.strips_mut(s_lo * kc * nr, (s_hi - s_lo) * kc * nr) };
+                let nc_local = (nc - s_lo * nr).min((s_hi - s_lo) * nr);
+                pack_b(b, my, pc, kc, jc + s_lo * nr, nc_local, nr);
+            }
+            barrier.wait();
+            // SAFETY: every write to the panel happened before the barrier
+            // (which orders them), and nobody writes again until the
+            // end-of-panel barrier.
+            let b_panel = unsafe { shared.panel(strips * kc * nr) };
+            compute_block(
+                a, b_panel, c_rows, r0, rows, n, jc, nc, pc, kc, kern, &mut a_buf,
+            );
+            // The panel buffer is reused for the next (jc, pc) block; no
+            // worker may repack while another still reads. The last panel
+            // has no successor, so its drain barrier is skipped (the
+            // thread-scope join provides the final synchronization).
+            let last_panel = jc + NC >= n && pc + KC >= k;
+            if !last_panel {
+                barrier.wait();
+            }
+        }
+    }
+}
+
+/// Computes C rows `[r0, r0 + rows)` of one `(jc, pc)` panel given its
+/// packed B, packing A strips on the fly. `c_rows` is the `rows × n` slice
+/// owned by the calling worker.
+#[allow(clippy::too_many_arguments)]
+fn compute_block(
+    a: &MatSrc<'_>,
+    b_panel: &[f32],
+    c_rows: &mut [f32],
+    r0: usize,
+    rows: usize,
+    n: usize,
+    jc: usize,
+    nc: usize,
+    pc: usize,
+    kc: usize,
+    kern: &MicroKernel,
+    a_buf: &mut [f32],
+) {
+    let (mr, nr) = (kern.mr, kern.nr);
+    // The first depth panel *stores* its tile into C, later panels
+    // accumulate — so callers never pre-zero C and the store pass skips
+    // C's read traffic.
+    let first_panel = pc == 0;
+    let nr_strips = nc.div_ceil(nr);
+    let mut acc = [0.0f32; MAX_MR * MAX_NR];
+    for ic in (0..rows).step_by(MC) {
+        let mc = MC.min(rows - ic);
+        pack_a(a, a_buf, r0 + ic, mc, pc, kc, mr);
+        let mr_strips = mc.div_ceil(mr);
+        for js in 0..nr_strips {
+            let b_strip = &b_panel[js * kc * nr..(js + 1) * kc * nr];
+            let j_hi = nr.min(nc - js * nr);
+            for is in 0..mr_strips {
+                let a_strip = &a_buf[is * kc * mr..(is + 1) * kc * mr];
+                let i_hi = mr.min(mc - is * mr);
+                kern.run(kc, a_strip, b_strip, &mut acc);
+                for i in 0..i_hi {
+                    let acc_row = &acc[i * nr..i * nr + j_hi];
+                    let off = (ic + is * mr + i) * n + jc + js * nr;
+                    let c_row = &mut c_rows[off..off + j_hi];
+                    if first_panel {
+                        c_row.copy_from_slice(acc_row);
+                    } else {
+                        for (cv, av) in c_row.iter_mut().zip(acc_row) {
+                            *cv += av;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Workers [`scoped_chunks`] will actually run for `items` work items
+/// under a requested `threads` — the single source of the clamp, so
+/// callers that need the count up front (the shared-panel barrier) cannot
+/// drift from the split itself.
+pub(crate) fn chunk_workers(items: usize, threads: usize) -> usize {
+    threads.max(1).min(items)
+}
+
+/// Worker threads a GEMM over `m` output rows actually runs when
+/// `threads` are requested: the row split hands out whole `MC` blocks, so
+/// small workloads cap below the request. The bench runner records this
+/// next to each `thread_scaling` measurement so flat scaling on small
+/// shapes is attributable to the workload, not the scheduler.
+pub fn effective_workers(m: usize, threads: usize) -> usize {
+    chunk_workers(m.div_ceil(MC), threads)
 }
 
 /// Splits `buf` into contiguous runs of whole `unit`-sized items (`items`
-/// of them; the final item may be short) and runs `f(first_item, chunk)`
-/// for each run on a scoped thread. The partition is a pure function of
-/// `(items, threads)`, so any work whose per-item order is fixed stays
-/// bitwise-deterministic for every thread count. Shared by the GEMM row
-/// split and the [`crate::ops::im2col::col2im_t`] sample split.
+/// of them; the final item may be short) and runs `f(chunk_index,
+/// first_item, chunk)` for each run on a scoped thread. The partition is a
+/// pure function of `(items, threads)`, so any work whose per-item order
+/// is fixed stays bitwise-deterministic for every thread count. Shared by
+/// the GEMM row split ([`run_shared`]) and the
+/// [`crate::ops::im2col::col2im_t`] sample split.
 pub(crate) fn scoped_chunks<F>(buf: &mut [f32], unit: usize, items: usize, threads: usize, f: F)
 where
-    F: Fn(usize, &mut [f32]) + Sync,
+    F: Fn(usize, usize, &mut [f32]) + Sync,
 {
     if buf.is_empty() || items == 0 {
         return;
     }
-    let threads = threads.max(1).min(items);
+    let threads = chunk_workers(items, threads);
     if threads == 1 {
-        f(0, buf);
+        f(0, 0, buf);
         return;
     }
     let per = items / threads;
@@ -241,109 +551,51 @@ where
             let first = item;
             item += count;
             let f = &f;
-            scope.spawn(move || f(first, chunk));
+            scope.spawn(move || f(t, first, chunk));
         }
     });
 }
 
-/// Computes rows `[r0, r0+rows)` of C into `c_rows` (a `rows×n` slice).
-fn worker(
-    a: &MatSrc<'_>,
-    b: &MatSrc<'_>,
-    c_rows: &mut [f32],
-    r0: usize,
-    rows: usize,
-    n: usize,
-    k: usize,
-) {
-    let mut a_buf = arena::take(MC * KC);
-    let mut b_buf = arena::take(KC * NC);
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
-        let nr_strips = nc.div_ceil(NR);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
-            // The first depth panel *stores* its tile into C, later panels
-            // accumulate — so callers never pre-zero C and the store pass
-            // skips C's read traffic.
-            let first_panel = pc == 0;
-            pack_b(b, &mut b_buf, pc, kc, jc, nc);
-            for ic in (0..rows).step_by(MC) {
-                let mc = MC.min(rows - ic);
-                pack_a(a, &mut a_buf, r0 + ic, mc, pc, kc);
-                let mr_strips = mc.div_ceil(MR);
-                for js in 0..nr_strips {
-                    let b_strip = &b_buf[js * kc * NR..(js + 1) * kc * NR];
-                    let j_hi = NR.min(nc - js * NR);
-                    for is in 0..mr_strips {
-                        let a_strip = &a_buf[is * kc * MR..(is + 1) * kc * MR];
-                        let i_hi = MR.min(mc - is * MR);
-                        let mut acc = [[0.0f32; NR]; MR];
-                        micro_kernel(kc, a_strip, b_strip, &mut acc);
-                        for (i, acc_row) in acc.iter().enumerate().take(i_hi) {
-                            let off = (ic + is * MR + i) * n + jc + js * NR;
-                            let c_row = &mut c_rows[off..off + j_hi];
-                            if first_panel {
-                                for (cv, av) in c_row.iter_mut().zip(acc_row) {
-                                    *cv = *av;
-                                }
-                            } else {
-                                for (cv, av) in c_row.iter_mut().zip(acc_row) {
-                                    *cv += av;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// The `MR×NR` register tile: accumulates `kc` outer products from packed
-/// strips. `a` is `kc×MR` (strip-major), `b` is `kc×NR`.
-#[inline(always)]
-fn micro_kernel(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for (av, bv) in a.chunks_exact(MR).zip(b.chunks_exact(NR)).take(kc) {
-        for (ai, row) in av.iter().zip(acc.iter_mut()) {
-            for (slot, bj) in row.iter_mut().zip(bv) {
-                *slot += ai * bj;
-            }
-        }
-    }
-}
-
-/// Packs A rows `[i0, i0+mc) × depth [p0, p0+kc)` into `MR`-row strips:
-/// `buf[strip·kc·MR + p·MR + i]`, zero-padded to full strips. Every source
+/// Packs A rows `[i0, i0+mc) × depth [p0, p0+kc)` into `mr`-row strips:
+/// `buf[strip·kc·mr + p·mr + i]`, zero-padded to full strips. Every source
 /// variant gets a specialized loop (contiguous copies or one divmod per
 /// run) — the packing pass is the fused paths' only touch of the operand,
 /// so its per-element cost directly bounds kernel throughput.
-fn pack_a(src: &MatSrc<'_>, buf: &mut [f32], i0: usize, mc: usize, p0: usize, kc: usize) {
-    let strips = mc.div_ceil(MR);
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    src: &MatSrc<'_>,
+    buf: &mut [f32],
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+    mr: usize,
+) {
+    let strips = mc.div_ceil(mr);
     match *src {
         MatSrc::RowMajor { data, stride } => {
             for s in 0..strips {
-                let strip = &mut buf[s * kc * MR..(s + 1) * kc * MR];
-                let lanes = MR.min(mc - s * MR);
-                for ii in 0..MR {
+                let strip = &mut buf[s * kc * mr..(s + 1) * kc * mr];
+                let lanes = mr.min(mc - s * mr);
+                for ii in 0..mr {
                     if ii >= lanes {
-                        zero_lane(strip, kc, MR, ii);
+                        zero_lane(strip, kc, mr, ii);
                         continue;
                     }
-                    let row = &data[(i0 + s * MR + ii) * stride + p0..][..kc];
+                    let row = &data[(i0 + s * mr + ii) * stride + p0..][..kc];
                     for (p, &v) in row.iter().enumerate() {
-                        strip[p * MR + ii] = v;
+                        strip[p * mr + ii] = v;
                     }
                 }
             }
         }
         MatSrc::ColMajor { data, stride } => {
             for s in 0..strips {
-                let strip = &mut buf[s * kc * MR..(s + 1) * kc * MR];
-                let lanes = MR.min(mc - s * MR);
+                let strip = &mut buf[s * kc * mr..(s + 1) * kc * mr];
+                let lanes = mr.min(mc - s * mr);
                 for p in 0..kc {
-                    let col = &data[(p0 + p) * stride + i0 + s * MR..][..lanes];
-                    let cell = &mut strip[p * MR..(p + 1) * MR];
+                    let col = &data[(p0 + p) * stride + i0 + s * mr..][..lanes];
+                    let cell = &mut strip[p * mr..(p + 1) * mr];
                     cell[..lanes].copy_from_slice(col);
                     for slot in &mut cell[lanes..] {
                         *slot = 0.0;
@@ -353,31 +605,31 @@ fn pack_a(src: &MatSrc<'_>, buf: &mut [f32], i0: usize, mc: usize, p0: usize, kc
         }
         MatSrc::NchwRows { data, c, hw } => {
             for s in 0..strips {
-                let strip = &mut buf[s * kc * MR..(s + 1) * kc * MR];
-                let lanes = MR.min(mc - s * MR);
-                for ii in 0..MR {
+                let strip = &mut buf[s * kc * mr..(s + 1) * kc * mr];
+                let lanes = mr.min(mc - s * mr);
+                for ii in 0..mr {
                     if ii >= lanes {
-                        zero_lane(strip, kc, MR, ii);
+                        zero_lane(strip, kc, mr, ii);
                         continue;
                     }
-                    let r = i0 + s * MR + ii;
+                    let r = i0 + s * mr + ii;
                     let base = (r / hw) * c * hw + r % hw;
                     for p in 0..kc {
-                        strip[p * MR + ii] = data[base + (p0 + p) * hw];
+                        strip[p * mr + ii] = data[base + (p0 + p) * hw];
                     }
                 }
             }
         }
         MatSrc::NchwCols { data, c, hw } => {
             for s in 0..strips {
-                let strip = &mut buf[s * kc * MR..(s + 1) * kc * MR];
-                let lanes = MR.min(mc - s * MR);
-                for ii in 0..MR {
+                let strip = &mut buf[s * kc * mr..(s + 1) * kc * mr];
+                let lanes = mr.min(mc - s * mr);
+                for ii in 0..mr {
                     if ii >= lanes {
-                        zero_lane(strip, kc, MR, ii);
+                        zero_lane(strip, kc, mr, ii);
                         continue;
                     }
-                    let ch = i0 + s * MR + ii;
+                    let ch = i0 + s * mr + ii;
                     let mut p = 0usize;
                     while p < kc {
                         let pix = p0 + p;
@@ -385,29 +637,40 @@ fn pack_a(src: &MatSrc<'_>, buf: &mut [f32], i0: usize, mc: usize, p0: usize, kc
                         let run = (hw - off).min(kc - p);
                         let src_run = &data[(pix / hw * c + ch) * hw + off..][..run];
                         for (q, &v) in src_run.iter().enumerate() {
-                            strip[(p + q) * MR + ii] = v;
+                            strip[(p + q) * mr + ii] = v;
                         }
                         p += run;
                     }
                 }
             }
         }
-        MatSrc::Im2col { x, geom } => pack_a_im2col(x, &geom, buf, i0, mc, p0, kc),
+        MatSrc::Im2col { x, geom } => pack_a_im2col(x, &geom, buf, i0, mc, p0, kc, mr),
     }
 }
 
-/// Packs B depth `[p0, p0+kc) × cols [j0, j0+nc)` into `NR`-column strips:
-/// `buf[strip·kc·NR + p·NR + j]`, zero-padded to full strips.
-fn pack_b(src: &MatSrc<'_>, buf: &mut [f32], p0: usize, kc: usize, j0: usize, nc: usize) {
-    let strips = nc.div_ceil(NR);
+/// Packs B depth `[p0, p0+kc) × cols [j0, j0+nc)` into `nr`-column strips:
+/// `buf[strip·kc·nr + p·nr + j]`, zero-padded to full strips. Callable on
+/// any strip-aligned column sub-range, which is how the shared-panel
+/// workers each pack a disjoint slice of the same panel.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    src: &MatSrc<'_>,
+    buf: &mut [f32],
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+    nr: usize,
+) {
+    let strips = nc.div_ceil(nr);
     match *src {
         MatSrc::RowMajor { data, stride } => {
             for s in 0..strips {
-                let strip = &mut buf[s * kc * NR..(s + 1) * kc * NR];
-                let lanes = NR.min(nc - s * NR);
+                let strip = &mut buf[s * kc * nr..(s + 1) * kc * nr];
+                let lanes = nr.min(nc - s * nr);
                 for p in 0..kc {
-                    let row = &data[(p0 + p) * stride + j0 + s * NR..][..lanes];
-                    let cell = &mut strip[p * NR..(p + 1) * NR];
+                    let row = &data[(p0 + p) * stride + j0 + s * nr..][..lanes];
+                    let cell = &mut strip[p * nr..(p + 1) * nr];
                     cell[..lanes].copy_from_slice(row);
                     for slot in &mut cell[lanes..] {
                         *slot = 0.0;
@@ -417,31 +680,31 @@ fn pack_b(src: &MatSrc<'_>, buf: &mut [f32], p0: usize, kc: usize, j0: usize, nc
         }
         MatSrc::ColMajor { data, stride } => {
             for s in 0..strips {
-                let strip = &mut buf[s * kc * NR..(s + 1) * kc * NR];
-                let lanes = NR.min(nc - s * NR);
-                for jj in 0..NR {
+                let strip = &mut buf[s * kc * nr..(s + 1) * kc * nr];
+                let lanes = nr.min(nc - s * nr);
+                for jj in 0..nr {
                     if jj >= lanes {
-                        zero_lane(strip, kc, NR, jj);
+                        zero_lane(strip, kc, nr, jj);
                         continue;
                     }
-                    let col = &data[(j0 + s * NR + jj) * stride + p0..][..kc];
+                    let col = &data[(j0 + s * nr + jj) * stride + p0..][..kc];
                     for (p, &v) in col.iter().enumerate() {
-                        strip[p * NR + jj] = v;
+                        strip[p * nr + jj] = v;
                     }
                 }
             }
         }
         MatSrc::NchwRows { data, c, hw } => {
             for s in 0..strips {
-                let strip = &mut buf[s * kc * NR..(s + 1) * kc * NR];
-                let lanes = NR.min(nc - s * NR);
+                let strip = &mut buf[s * kc * nr..(s + 1) * kc * nr];
+                let lanes = nr.min(nc - s * nr);
                 for p in 0..kc {
                     let r = p0 + p;
                     let base = (r / hw) * c * hw + r % hw;
-                    let cell = &mut strip[p * NR..(p + 1) * NR];
+                    let cell = &mut strip[p * nr..(p + 1) * nr];
                     for (jj, slot) in cell.iter_mut().enumerate() {
                         *slot = if jj < lanes {
-                            data[base + (j0 + s * NR + jj) * hw]
+                            data[base + (j0 + s * nr + jj) * hw]
                         } else {
                             0.0
                         };
@@ -451,26 +714,26 @@ fn pack_b(src: &MatSrc<'_>, buf: &mut [f32], p0: usize, kc: usize, j0: usize, nc
         }
         MatSrc::NchwCols { data, c, hw } => {
             for s in 0..strips {
-                let strip = &mut buf[s * kc * NR..(s + 1) * kc * NR];
-                let lanes = NR.min(nc - s * NR);
-                for jj in 0..NR {
+                let strip = &mut buf[s * kc * nr..(s + 1) * kc * nr];
+                let lanes = nr.min(nc - s * nr);
+                for jj in 0..nr {
                     if jj >= lanes {
-                        zero_lane(strip, kc, NR, jj);
+                        zero_lane(strip, kc, nr, jj);
                         continue;
                     }
-                    let pix = j0 + s * NR + jj;
+                    let pix = j0 + s * nr + jj;
                     let base = (pix / hw * c) * hw + pix % hw;
                     for p in 0..kc {
-                        strip[p * NR + jj] = data[base + (p0 + p) * hw];
+                        strip[p * nr + jj] = data[base + (p0 + p) * hw];
                     }
                 }
             }
         }
-        MatSrc::Im2col { x, geom } => pack_b_im2col(x, &geom, buf, p0, kc, j0, nc),
+        MatSrc::Im2col { x, geom } => pack_b_im2col(x, &geom, buf, p0, kc, j0, nc, nr),
     }
 }
 
-/// Zeroes one padding lane of a packed strip (`width` = MR or NR).
+/// Zeroes one padding lane of a packed strip (`width` = mr or nr).
 #[inline(always)]
 fn zero_lane(strip: &mut [f32], kc: usize, width: usize, lane: usize) {
     for p in 0..kc {
@@ -481,11 +744,12 @@ fn zero_lane(strip: &mut [f32], kc: usize, width: usize, lane: usize) {
 /// Streams im2col *rows* (output pixels) into packed-A strips: the fused
 /// conv-forward path.
 ///
-/// Fast path: when a strip's `MR` pixels lie in one output row, the `MR`
-/// lanes of a tap read `MR` consecutive (stride 1) or evenly strided input
+/// Fast path: when a strip's `mr` pixels lie in one output row, the `mr`
+/// lanes of a tap read `mr` consecutive (stride 1) or evenly strided input
 /// values, so the whole tap packs as one bounds-checked copy; only strips
 /// touching the padding halo or an image-row boundary fall back to the
 /// per-lane loop.
+#[allow(clippy::too_many_arguments)]
 fn pack_a_im2col(
     x: &[f32],
     geom: &Im2colGeom,
@@ -494,18 +758,19 @@ fn pack_a_im2col(
     mc: usize,
     p0: usize,
     kc: usize,
+    mr: usize,
 ) {
     let runs = tap_runs(geom, p0, kc);
-    let strips = mc.div_ceil(MR);
+    let strips = mc.div_ceil(mr);
     let hw = geom.ho * geom.wo;
     let stride = geom.cfg.stride;
     for s in 0..strips {
-        let strip = &mut buf[s * kc * MR..(s + 1) * kc * MR];
-        let lanes = MR.min(mc - s * MR);
-        let r0 = i0 + s * MR;
+        let strip = &mut buf[s * kc * mr..(s + 1) * kc * mr];
+        let lanes = mr.min(mc - s * mr);
+        let r0 = i0 + s * mr;
         // Whole strip in one (sample, output-row) pair?
         let same_row =
-            lanes == MR && (r0 % geom.wo) + MR <= geom.wo && r0 / hw == (r0 + MR - 1) / hw;
+            lanes == mr && (r0 % geom.wo) + mr <= geom.wo && r0 / hw == (r0 + mr - 1) / hw;
         if same_row {
             let ni = r0 / hw;
             let off = r0 % hw;
@@ -517,19 +782,19 @@ fn pack_a_im2col(
                 let iy = iy0 + run.ky;
                 if iy < 0 || iy as usize >= geom.h {
                     for q in 0..run.len {
-                        strip[(run.start + q) * MR..(run.start + q) * MR + MR].fill(0.0);
+                        strip[(run.start + q) * mr..(run.start + q) * mr + mr].fill(0.0);
                     }
                     continue;
                 }
                 let row_base = ((ni * geom.ci + run.ch) * geom.h + iy as usize) * geom.w;
                 for q in 0..run.len {
                     let ix_first = ix_first0 + run.kx0 + q as isize;
-                    let ix_last = ix_first + ((MR - 1) * stride) as isize;
-                    let cell = &mut strip[(run.start + q) * MR..(run.start + q) * MR + MR];
+                    let ix_last = ix_first + ((mr - 1) * stride) as isize;
+                    let cell = &mut strip[(run.start + q) * mr..(run.start + q) * mr + mr];
                     if ix_first >= 0 && (ix_last as usize) < geom.w {
                         let src0 = row_base + ix_first as usize;
                         if stride == 1 {
-                            cell.copy_from_slice(&x[src0..src0 + MR]);
+                            cell.copy_from_slice(&x[src0..src0 + mr]);
                         } else {
                             for (ii, slot) in cell.iter_mut().enumerate() {
                                 *slot = x[src0 + ii * stride];
@@ -538,8 +803,8 @@ fn pack_a_im2col(
                     } else if stride == 1 {
                         // Boundary tile: zero the out-of-image lanes, copy
                         // the contiguous in-bounds span.
-                        let lo = (-ix_first).clamp(0, MR as isize) as usize;
-                        let hi = (geom.w as isize - ix_first).clamp(0, MR as isize) as usize;
+                        let lo = (-ix_first).clamp(0, mr as isize) as usize;
+                        let hi = (geom.w as isize - ix_first).clamp(0, mr as isize) as usize;
                         cell[..lo].fill(0.0);
                         cell[hi..].fill(0.0);
                         if hi > lo {
@@ -560,9 +825,9 @@ fn pack_a_im2col(
             }
             continue;
         }
-        for ii in 0..MR {
+        for ii in 0..mr {
             if ii >= lanes {
-                zero_lane(strip, kc, MR, ii);
+                zero_lane(strip, kc, mr, ii);
                 continue;
             }
             let r = r0 + ii;
@@ -576,7 +841,7 @@ fn pack_a_im2col(
                 let iy = iy0 + run.ky;
                 if iy < 0 || iy as usize >= geom.h {
                     for q in 0..run.len {
-                        strip[(run.start + q) * MR + ii] = 0.0;
+                        strip[(run.start + q) * mr + ii] = 0.0;
                     }
                     continue;
                 }
@@ -585,12 +850,12 @@ fn pack_a_im2col(
                 if ix_first >= 0 && (ix_first as usize) + run.len <= geom.w {
                     let src0 = row_base + ix_first as usize;
                     for (q, &v) in x[src0..src0 + run.len].iter().enumerate() {
-                        strip[(run.start + q) * MR + ii] = v;
+                        strip[(run.start + q) * mr + ii] = v;
                     }
                 } else {
                     for q in 0..run.len {
                         let ix = ix_first + q as isize;
-                        strip[(run.start + q) * MR + ii] = if ix < 0 || ix as usize >= geom.w {
+                        strip[(run.start + q) * mr + ii] = if ix < 0 || ix as usize >= geom.w {
                             0.0
                         } else {
                             x[row_base + ix as usize]
@@ -607,8 +872,9 @@ fn pack_a_im2col(
 ///
 /// Two passes over a panel-sized scratch buffer: pixel-major row
 /// generation (contiguous writes, one bounds decision per tap run), then a
-/// re-pack into `NR`-column strips as contiguous `NR`-float copies. Only
+/// re-pack into `nr`-column strips as contiguous `nr`-float copies. Only
 /// the `kc×nc` panel ever exists; the full lowering is never materialized.
+#[allow(clippy::too_many_arguments)]
 fn pack_b_im2col(
     x: &[f32],
     geom: &Im2colGeom,
@@ -617,6 +883,7 @@ fn pack_b_im2col(
     kc: usize,
     j0: usize,
     nc: usize,
+    nr: usize,
 ) {
     let runs = tap_runs(geom, j0, nc);
     let hw = geom.ho * geom.wo;
@@ -661,14 +928,14 @@ fn pack_b_im2col(
         }
     }
 
-    // Pass 2: strip re-pack (contiguous NR-float copies).
-    let strips = nc.div_ceil(NR);
+    // Pass 2: strip re-pack (contiguous nr-float copies).
+    let strips = nc.div_ceil(nr);
     for s in 0..strips {
-        let strip = &mut buf[s * kc * NR..(s + 1) * kc * NR];
-        let lanes = NR.min(nc - s * NR);
+        let strip = &mut buf[s * kc * nr..(s + 1) * kc * nr];
+        let lanes = nr.min(nc - s * nr);
         for p in 0..kc {
-            let cell = &mut strip[p * NR..(p + 1) * NR];
-            cell[..lanes].copy_from_slice(&scratch[p * nc + s * NR..p * nc + s * NR + lanes]);
+            let cell = &mut strip[p * nr..(p + 1) * nr];
+            cell[..lanes].copy_from_slice(&scratch[p * nc + s * nr..p * nc + s * nr + lanes]);
             cell[lanes..].fill(0.0);
         }
     }
@@ -1009,5 +1276,69 @@ mod tests {
             1,
         );
         assert_eq!(c[0], 2.0, "gemm overwrites stale output contents");
+    }
+
+    #[test]
+    #[should_panic(expected = "A operand too small")]
+    fn undersized_operand_panics_on_the_calling_thread() {
+        // Validated before any worker spawns: a panic inside a worker
+        // would strand its siblings at the shared-panel barrier (hang,
+        // not panic).
+        let a = vec![0.0f32; 10]; // needs 200·150
+        let b = vec![0.0f32; 150 * 8];
+        let mut c = vec![0.0f32; 200 * 8];
+        gemm_with_threads(
+            &MatSrc::RowMajor {
+                data: &a,
+                stride: 150,
+            },
+            &MatSrc::RowMajor {
+                data: &b,
+                stride: 8,
+            },
+            &mut c,
+            200,
+            8,
+            150,
+            4,
+        );
+    }
+
+    #[test]
+    fn every_registered_kernel_divides_the_blocking_grid() {
+        // The determinism argument needs packed-strip boundaries on one
+        // global grid: MC and NC must be multiples of every kernel's tile.
+        // A future kernel that breaks this would otherwise only trip a
+        // debug_assert (absent in release builds).
+        for kern in kernel::available() {
+            assert_eq!(MC % kern.mr, 0, "{}: MC % mr != 0", kern.name);
+            assert_eq!(NC % kern.nr, 0, "{}: NC % nr != 0", kern.name);
+        }
+    }
+
+    #[test]
+    fn every_kernel_and_thread_count_agrees_bitwise_per_kernel() {
+        // For each registered kernel: N threads must reproduce 1 thread
+        // bit-for-bit (the shared B panel must not change results).
+        let (m, n, k) = (200, 300, 150);
+        let a = seq(m * k, 11);
+        let b = seq(k * n, 12);
+        let asrc = MatSrc::RowMajor {
+            data: &a,
+            stride: k,
+        };
+        let bsrc = MatSrc::RowMajor {
+            data: &b,
+            stride: n,
+        };
+        for kern in kernel::available() {
+            let mut c1 = vec![0.0f32; m * n];
+            gemm_with_kernel(&asrc, &bsrc, &mut c1, m, n, k, 1, kern);
+            for threads in [2usize, 3, 5, 8] {
+                let mut cn = vec![0.0f32; m * n];
+                gemm_with_kernel(&asrc, &bsrc, &mut cn, m, n, k, threads, kern);
+                assert_eq!(c1, cn, "{} with {threads} threads", kern.name);
+            }
+        }
     }
 }

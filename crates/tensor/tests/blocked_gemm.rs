@@ -1,10 +1,12 @@
 //! Property tests pinning the packed blocked GEMM core and the fused
 //! convolution paths against their naive references, across
-//! non-tile-divisible shapes, padding, stride, and thread counts.
+//! non-tile-divisible shapes, padding, stride, thread counts, and every
+//! SIMD micro-kernel available on this CPU.
 
 use proptest::prelude::*;
 
-use mbs_tensor::ops::pack::{gemm_with_threads, Im2colGeom, MatSrc};
+use mbs_tensor::ops::kernel;
+use mbs_tensor::ops::pack::{gemm_with_kernel, gemm_with_threads, Im2colGeom, MatSrc};
 use mbs_tensor::ops::{
     col2im, col2im_t, conv2d, conv2d_backward_data, conv2d_backward_weights, conv2d_naive, im2col,
     matmul, matmul_a_bt, matmul_at_b, matmul_naive, Conv2dCfg,
@@ -210,6 +212,145 @@ proptest! {
         let dn = col2im_t(&cols_t, 3, 2, 6, 5, cfg, threads);
         prop_assert_eq!(d1.data(), dn.data());
     }
+
+    /// Every micro-kernel available on this CPU (AVX-512, AVX2, scalar)
+    /// matches the naive triple loop on arbitrary shapes, and for each
+    /// kernel the shared-B-panel multi-thread schedule reproduces the
+    /// single-thread result bit-for-bit. `m` ranges past 6·MC so
+    /// `threads in 2..7` actually spawns up to 6 workers (the GEMM clamps
+    /// threads to `m.div_ceil(MC)` row blocks) — exercising the
+    /// multi-worker strip partition, remainder distribution, and
+    /// empty-share barrier participation.
+    #[test]
+    fn every_kernel_matches_naive_and_is_thread_invariant(
+        m in 1usize..400,
+        k in 1usize..150,
+        n in 1usize..45,
+        threads in 2usize..7,
+        seed in 0usize..1000,
+    ) {
+        let a: Vec<f32> =
+            (0..m * k).map(|v| ((v * 31 + seed) % 17) as f32 / 4.0 - 2.0).collect();
+        let b: Vec<f32> =
+            (0..k * n).map(|v| ((v * 13 + seed * 7) % 19) as f32 / 4.0 - 2.0).collect();
+        let asrc = MatSrc::RowMajor { data: &a, stride: k };
+        let bsrc = MatSrc::RowMajor { data: &b, stride: n };
+        let at = Tensor::from_vec(&[m, k], a.clone());
+        let bt = Tensor::from_vec(&[k, n], b.clone());
+        let reference = matmul_naive(&at, &bt);
+        for kern in kernel::available() {
+            let mut c1 = vec![0.0f32; m * n];
+            gemm_with_kernel(&asrc, &bsrc, &mut c1, m, n, k, 1, kern);
+            let got = Tensor::from_vec(&[m, n], c1.clone());
+            assert_close(&got, &reference, k, kern.name);
+            let mut cn = vec![0.0f32; m * n];
+            gemm_with_kernel(&asrc, &bsrc, &mut cn, m, n, k, threads, kern);
+            prop_assert_eq!(&c1, &cn, "{} must be thread-invariant", kern.name);
+        }
+    }
+
+    /// The fused im2col operand agrees across every kernel and stays
+    /// thread-invariant per kernel (the conv paths feed the same packed
+    /// strips to whichever kernel is selected).
+    #[test]
+    fn every_kernel_agrees_on_fused_conv_gemm(
+        x in tensor_strategy(vec![2, 3, 7, 6]),
+        threads in 2usize..6,
+    ) {
+        let cfg = Conv2dCfg::square(3, 1, 1);
+        let geom = Im2colGeom::new(2, 3, 7, 6, cfg);
+        let (m, n, k) = (geom.rows(), 5, geom.cols());
+        let w: Vec<f32> = (0..n * k).map(|v| (v % 13) as f32 / 3.0 - 2.0).collect();
+        let asrc = MatSrc::Im2col { x: x.data(), geom };
+        let bsrc = MatSrc::ColMajor { data: &w, stride: k };
+        let mut reference: Option<Vec<f32>> = None;
+        for kern in kernel::available() {
+            let mut c1 = vec![0.0f32; m * n];
+            gemm_with_kernel(&asrc, &bsrc, &mut c1, m, n, k, 1, kern);
+            let mut cn = vec![0.0f32; m * n];
+            gemm_with_kernel(&asrc, &bsrc, &mut cn, m, n, k, threads, kern);
+            prop_assert_eq!(&c1, &cn, "{} im2col thread invariance", kern.name);
+            match &reference {
+                None => reference = Some(c1),
+                Some(want) => {
+                    // Different tile shapes round differently (FMA vs
+                    // separate mul+add), so cross-kernel equality is only
+                    // approximate.
+                    let tol = 1e-5 * (k as f32) * 4.0;
+                    for (got, want) in c1.iter().zip(want) {
+                        prop_assert!(
+                            (got - want).abs() < tol,
+                            "{}: {} vs {}", kern.name, got, want
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Edge tiles: shapes straddling every registered tile boundary (8 and 16
+/// wide/tall, ±1) stay correct for every kernel — the packed zero-padding
+/// lanes must never leak into C.
+#[test]
+fn edge_tiles_around_every_tile_boundary() {
+    for kern in kernel::available() {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (7, 9, 5),
+            (8, 8, 8),
+            (9, 7, 8),
+            (15, 17, 16),
+            (16, 16, 16),
+            (17, 15, 33),
+            (31, 33, 130),
+            (63, 257, 129),
+            (65, 255, 127),
+        ] {
+            let a = Tensor::from_vec(
+                &[m, k],
+                (0..m * k).map(|v| (v % 23) as f32 / 4.0 - 2.5).collect(),
+            );
+            let b = Tensor::from_vec(
+                &[k, n],
+                (0..k * n).map(|v| (v % 19) as f32 / 4.0 - 2.0).collect(),
+            );
+            let mut c = vec![0.0f32; m * n];
+            gemm_with_kernel(
+                &MatSrc::RowMajor {
+                    data: a.data(),
+                    stride: k,
+                },
+                &MatSrc::RowMajor {
+                    data: b.data(),
+                    stride: n,
+                },
+                &mut c,
+                m,
+                n,
+                k,
+                1,
+                kern,
+            );
+            let got = Tensor::from_vec(&[m, n], c);
+            assert_close(
+                &got,
+                &matmul_naive(&a, &b),
+                k,
+                &format!("{} ({m},{n},{k})", kern.name),
+            );
+        }
+    }
+}
+
+/// The production entry points (`matmul`, `conv2d`, …) run on the
+/// process-selected kernel; pin that the selection is stable within a
+/// process and is one of the advertised kernels.
+#[test]
+fn selected_kernel_is_stable_and_registered() {
+    let first = kernel::selected();
+    assert!(std::ptr::eq(first, kernel::selected()));
+    assert!(kernel::available().iter().any(|k| std::ptr::eq(*k, first)));
 }
 
 /// NaN/Inf propagation: the old kernels' `a == 0.0` skip is gone.
