@@ -1,23 +1,35 @@
 //! Quick-mode bench runner: executes the tensor-ops and training-step
 //! Criterion suites plus two GEMM-core sweeps — a per-micro-kernel
 //! comparison and an `MBS_THREADS` scaling run — and writes
-//! `BENCH_tensor.json` so the perf trajectory is tracked from PR to PR.
+//! `BENCH_tensor.json`, then sweeps the **serialized training step**
+//! (sub-batch size × fused/unfused epilogues, plus steady-state arena
+//! stats) into `BENCH_train.json`, so both the kernel-level and the
+//! executor-level perf trajectories are tracked from PR to PR.
 //!
 //! ```text
 //! cargo run --release -p mbs-bench --bin bench [-- <out_dir>]
 //! ```
 //!
-//! See `docs/ARCHITECTURE.md` ("BENCH_tensor.json schema") for the full
-//! layout of the report.
+//! See `docs/ARCHITECTURE.md` ("BENCH_tensor.json schema" and
+//! "BENCH_train.json schema") for the full layout of the reports.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 
 use criterion::Criterion;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::Serialize;
 
+use mbs_tensor::arena;
 use mbs_tensor::ops::kernel::{self, MicroKernel};
 use mbs_tensor::ops::{gemm_with_kernel, Conv2dCfg, Im2colGeom, MatSrc};
+use mbs_train::data::generate;
+use mbs_train::executor::train_step_mbs;
+use mbs_train::model::{ConvNet, MiniResNet};
+use mbs_train::norm::NormChoice;
+use mbs_train::optim::Sgd;
+use mbs_train::Module;
 
 /// The report written to `BENCH_tensor.json`.
 #[derive(Debug, Clone, Serialize)]
@@ -82,6 +94,81 @@ struct ThreadScale {
     /// Whether the output matched the 1-thread run bit-for-bit (the
     /// shared-B-panel determinism guarantee).
     bitwise_equal_to_1_thread: bool,
+}
+
+/// The report written to `BENCH_train.json`: the serialized training step
+/// at executor level, swept over sub-batch sizes with fused epilogues on
+/// and off.
+#[derive(Debug, Clone, Serialize)]
+struct TrainReport {
+    /// GEMM worker threads the steps ran with (the process default).
+    threads: usize,
+    /// The micro-kernel every measurement used.
+    kernel: String,
+    /// One row per (model, sub-batch): fused vs unfused step time.
+    train_step: Vec<TrainStepBench>,
+    /// A/A control for the step sweep: two *identical* fused models
+    /// measured by the same interleaved harness. How far this sits from
+    /// 1.0 is the measurement noise floor — step-sweep speedups inside
+    /// that band are not significant (on the shared 1-CPU dev container
+    /// the floor is ~±2%, which swallows the few-percent epilogue win at
+    /// toy activation sizes).
+    aa_noise_ratio: f64,
+    /// Layer-level fused-vs-unfused comparison on shapes whose outputs
+    /// outgrow L1/L2 — the regime the epilogue targets. Read against
+    /// `aa_noise_ratio`: on the dev container the deltas sit at the noise
+    /// floor (the separate passes it eliminates stream from cache at full
+    /// speed there); the eliminated passes are real memory traffic on
+    /// bandwidth-bound hardware.
+    layer_fused: Vec<LayerFusedBench>,
+    /// Arena hit/miss counters over one steady-state `train_step_mbs`
+    /// call (pool pre-warmed by the benches above); `arena_misses` must be
+    /// 0 — the sub-batch loop allocates no fresh f32 storage.
+    steady_state: SteadyState,
+}
+
+/// One layer-level fused-vs-unfused measurement.
+#[derive(Debug, Clone, Serialize)]
+struct LayerFusedBench {
+    /// Operation + epilogue under test.
+    op: String,
+    /// Operand shape description.
+    shape: String,
+    /// Best (minimum-over-rounds) ns per call with the epilogue fused
+    /// into the write-back — a min, not a mean: the interleaved harness
+    /// keeps each side's best block to discard steal-time outliers.
+    fused_best_ns: f64,
+    /// Best ns per call as GEMM/conv, then bias pass, then ReLU pass.
+    unfused_best_ns: f64,
+    /// `unfused / fused` — >1 means fusion wins.
+    speedup_fused: f64,
+}
+
+/// One (model, sub-batch) row of the executor-level sweep.
+#[derive(Debug, Clone, Serialize)]
+struct TrainStepBench {
+    /// `mini_resnet_gn` (Fig. 6 configuration) or `convnet_fused_stack`
+    /// (norm-free conv+bias+ReLU layers — every epilogue fused).
+    model: String,
+    /// Samples per serialized sub-batch (batch is 16).
+    sub_batch: usize,
+    /// Best (minimum-over-rounds) ns per `train_step_mbs` with fused
+    /// epilogues — a min, not a mean (see `LayerFusedBench::fused_best_ns`).
+    fused_best_ns: f64,
+    /// Best ns per step with `set_fused(false)` (separate bias/ReLU
+    /// passes).
+    unfused_best_ns: f64,
+    /// `unfused / fused` — >1 means the fused write-back wins.
+    speedup_fused: f64,
+}
+
+/// Arena counters over one steady-state training step.
+#[derive(Debug, Clone, Serialize)]
+struct SteadyState {
+    /// Pool reuses during the step.
+    arena_hits: u64,
+    /// Fresh allocations during the step (the planner's target: 0).
+    arena_misses: u64,
 }
 
 fn filled(len: usize, salt: usize) -> Vec<f32> {
@@ -237,6 +324,249 @@ fn thread_scaling(c: &mut Criterion) -> Vec<ThreadScale> {
     rows
 }
 
+/// Sweeps the serialized training step: (model × sub-batch × fused) with
+/// the fused/unfused decision flipped per model instance via `set_fused` —
+/// both paths are bitwise identical (pinned by tests), so the delta is
+/// pure epilogue/allocation overhead.
+///
+/// Measurement is **interleaved**: fused and unfused blocks alternate over
+/// several rounds and each variant keeps its best (minimum) per-step time.
+/// A sequential A-then-B timing on a shared 1-CPU container drifts by more
+/// than the few-percent effect under test; alternating blocks see the same
+/// machine state, and the min discards steal-time outliers.
+fn train_steps() -> Vec<TrainStepBench> {
+    const ROUNDS: usize = 6;
+    let d8 = generate(16, 8, 0.3, 55);
+    // 16×16 inputs × 32-channel convs: activations outgrow L1/L2, which is
+    // the regime the fused epilogue targets (whole-tensor passes removed).
+    let d16 = generate(16, 16, 0.3, 55);
+    let mut rows = Vec::new();
+    for model_name in [
+        "mini_resnet_gn",
+        "convnet_fused_stack",
+        "convnet_wide_16x16",
+    ] {
+        let d = if model_name == "convnet_wide_16x16" {
+            &d16
+        } else {
+            &d8
+        };
+        for sub in [1usize, 2, 4, 8] {
+            // One long-lived (model, optimizer) pair per variant, so both
+            // see identical warm pools and parameter trajectories.
+            let build = |fused: bool| -> (Box<dyn Module>, Sgd) {
+                let model: Box<dyn Module> = match model_name {
+                    "mini_resnet_gn" => {
+                        let mut m = MiniResNet::new(
+                            3,
+                            4,
+                            1,
+                            NormChoice::Group(4),
+                            &mut StdRng::seed_from_u64(1),
+                        );
+                        m.set_fused(fused);
+                        Box::new(m)
+                    }
+                    "convnet_fused_stack" => {
+                        let mut m = ConvNet::new(3, 4, 16, 3, &mut StdRng::seed_from_u64(1));
+                        m.set_fused(fused);
+                        Box::new(m)
+                    }
+                    _ => {
+                        let mut m = ConvNet::new(3, 4, 32, 3, &mut StdRng::seed_from_u64(1));
+                        m.set_fused(fused);
+                        Box::new(m)
+                    }
+                };
+                (model, Sgd::new(0.05, 0.9, 1e-4))
+            };
+            let (mut model_f, mut opt_f) = build(true);
+            let (mut model_u, mut opt_u) = build(false);
+            // Warm both models (and the arena pool), and size the
+            // measurement block to ~80 ms so every (model, sub) pair gets
+            // comparable statistics regardless of its step time.
+            let warm0 = std::time::Instant::now();
+            for _ in 0..4 {
+                criterion::black_box(train_step_mbs(
+                    &mut *model_f,
+                    &d.images,
+                    &d.labels,
+                    sub,
+                    &mut opt_f,
+                ));
+                criterion::black_box(train_step_mbs(
+                    &mut *model_u,
+                    &d.images,
+                    &d.labels,
+                    sub,
+                    &mut opt_u,
+                ));
+            }
+            let approx_step_ns = warm0.elapsed().as_nanos() as f64 / 8.0;
+            let block_iters = ((80e6 / approx_step_ns) as usize).clamp(4, 64);
+            let best = interleaved_best(
+                ROUNDS,
+                block_iters,
+                || {
+                    criterion::black_box(train_step_mbs(
+                        &mut *model_f,
+                        &d.images,
+                        &d.labels,
+                        sub,
+                        &mut opt_f,
+                    ));
+                },
+                || {
+                    criterion::black_box(train_step_mbs(
+                        &mut *model_u,
+                        &d.images,
+                        &d.labels,
+                        sub,
+                        &mut opt_u,
+                    ));
+                },
+            );
+            println!(
+                "train_step/{model_name}/sub{sub}: fused {:.0} ns, unfused {:.0} ns",
+                best[0], best[1]
+            );
+            rows.push(TrainStepBench {
+                model: model_name.to_string(),
+                sub_batch: sub,
+                fused_best_ns: best[0],
+                unfused_best_ns: best[1],
+                speedup_fused: best[1] / best[0],
+            });
+        }
+    }
+    rows
+}
+
+/// Generic interleaved A/B timer: alternates two closures over `rounds`
+/// rounds (order flipped each round, so block position cancels) and
+/// returns each side's minimum per-call nanoseconds.
+fn interleaved_best(
+    rounds: usize,
+    iters: usize,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> [f64; 2] {
+    let mut best = [f64::INFINITY; 2];
+    a();
+    b();
+    for round in 0..rounds {
+        let order = if round % 2 == 0 { [0usize, 1] } else { [1, 0] };
+        for slot in order {
+            let t0 = std::time::Instant::now();
+            for _ in 0..iters {
+                if slot == 0 {
+                    a();
+                } else {
+                    b();
+                }
+            }
+            best[slot] = best[slot].min(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+    best
+}
+
+/// Measures the A/A noise floor of the step harness: two identical fused
+/// models through the same interleaved timer.
+fn aa_noise() -> f64 {
+    let d = generate(16, 8, 0.3, 55);
+    let build = || {
+        let mut m = MiniResNet::new(3, 4, 1, NormChoice::Group(4), &mut StdRng::seed_from_u64(1));
+        m.set_fused(true);
+        (m, Sgd::new(0.05, 0.9, 1e-4))
+    };
+    let (mut m1, mut o1) = build();
+    let (mut m2, mut o2) = build();
+    let best = interleaved_best(
+        6,
+        16,
+        || {
+            criterion::black_box(train_step_mbs(&mut m1, &d.images, &d.labels, 4, &mut o1));
+        },
+        || {
+            criterion::black_box(train_step_mbs(&mut m2, &d.images, &d.labels, 4, &mut o2));
+        },
+    );
+    best[1] / best[0]
+}
+
+/// Layer-level fused-vs-unfused on L2-busting shapes: a 64-channel 32×32
+/// conv and a 1024-wide linear, bias+ReLU and bias-only.
+fn layer_fused() -> Vec<LayerFusedBench> {
+    use mbs_tensor::ops::{conv2d_fused_with, matmul_a_bt_fused_with};
+    use mbs_tensor::Tensor;
+    let mut rows = Vec::new();
+
+    let cfg = Conv2dCfg::square(3, 1, 1);
+    let x = Tensor::from_vec(&[8, 64, 32, 32], filled(8 * 64 * 1024, 21));
+    let w = Tensor::from_vec(&[64, 64, 3, 3], filled(64 * 64 * 9, 22));
+    let cb = filled(64, 23);
+    let best = interleaved_best(
+        10,
+        6,
+        || {
+            criterion::black_box(conv2d_fused_with(&x, &w, Some(&cb), true, cfg, true));
+        },
+        || {
+            criterion::black_box(conv2d_fused_with(&x, &w, Some(&cb), true, cfg, false));
+        },
+    );
+    rows.push(LayerFusedBench {
+        op: "conv2d bias+relu".into(),
+        shape: "x[8,64,32,32] w[64,64,3,3]".into(),
+        fused_best_ns: best[0],
+        unfused_best_ns: best[1],
+        speedup_fused: best[1] / best[0],
+    });
+
+    let a = Tensor::from_vec(&[256, 1024], filled(256 * 1024, 24));
+    let b = Tensor::from_vec(&[1024, 1024], filled(1024 * 1024, 25));
+    let lb = filled(1024, 26);
+    for (label, relu) in [("linear bias+relu", true), ("linear bias", false)] {
+        let best = interleaved_best(
+            10,
+            6,
+            || {
+                criterion::black_box(matmul_a_bt_fused_with(&a, &b, &lb, relu, true));
+            },
+            || {
+                criterion::black_box(matmul_a_bt_fused_with(&a, &b, &lb, relu, false));
+            },
+        );
+        rows.push(LayerFusedBench {
+            op: label.into(),
+            shape: "a[256,1024] w[1024,1024]".into(),
+            fused_best_ns: best[0],
+            unfused_best_ns: best[1],
+            speedup_fused: best[1] / best[0],
+        });
+    }
+    rows
+}
+
+/// One steady-state training step with the pool already warm: the arena
+/// counters must show pure reuse (`arena_misses == 0`).
+fn steady_state() -> SteadyState {
+    let d = generate(16, 8, 0.3, 56);
+    let mut m = MiniResNet::new(3, 4, 1, NormChoice::Group(4), &mut StdRng::seed_from_u64(1));
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    for _ in 0..2 {
+        let _ = train_step_mbs(&mut m, &d.images, &d.labels, 4, &mut opt);
+    }
+    arena::reset_stats();
+    let _ = train_step_mbs(&mut m, &d.images, &d.labels, 4, &mut opt);
+    let (arena_hits, arena_misses) = arena::stats();
+    SteadyState {
+        arena_hits,
+        arena_misses,
+    }
+}
+
 fn main() {
     let out_dir = std::env::args()
         .nth(1)
@@ -252,6 +582,12 @@ fn main() {
     let kernel_comparison = kernel_comparison(&mut c);
     println!("== thread scaling (MBS_THREADS sweep) ==");
     let thread_scaling = thread_scaling(&mut c);
+    println!("== train_step sweep (sub-batch x fused/unfused) ==");
+    let train_step = train_steps();
+    println!("== layer-level fused epilogue (L2-busting shapes) ==");
+    let layer_fused = layer_fused();
+    let aa_noise_ratio = aa_noise();
+    let steady = steady_state();
 
     let means: HashMap<&str, f64> = c
         .measurements()
@@ -297,6 +633,24 @@ fn main() {
         );
     }
 
+    for ts in &train_step {
+        println!(
+            "train_step {:>22} sub{:<2} fused {:>12.0} ns  unfused {:>12.0} ns  {:>5.2}x",
+            ts.model, ts.sub_batch, ts.fused_best_ns, ts.unfused_best_ns, ts.speedup_fused
+        );
+    }
+    for lf in &layer_fused {
+        println!(
+            "layer {:>18} {:<28} fused {:>12.0} ns  unfused {:>12.0} ns  {:>5.3}x",
+            lf.op, lf.shape, lf.fused_best_ns, lf.unfused_best_ns, lf.speedup_fused
+        );
+    }
+    println!("A/A step-harness noise ratio: {aa_noise_ratio:.3} (1.0 = noise-free)");
+    println!(
+        "steady-state arena: {} hits, {} misses",
+        steady.arena_hits, steady.arena_misses
+    );
+
     let report = Report {
         threads: mbs_tensor::ops::configured_threads(),
         kernel: kernel::selected().name.to_string(),
@@ -309,6 +663,21 @@ fn main() {
         Ok(()) => println!("wrote {}", out_dir.join("BENCH_tensor.json").display()),
         Err(e) => {
             eprintln!("error: could not write BENCH_tensor.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    let train_report = TrainReport {
+        threads: mbs_tensor::ops::configured_threads(),
+        kernel: kernel::selected().name.to_string(),
+        train_step,
+        aa_noise_ratio,
+        layer_fused,
+        steady_state: steady,
+    };
+    match mbs_bench::write_json(&out_dir, "BENCH_train", &train_report) {
+        Ok(()) => println!("wrote {}", out_dir.join("BENCH_train.json").display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_train.json: {e}");
             std::process::exit(1);
         }
     }

@@ -1,4 +1,5 @@
-//! Reusable scratch-buffer arena for the compute kernels.
+//! Reusable scratch-buffer arena for the compute kernels **and** every
+//! [`crate::Tensor`]'s backing storage.
 //!
 //! The MBS executor serializes a mini-batch into many small sub-batch
 //! propagations (paper §3), so the per-op intermediates — GEMM packing
@@ -7,6 +8,14 @@
 //! sub-batch. This arena keeps those buffers alive in a global pool:
 //! [`take`] hands out a buffer (reusing a pooled allocation when one is
 //! large enough) and dropping the returned [`Scratch`] recycles it.
+//!
+//! Since the fused-epilogue PR the arena is also the **activation
+//! allocator**: `Tensor` stores its data as a [`Scratch`], so every layer
+//! output, gradient, and cache produced inside the serialized training loop
+//! recycles a pooled buffer instead of hitting the system allocator. After
+//! a warm-up step the steady-state `train_step_mbs` loop runs with zero
+//! arena misses (pinned by `crates/train/tests/steady_state_alloc.rs` and
+//! recorded in `BENCH_train.json`).
 //!
 //! The pool is process-global and thread-safe; GEMM worker threads check
 //! buffers in and out independently. [`stats`] exposes hit/miss counters so
@@ -17,13 +26,35 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Buffers kept in the pool at once; excess buffers are simply freed.
-const MAX_POOLED: usize = 64;
+/// Sized for the training hot loop: a MiniResNet sub-batch step cycles
+/// layer outputs, backward gradients, and per-layer caches through the
+/// pool, and evicting any of them re-introduces a steady-state miss.
+const MAX_POOLED: usize = 256;
 
 /// Largest single buffer worth pooling (elements). Anything bigger is
 /// returned to the allocator so a one-off huge tensor cannot pin memory.
 const MAX_POOLED_LEN: usize = 1 << 24; // 64 MiB of f32
 
-static POOL: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+/// Total elements the pool may hold across all buffers (256 MiB of f32).
+/// A count cap alone would let 256 large buffers pin ~16 GiB now that
+/// every `Tensor` routes through the arena; the byte budget bounds what a
+/// transient large-tensor phase can leave behind for the process
+/// lifetime.
+const MAX_POOLED_TOTAL: usize = 1 << 26;
+
+/// The free list plus a running capacity total, so the byte-budget check
+/// in `Scratch::drop` is O(1) instead of a sum over the pool inside the
+/// global mutex (every `Tensor` drop takes this lock).
+struct Pool {
+    bufs: Vec<Vec<f32>>,
+    /// Invariant: `total == bufs.iter().map(Vec::capacity).sum()`.
+    total: usize,
+}
+
+static POOL: Mutex<Pool> = Mutex::new(Pool {
+    bufs: Vec::new(),
+    total: 0,
+});
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
@@ -31,6 +62,19 @@ static MISSES: AtomicU64 = AtomicU64::new(0);
 #[derive(Debug)]
 pub struct Scratch {
     buf: Vec<f32>,
+}
+
+impl Scratch {
+    /// Wraps an existing vector so it joins the pool when dropped (how
+    /// `Tensor::from_vec` adopts caller-built storage without copying).
+    pub(crate) fn from_vec(buf: Vec<f32>) -> Self {
+        Self { buf }
+    }
+
+    /// The backing vector (for `Tensor::assign`, which resizes in place).
+    pub(crate) fn buf_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.buf
+    }
 }
 
 impl Deref for Scratch {
@@ -57,8 +101,9 @@ impl Drop for Scratch {
             Ok(pool) => pool,
             Err(poisoned) => poisoned.into_inner(),
         };
-        if pool.len() < MAX_POOLED {
-            pool.push(buf);
+        if pool.bufs.len() < MAX_POOLED && pool.total + buf.capacity() <= MAX_POOLED_TOTAL {
+            pool.total += buf.capacity();
+            pool.bufs.push(buf);
         }
     }
 }
@@ -73,24 +118,8 @@ impl Drop for Scratch {
 /// the zero-fill pass a fresh `vec![0.0; len]` would pay on every call.
 /// Use [`take_zeroed`] when the contract actually needs zeros.
 pub fn take(len: usize) -> Scratch {
-    let reused = {
-        let mut pool = match POOL.lock() {
-            Ok(pool) => pool,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        // Best fit: the smallest pooled buffer that is large enough, so a
-        // small request does not burn a large buffer.
-        let mut best: Option<(usize, usize)> = None;
-        for (i, b) in pool.iter().enumerate() {
-            if b.capacity() >= len && best.is_none_or(|(_, cap)| b.capacity() < cap) {
-                best = Some((i, b.capacity()));
-            }
-        }
-        best.map(|(i, _)| pool.swap_remove(i))
-    };
-    match reused {
+    match reuse(len) {
         Some(mut buf) => {
-            HITS.fetch_add(1, Ordering::Relaxed);
             // Shrink without writing; only growth into untouched capacity
             // pays a fill.
             if buf.len() > len {
@@ -100,20 +129,54 @@ pub fn take(len: usize) -> Scratch {
             }
             Scratch { buf }
         }
-        None => {
-            MISSES.fetch_add(1, Ordering::Relaxed);
-            Scratch {
-                buf: vec![0.0; len],
-            }
-        }
+        None => Scratch {
+            buf: vec![0.0; len],
+        },
     }
 }
 
-/// [`take`], but the returned buffer is guaranteed to be all zeros.
+/// [`take`], but the returned buffer is guaranteed to be all zeros. Only a
+/// *reused* buffer pays the zero-fill pass; a miss's fresh `vec![0.0; len]`
+/// is already zeroed (and lands on calloc's zero pages).
 pub fn take_zeroed(len: usize) -> Scratch {
-    let mut scratch = take(len);
-    scratch.fill(0.0);
-    scratch
+    match reuse(len) {
+        Some(mut buf) => {
+            // Empty-then-grow writes exactly `len` zeros.
+            buf.clear();
+            buf.resize(len, 0.0);
+            Scratch { buf }
+        }
+        None => Scratch {
+            buf: vec![0.0; len],
+        },
+    }
+}
+
+/// Pops the best-fit pooled buffer for a `len`-element request (smallest
+/// sufficient capacity, so a small request does not burn a large buffer)
+/// and bumps the hit/miss counters.
+fn reuse(len: usize) -> Option<Vec<f32>> {
+    let reused = {
+        let mut pool = match POOL.lock() {
+            Ok(pool) => pool,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in pool.bufs.iter().enumerate() {
+            if b.capacity() >= len && best.is_none_or(|(_, cap)| b.capacity() < cap) {
+                best = Some((i, b.capacity()));
+            }
+        }
+        best.map(|(i, cap)| {
+            pool.total -= cap;
+            pool.bufs.swap_remove(i)
+        })
+    };
+    match &reused {
+        Some(_) => HITS.fetch_add(1, Ordering::Relaxed),
+        None => MISSES.fetch_add(1, Ordering::Relaxed),
+    };
+    reused
 }
 
 /// `(hits, misses)` counters since process start (or the last [`reset_stats`]).
@@ -133,7 +196,8 @@ pub fn clear() {
         Ok(pool) => pool,
         Err(poisoned) => poisoned.into_inner(),
     };
-    pool.clear();
+    pool.bufs.clear();
+    pool.total = 0;
 }
 
 #[cfg(test)]
@@ -163,5 +227,31 @@ mod tests {
     fn oversized_requests_still_work() {
         let s = take(10);
         assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn pool_respects_the_total_byte_budget() {
+        clear();
+        // Drop budget-sized buffers until the total cap must reject one.
+        let each = MAX_POOLED_LEN / 2;
+        let fits = MAX_POOLED_TOTAL / each;
+        for _ in 0..fits + 3 {
+            drop(Scratch {
+                buf: Vec::with_capacity(each),
+            });
+        }
+        let (pooled, total) = {
+            let pool = POOL.lock().unwrap_or_else(|p| p.into_inner());
+            (
+                pool.bufs.iter().map(Vec::capacity).sum::<usize>(),
+                pool.total,
+            )
+        };
+        assert!(
+            pooled <= MAX_POOLED_TOTAL,
+            "pool holds {pooled} elements, budget is {MAX_POOLED_TOTAL}"
+        );
+        assert_eq!(pooled, total, "running total must track actual capacity");
+        clear();
     }
 }

@@ -10,12 +10,20 @@
 //! there is no input-side lowering to elide) and scatters per sample in
 //! parallel.
 //!
+//! [`conv2d_fused`] additionally folds a per-channel bias into the GEMM's
+//! C write-back ([`Epilogue::Bias`]) and a ReLU (with its 1-bit sign mask)
+//! into the flat→NCHW transpose that conv already pays — bias and
+//! activation in **zero extra passes** over the output.
+//!
 //! [`conv2d_naive`] keeps the direct loop nest as the reference
 //! implementation the equivalence tests pin everything against.
 
 use crate::arena;
+use crate::ops::activation::{relu_inplace, BitMask};
 use crate::ops::im2col::{col2im_t, Conv2dCfg};
-use crate::ops::pack::{configured_threads, gemm, Im2colGeom, MatSrc};
+use crate::ops::pack::{
+    configured_threads, fuse_enabled, gemm, gemm_fused, Epilogue, Im2colGeom, MatSrc,
+};
 use crate::tensor::Tensor;
 
 fn dims(
@@ -92,26 +100,112 @@ pub fn conv2d_naive(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> Tensor {
 /// assert_eq!(y.get(&[0, 0, 0, 0]), 4.0); // corner: 2×2 window in-bounds
 /// ```
 pub fn conv2d(x: &Tensor, w: &Tensor, cfg: Conv2dCfg) -> Tensor {
+    conv2d_gemm(x, w, None, false, cfg).0
+}
+
+/// The shared conv-forward body: GEMM in im2col row order ([n·ho·wo, co],
+/// with an optional per-column bias epilogue), then one cheap transpose
+/// into the NCHW output (with an optional fused ReLU + sign mask). Both
+/// [`conv2d`] and the fused branch of [`conv2d_fused_with`] run here.
+fn conv2d_gemm(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    relu: bool,
+    cfg: Conv2dCfg,
+) -> (Tensor, Option<BitMask>) {
     let (n, ci, h, wd, co, ho, wo) = dims(x, w, cfg);
     let geom = Im2colGeom::new(n, ci, h, wd, cfg);
     let (m, k) = (geom.rows(), geom.cols());
-    // GEMM in im2col row order ([n·ho·wo, co]), then one cheap transpose
-    // into the NCHW output.
-    let mut flat = arena::take(m * co);
-    gemm(
-        &MatSrc::Im2col { x: x.data(), geom },
-        &MatSrc::ColMajor {
-            data: w.data(),
-            stride: k,
-        },
-        &mut flat,
-        m,
-        co,
-        k,
-    );
-    let mut out = Tensor::zeros(&[n, co, ho, wo]);
-    rows_to_nchw(&flat, n, co, ho, wo, out.data_mut());
-    out
+    // A zero-channel input (k == 0) leaves the GEMM output untouched, so
+    // that degenerate case needs the zeroed buffer (bias is routed to the
+    // separate-pass path before reaching here — the epilogue needs a
+    // non-empty reduction).
+    debug_assert!(bias.is_none() || k > 0);
+    let mut flat = if k == 0 {
+        arena::take_zeroed(m * co)
+    } else {
+        arena::take(m * co)
+    };
+    let asrc = MatSrc::Im2col { x: x.data(), geom };
+    let bsrc = MatSrc::ColMajor {
+        data: w.data(),
+        stride: k,
+    };
+    match bias {
+        // Flat columns are output channels, so the per-channel bias is a
+        // per-column GEMM epilogue.
+        Some(b) => gemm_fused(&asrc, &bsrc, &mut flat, m, co, k, &Epilogue::Bias(b)),
+        None => gemm(&asrc, &bsrc, &mut flat, m, co, k),
+    }
+    let mut out = Tensor::uninit(&[n, co, ho, wo]);
+    let mask = if relu {
+        Some(rows_to_nchw_relu(&flat, n, co, ho, wo, out.data_mut()))
+    } else {
+        rows_to_nchw(&flat, n, co, ho, wo, out.data_mut());
+        None
+    };
+    (out, mask)
+}
+
+/// [`conv2d`] with a per-channel bias and optional ReLU fused in: the bias
+/// rides the GEMM epilogue (its columns *are* output channels in im2col
+/// row order), the ReLU clamp and its sign mask ride the flat→NCHW
+/// transpose conv performs anyway — zero extra passes over the output.
+/// Honors the process-wide `MBS_FUSE` knob; the mask (when `relu`) is in
+/// NCHW element order, ready for [`crate::ops::relu_backward`].
+///
+/// # Panics
+///
+/// Panics on shape mismatches or if a provided `bias` is not one value
+/// per output channel.
+pub fn conv2d_fused(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    relu: bool,
+    cfg: Conv2dCfg,
+) -> (Tensor, Option<BitMask>) {
+    conv2d_fused_with(x, w, bias, relu, cfg, fuse_enabled())
+}
+
+/// [`conv2d_fused`] with the fused/unfused decision made explicitly
+/// (`fused = false` runs plain [`conv2d`], then a bias pass, then
+/// [`relu_inplace`]; the parity tests pin both paths bitwise-equal).
+pub fn conv2d_fused_with(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    relu: bool,
+    cfg: Conv2dCfg,
+    fused: bool,
+) -> (Tensor, Option<BitMask>) {
+    let (_, ci, _, _, co, ho, wo) = dims(x, w, cfg);
+    if let Some(b) = bias {
+        assert_eq!(b.len(), co, "one bias per output channel");
+    }
+    // A zero-channel conv has an empty reduction (k = ci·kh·kw = 0): the
+    // GEMM epilogue can never fire, so route through the separate-pass
+    // path — the fused/unfused parity contract covers degenerate shapes
+    // too.
+    let fused = fused && ci * cfg.kernel_h * cfg.kernel_w > 0;
+    if !fused {
+        let mut y = conv2d(x, w, cfg);
+        if let Some(b) = bias {
+            let hw = ho * wo;
+            for (chunk, &bv) in y.data_mut().chunks_exact_mut(hw).zip(b.iter().cycle()) {
+                for v in chunk {
+                    *v += bv;
+                }
+            }
+        }
+        if relu {
+            let mask = relu_inplace(&mut y);
+            return (y, Some(mask));
+        }
+        return (y, None);
+    }
+    conv2d_gemm(x, w, bias, relu, cfg)
 }
 
 /// Gradient of the loss with respect to the convolution input:
@@ -267,6 +361,55 @@ fn rows_to_nchw(flat: &[f32], n: usize, c: usize, h: usize, w: usize, out: &mut 
             }
         }
     }
+}
+
+/// [`rows_to_nchw`] with a ReLU fused into the scatter's write: the
+/// transpose is the pass conv pays anyway, so clamping there (and
+/// recording the sign bits, in NCHW order, a word at a time) costs no
+/// extra traversal of the output.
+fn rows_to_nchw_relu(
+    flat: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    out: &mut [f32],
+) -> BitMask {
+    assert_eq!(flat.len(), n * h * w * c, "row matrix size mismatch");
+    assert_eq!(out.len(), flat.len(), "output size mismatch");
+    let hw = h * w;
+    let mut mask = BitMask::new(out.len());
+    let words = mask.words_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * hw;
+            let dst = &mut out[base..base + hw];
+            let src_base = ni * hw * c + ci;
+            // The bit run [base, base + hw) is contiguous in NCHW order:
+            // accumulate sign bits a word at a time.
+            let mut wi = base / 64;
+            let mut cur = 0u64;
+            for (off, slot) in dst.iter_mut().enumerate() {
+                let v = flat[src_base + off * c];
+                let pos = base + off;
+                // Branchless clamp: keep = 1 selects v's bits, keep = 0
+                // yields +0.0 — identical to `if v > 0.0 { v } else { 0.0 }`
+                // (NaN compares false and clamps to 0).
+                let keep = u32::from(v > 0.0);
+                *slot = f32::from_bits(v.to_bits() & keep.wrapping_neg());
+                cur |= u64::from(keep) << (pos % 64);
+                if pos % 64 == 63 {
+                    words[wi] |= cur;
+                    cur = 0;
+                    wi += 1;
+                }
+            }
+            if cur != 0 {
+                words[wi] |= cur;
+            }
+        }
+    }
+    mask
 }
 
 #[cfg(test)]

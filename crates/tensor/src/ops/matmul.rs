@@ -3,11 +3,15 @@
 //! All three variants route through the packed, blocked, multi-threaded
 //! GEMM core in [`crate::ops::pack`]; the transposed variants feed the
 //! packing stage a transposed *view* instead of materializing `Aᵀ`/`Bᵀ`.
-//! [`matmul_naive`] keeps the original triple loop (minus its broken
-//! `a == 0.0` skip, which suppressed NaN/Inf propagation) as the reference
-//! the property tests and benches compare against.
+//! [`matmul_a_bt_fused`] is the Linear-layer forward: bias and optional
+//! ReLU fold into the GEMM's C write-back via [`Epilogue`], so the layer
+//! output is produced in zero extra passes. [`matmul_naive`] keeps the
+//! original triple loop (minus its broken `a == 0.0` skip, which
+//! suppressed NaN/Inf propagation) as the reference the property tests and
+//! benches compare against.
 
-use crate::ops::pack::{gemm, MatSrc};
+use crate::ops::activation::{relu_inplace, BitMask, MaskSink};
+use crate::ops::pack::{fuse_enabled, gemm, gemm_fused, Epilogue, MatSrc};
 use crate::tensor::Tensor;
 
 /// `C = A · B` for 2-D tensors `A: [m, k]`, `B: [k, n]`.
@@ -28,7 +32,7 @@ use crate::tensor::Tensor;
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k, n) = check_2d(a.shape(), b.shape(), false, false);
-    let mut out = Tensor::zeros(&[m, n]);
+    let mut out = out_buffer(m, n, k);
     gemm(
         &MatSrc::RowMajor {
             data: a.data(),
@@ -54,7 +58,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// Panics on rank or dimension mismatch.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k, n) = check_2d(a.shape(), b.shape(), true, false);
-    let mut out = Tensor::zeros(&[m, n]);
+    let mut out = out_buffer(m, n, k);
     gemm(
         &MatSrc::ColMajor {
             data: a.data(),
@@ -79,7 +83,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
 /// Panics on rank or dimension mismatch.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k, n) = check_2d(a.shape(), b.shape(), false, true);
-    let mut out = Tensor::zeros(&[m, n]);
+    let mut out = out_buffer(m, n, k);
     gemm(
         &MatSrc::RowMajor {
             data: a.data(),
@@ -95,6 +99,87 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
         k,
     );
     out
+}
+
+/// `C = A·Bᵀ + bias` row-broadcast, with an optional fused ReLU — the
+/// Linear layer's forward (`A: [n, in]`, `B: [out, in]`, `bias: [out]`).
+/// Honors the process-wide `MBS_FUSE` knob; returns the ReLU sign mask
+/// (row-major over C) when `relu` is set.
+///
+/// # Panics
+///
+/// Panics on rank/dimension mismatch or if `bias.len()` differs from B's
+/// row count.
+pub fn matmul_a_bt_fused(
+    a: &Tensor,
+    b: &Tensor,
+    bias: &[f32],
+    relu: bool,
+) -> (Tensor, Option<BitMask>) {
+    matmul_a_bt_fused_with(a, b, bias, relu, fuse_enabled())
+}
+
+/// [`matmul_a_bt_fused`] with the fused/unfused decision made explicitly
+/// (`fused = false` reproduces GEMM, then a bias pass, then
+/// [`relu_inplace`] — the parity tests and the A/B bench pin that both
+/// paths agree bitwise, output and mask).
+pub fn matmul_a_bt_fused_with(
+    a: &Tensor,
+    b: &Tensor,
+    bias: &[f32],
+    relu: bool,
+    fused: bool,
+) -> (Tensor, Option<BitMask>) {
+    let (m, k, n) = check_2d(a.shape(), b.shape(), false, true);
+    assert_eq!(bias.len(), n, "one bias per output column");
+    let asrc = MatSrc::RowMajor {
+        data: a.data(),
+        stride: k,
+    };
+    let bsrc = MatSrc::ColMajor {
+        data: b.data(),
+        stride: k,
+    };
+    let mut out = out_buffer(m, n, k);
+    if fused && k > 0 {
+        if relu {
+            let sink = MaskSink::new(m * n);
+            gemm_fused(
+                &asrc,
+                &bsrc,
+                out.data_mut(),
+                m,
+                n,
+                k,
+                &Epilogue::BiasRelu(bias, &sink),
+            );
+            return (out, Some(sink.into_mask()));
+        }
+        gemm_fused(&asrc, &bsrc, out.data_mut(), m, n, k, &Epilogue::Bias(bias));
+        return (out, None);
+    }
+    gemm(&asrc, &bsrc, out.data_mut(), m, n, k);
+    let od = out.data_mut();
+    for row in od.chunks_exact_mut(n.max(1)) {
+        for (v, &bv) in row.iter_mut().zip(bias) {
+            *v += bv;
+        }
+    }
+    if relu {
+        let mask = relu_inplace(&mut out);
+        return (out, Some(mask));
+    }
+    (out, None)
+}
+
+/// GEMM output buffer: uninitialized pooled storage when the reduction
+/// will overwrite every element, zeroed when `k == 0` leaves C untouched.
+fn out_buffer(m: usize, n: usize, k: usize) -> Tensor {
+    if k == 0 {
+        Tensor::zeros(&[m, n])
+    } else {
+        Tensor::uninit(&[m, n])
+    }
 }
 
 /// Reference triple-loop `C = A · B` (no blocking, no threading). Kept for

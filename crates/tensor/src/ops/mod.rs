@@ -11,11 +11,19 @@ pub mod pack;
 pub mod pool;
 pub mod softmax;
 
-pub use activation::{relu, relu_backward, BitMask};
-pub use conv::{conv2d, conv2d_backward_data, conv2d_backward_weights, conv2d_naive};
+pub use activation::{relu, relu_backward, relu_clamp, relu_inplace, BitMask, MaskSink};
+pub use conv::{
+    conv2d, conv2d_backward_data, conv2d_backward_weights, conv2d_fused, conv2d_fused_with,
+    conv2d_naive,
+};
 pub use im2col::{col2im, col2im_slice, col2im_t, im2col, Conv2dCfg};
 pub use kernel::MicroKernel;
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b, matmul_naive};
-pub use pack::{configured_threads, gemm, gemm_with_kernel, gemm_with_threads, Im2colGeom, MatSrc};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_fused, matmul_a_bt_fused_with, matmul_at_b, matmul_naive,
+};
+pub use pack::{
+    configured_threads, fuse_enabled, gemm, gemm_fused, gemm_fused_with, gemm_with_kernel,
+    gemm_with_threads, Epilogue, Im2colGeom, MatSrc,
+};
 pub use pool::{global_avg_pool, global_avg_pool_backward, maxpool2d, maxpool2d_backward};
-pub use softmax::{accuracy, cross_entropy, softmax, softmax_xent_backward};
+pub use softmax::{accuracy, correct, cross_entropy, softmax, softmax_xent_backward};

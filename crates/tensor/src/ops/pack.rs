@@ -49,6 +49,7 @@
 use std::sync::{Barrier, OnceLock};
 
 use crate::arena;
+use crate::ops::activation::MaskSink;
 use crate::ops::im2col::Conv2dCfg;
 use crate::ops::kernel::{self, MicroKernel, MAX_MR, MAX_NR};
 
@@ -61,6 +62,42 @@ pub const KC: usize = 128;
 /// Columns per packed B panel. A multiple of every registered kernel's
 /// `nr`; sized for L2.
 pub const NC: usize = 256;
+
+/// Element-wise post-op folded into the GEMM's C write-back.
+///
+/// Applied by the micro-kernel's fused store ([`MicroKernel::store_tile`])
+/// on the **last depth panel only** — earlier panels hold partial sums.
+/// The arithmetic order matches the unfused sequence exactly (accumulate
+/// the final panel, then `+= bias[j]`, then the `v > 0` clamp), so fused
+/// results are bitwise identical to GEMM-then-bias-then-ReLU; the property
+/// tests in `tests/fused_epilogue.rs` pin that per kernel.
+#[derive(Debug, Clone, Copy)]
+pub enum Epilogue<'a> {
+    /// Plain GEMM; write-back is an unmodified store/accumulate.
+    None,
+    /// `C[i][j] += bias[j]` — one bias value per output column, folded
+    /// into the C store (the Linear/conv bias without its own pass).
+    Bias(&'a [f32]),
+    /// Bias, then ReLU. The clamp happens in the C store and the 1-bit
+    /// sign mask (paper §3 "Back Propagation") is emitted by the same
+    /// vector compare, in C's row-major element order.
+    BiasRelu(&'a [f32], &'a MaskSink),
+}
+
+/// Whether fused epilogues are enabled: the `MBS_FUSE` environment knob,
+/// read once per process. Unset or any value other than `0`/`false`/`off`
+/// means fused; `MBS_FUSE=0` keeps the separate bias/ReLU passes for A/B
+/// comparisons and parity tests (results are bitwise identical either
+/// way).
+pub fn fuse_enabled() -> bool {
+    static FUSE: OnceLock<bool> = OnceLock::new();
+    *FUSE.get_or_init(|| {
+        !std::env::var("MBS_FUSE").is_ok_and(|v| {
+            let v = v.trim();
+            v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off")
+        })
+    })
+}
 
 /// Number of GEMM worker threads: `MBS_THREADS` if set and positive, else
 /// the machine's available parallelism. Read once per process.
@@ -250,7 +287,71 @@ pub fn gemm_with_kernel(
     threads: usize,
     kern: &MicroKernel,
 ) {
+    gemm_fused_with(a, b, c, m, n, k, threads, kern, &Epilogue::None);
+}
+
+/// [`gemm`] with a fused [`Epilogue`] applied at the C write-back, using
+/// the process-default thread count and micro-kernel.
+///
+/// # Panics
+///
+/// Panics if `c.len() != m·n`, an operand is undersized, the epilogue's
+/// bias is shorter than `n`, its mask sink does not cover `m·n` elements,
+/// or `k == 0` with a non-`None` epilogue (an empty reduction never
+/// reaches the write-back, so the post-op could not be applied).
+pub fn gemm_fused(
+    a: &MatSrc<'_>,
+    b: &MatSrc<'_>,
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    epi: &Epilogue<'_>,
+) {
+    gemm_fused_with(
+        a,
+        b,
+        c,
+        m,
+        n,
+        k,
+        configured_threads(),
+        kernel::selected(),
+        epi,
+    );
+}
+
+/// [`gemm_fused`] with explicit thread count and micro-kernel (the parity
+/// tests sweep both).
+///
+/// # Panics
+///
+/// As for [`gemm_fused`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_fused_with(
+    a: &MatSrc<'_>,
+    b: &MatSrc<'_>,
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+    kern: &MicroKernel,
+    epi: &Epilogue<'_>,
+) {
     assert_eq!(c.len(), m * n, "output buffer must be m·n");
+    match *epi {
+        Epilogue::None => {}
+        Epilogue::Bias(bias) => {
+            assert!(bias.len() >= n, "epilogue bias shorter than n");
+            assert!(k > 0, "a fused epilogue needs a non-empty reduction");
+        }
+        Epilogue::BiasRelu(bias, mask) => {
+            assert!(bias.len() >= n, "epilogue bias shorter than n");
+            assert_eq!(mask.len(), m * n, "epilogue mask must cover C");
+            assert!(k > 0, "a fused epilogue needs a non-empty reduction");
+        }
+    }
     if m == 0 || n == 0 || k == 0 {
         return;
     }
@@ -264,7 +365,7 @@ pub fn gemm_with_kernel(
     // its siblings at the shared-panel barrier. One comparison per call.
     assert_eq!(MC % kern.mr, 0, "MC must be a multiple of the tile mr");
     assert_eq!(NC % kern.nr, 0, "NC must be a multiple of the tile nr");
-    run_shared(a, b, c, m, n, k, threads, kern);
+    run_shared(a, b, c, m, n, k, threads, kern, epi);
 }
 
 /// Panics unless `src` can serve every access of a logical `rows × cols`
@@ -357,6 +458,7 @@ fn run_shared(
     k: usize,
     threads: usize,
     kern: &MicroKernel,
+    epi: &Epilogue<'_>,
 ) {
     let blocks = m.div_ceil(MC);
     // The barrier size must equal the spawned worker count: both come
@@ -380,6 +482,7 @@ fn run_shared(
             t,
             workers,
             kern,
+            epi,
             &shared,
             &barrier,
         );
@@ -404,6 +507,7 @@ fn shared_worker(
     t: usize,
     threads: usize,
     kern: &MicroKernel,
+    epi: &Epilogue<'_>,
     shared: &SharedPanel,
     barrier: &Barrier,
 ) {
@@ -434,8 +538,22 @@ fn shared_worker(
             // (which orders them), and nobody writes again until the
             // end-of-panel barrier.
             let b_panel = unsafe { shared.panel(strips * kc * nr) };
+            let last_kpanel = pc + kc == k;
             compute_block(
-                a, b_panel, c_rows, r0, rows, n, jc, nc, pc, kc, kern, &mut a_buf,
+                a,
+                b_panel,
+                c_rows,
+                r0,
+                rows,
+                n,
+                jc,
+                nc,
+                pc,
+                kc,
+                last_kpanel,
+                kern,
+                epi,
+                &mut a_buf,
             );
             // The panel buffer is reused for the next (jc, pc) block; no
             // worker may repack while another still reads. The last panel
@@ -451,7 +569,10 @@ fn shared_worker(
 
 /// Computes C rows `[r0, r0 + rows)` of one `(jc, pc)` panel given its
 /// packed B, packing A strips on the fly. `c_rows` is the `rows × n` slice
-/// owned by the calling worker.
+/// owned by the calling worker. On the last depth panel (`last_kpanel`)
+/// the epilogue — bias add, ReLU clamp, sign-mask emission — is folded
+/// into the same store that writes the final sums, so no later pass ever
+/// re-reads C.
 #[allow(clippy::too_many_arguments)]
 fn compute_block(
     a: &MatSrc<'_>,
@@ -464,7 +585,9 @@ fn compute_block(
     nc: usize,
     pc: usize,
     kc: usize,
+    last_kpanel: bool,
     kern: &MicroKernel,
+    epi: &Epilogue<'_>,
     a_buf: &mut [f32],
 ) {
     let (mr, nr) = (kern.mr, kern.nr);
@@ -472,6 +595,7 @@ fn compute_block(
     // accumulate — so callers never pre-zero C and the store pass skips
     // C's read traffic.
     let first_panel = pc == 0;
+    let fused = last_kpanel && !matches!(epi, Epilogue::None);
     let nr_strips = nc.div_ceil(nr);
     let mut acc = [0.0f32; MAX_MR * MAX_NR];
     for ic in (0..rows).step_by(MC) {
@@ -481,13 +605,67 @@ fn compute_block(
         for js in 0..nr_strips {
             let b_strip = &b_panel[js * kc * nr..(js + 1) * kc * nr];
             let j_hi = nr.min(nc - js * nr);
+            let j0 = jc + js * nr;
             for is in 0..mr_strips {
                 let a_strip = &a_buf[is * kc * mr..(is + 1) * kc * mr];
                 let i_hi = mr.min(mc - is * mr);
                 kern.run(kc, a_strip, b_strip, &mut acc);
+                let row0 = ic + is * mr;
+                if fused {
+                    match *epi {
+                        Epilogue::None => unreachable!("fused implies a post-op"),
+                        Epilogue::Bias(bias) => {
+                            // Bias-only fuses as an inline write-back loop:
+                            // an indirect SIMD store call costs more than
+                            // the one extra add this epilogue needs.
+                            let bias_row = &bias[j0..j0 + j_hi];
+                            for i in 0..i_hi {
+                                let acc_row = &acc[i * nr..i * nr + j_hi];
+                                let off = (row0 + i) * n + j0;
+                                let c_row = &mut c_rows[off..off + j_hi];
+                                if first_panel {
+                                    for ((cv, av), bv) in
+                                        c_row.iter_mut().zip(acc_row).zip(bias_row)
+                                    {
+                                        *cv = av + bv;
+                                    }
+                                } else {
+                                    for ((cv, av), bv) in
+                                        c_row.iter_mut().zip(acc_row).zip(bias_row)
+                                    {
+                                        *cv = *cv + av + bv;
+                                    }
+                                }
+                            }
+                        }
+                        Epilogue::BiasRelu(bias, mask) => {
+                            // One fused SIMD store covers the whole tile:
+                            // bias vector and edge mask stay in registers
+                            // across its rows, and the sign bits fall out
+                            // of the vector compare.
+                            let dst = &mut c_rows[row0 * n + j0..];
+                            let mut bits = [0u32; MAX_MR];
+                            kern.store_tile(
+                                &acc,
+                                dst,
+                                n,
+                                i_hi,
+                                j_hi,
+                                Some(&bias[j0..j0 + j_hi]),
+                                !first_panel,
+                                true,
+                                &mut bits,
+                            );
+                            for (i, &row_bits) in bits.iter().enumerate().take(i_hi) {
+                                mask.or_bits((r0 + row0 + i) * n + j0, row_bits, j_hi);
+                            }
+                        }
+                    }
+                    continue;
+                }
                 for i in 0..i_hi {
                     let acc_row = &acc[i * nr..i * nr + j_hi];
-                    let off = (ic + is * mr + i) * n + jc + js * nr;
+                    let off = (row0 + i) * n + j0;
                     let c_row = &mut c_rows[off..off + j_hi];
                     if first_panel {
                         c_row.copy_from_slice(acc_row);

@@ -59,9 +59,12 @@ pub fn softmax_xent_backward(probs: &Tensor, labels: &[usize], denom: usize) -> 
     out
 }
 
-/// Fraction of rows whose argmax matches the label.
-pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
-    let [n, c]: [usize; 2] = logits.shape().try_into().expect("expects 2-D logits");
+/// Number of rows whose argmax matches the label — the exact top-1 hit
+/// count. `evaluate` sums this across chunks instead of reconstructing
+/// hits from a rounded per-chunk [`accuracy`] (which could mis-count once
+/// the chunk fraction lands on a `.5` boundary).
+pub fn correct(logits: &Tensor, labels: &[usize]) -> usize {
+    let [_, c]: [usize; 2] = logits.shape().try_into().expect("expects 2-D logits");
     let mut hits = 0usize;
     for (i, &y) in labels.iter().enumerate() {
         let row = &logits.data()[i * c..(i + 1) * c];
@@ -75,7 +78,13 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
             hits += 1;
         }
     }
-    hits as f64 / n as f64
+    hits
+}
+
+/// Fraction of rows whose argmax matches the label.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let n = logits.shape()[0];
+    correct(logits, labels) as f64 / n as f64
 }
 
 #[cfg(test)]

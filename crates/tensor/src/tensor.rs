@@ -1,8 +1,17 @@
-//! A minimal dense f32 tensor.
+//! A minimal dense f32 tensor with arena-pooled storage.
 
 use std::fmt;
 
+use crate::arena::{self, Scratch};
+
 /// A dense row-major f32 tensor of arbitrary rank.
+///
+/// Storage is a pooled [`crate::arena`] buffer: constructing a tensor
+/// reuses a recycled allocation when one is available, and dropping it
+/// returns the buffer to the pool. This is the substrate's activation
+/// memory planner — inside the MBS serialized training loop every layer
+/// output, gradient, and cache cycles through the pool, so steady-state
+/// sub-batch iterations allocate nothing new.
 ///
 /// # Examples
 ///
@@ -14,10 +23,27 @@ use std::fmt;
 /// assert_eq!(t.get(&[1, 2]), 5.0);
 /// assert_eq!(t.len(), 6);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Tensor {
     shape: Vec<usize>,
-    data: Vec<f32>,
+    data: Scratch,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = arena::take(self.data.len());
+        data.copy_from_slice(&self.data);
+        Self {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data[..] == other.data[..]
+    }
 }
 
 impl Tensor {
@@ -26,20 +52,31 @@ impl Tensor {
         let len = shape.iter().product();
         Self {
             shape: shape.to_vec(),
-            data: vec![0.0; len],
+            data: arena::take_zeroed(len),
+        }
+    }
+
+    /// A tensor with **unspecified contents** (a reused pooled buffer keeps
+    /// its previous values). For operator outputs that overwrite every
+    /// element before anyone reads them — it skips the zero-fill pass
+    /// [`Tensor::zeros`] pays.
+    pub fn uninit(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: arena::take(len),
         }
     }
 
     /// A tensor filled with a constant.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        let len = shape.iter().product();
-        Self {
-            shape: shape.to_vec(),
-            data: vec![value; len],
-        }
+        let mut t = Self::uninit(shape);
+        t.data.fill(value);
+        t
     }
 
-    /// Builds a tensor from raw data.
+    /// Builds a tensor from raw data (adopting the allocation; it joins the
+    /// arena pool when the tensor is dropped).
     ///
     /// # Panics
     ///
@@ -52,7 +89,7 @@ impl Tensor {
         );
         Self {
             shape: shape.to_vec(),
-            data,
+            data: Scratch::from_vec(data),
         }
     }
 
@@ -122,8 +159,9 @@ impl Tensor {
         );
         self.shape.clear();
         self.shape.extend_from_slice(shape);
-        self.data.clear();
-        self.data.extend_from_slice(data);
+        let buf = self.data.buf_mut();
+        buf.clear();
+        buf.extend_from_slice(data);
     }
 
     /// Returns a tensor with a new shape sharing the same data.
@@ -137,9 +175,11 @@ impl Tensor {
             shape.iter().product::<usize>(),
             "reshape must preserve element count"
         );
+        let mut data = arena::take(self.data.len());
+        data.copy_from_slice(&self.data);
         Tensor {
             shape: shape.to_vec(),
-            data: self.data.clone(),
+            data,
         }
     }
 
@@ -150,16 +190,11 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch in add");
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a + b)
-            .collect();
-        Tensor {
-            shape: self.shape.clone(),
-            data,
+        let mut out = Tensor::uninit(&self.shape);
+        for ((o, a), b) in out.data.iter_mut().zip(&self.data[..]).zip(&other.data[..]) {
+            *o = a + b;
         }
+        out
     }
 
     /// In-place element-wise addition.
@@ -169,14 +204,14 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data.iter_mut().zip(&other.data[..]) {
             *a += b;
         }
     }
 
     /// In-place scaling.
     pub fn scale(&mut self, s: f32) {
-        for v in &mut self.data {
+        for v in self.data.iter_mut() {
             *v *= s;
         }
     }
@@ -209,7 +244,7 @@ impl Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch in max_abs_diff");
         self.data
             .iter()
-            .zip(&other.data)
+            .zip(&other.data[..])
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max)
     }

@@ -99,7 +99,10 @@ pub fn evaluate(
         let logits = model.forward(&xs, false);
         let probs = softmax(&logits);
         loss_sum += cross_entropy(&probs, ls) * (end - start) as f32;
-        hits += (mbs_tensor::ops::accuracy(&logits, ls) * (end - start) as f64).round() as usize;
+        // Count top-1 hits directly — reconstructing them by rounding
+        // `accuracy * chunk` mis-counts when the product lands on a .5
+        // boundary in f64.
+        hits += mbs_tensor::ops::correct(&logits, ls);
         start = end;
     }
     let loss = loss_sum / n as f32;

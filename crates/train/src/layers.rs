@@ -1,33 +1,72 @@
-//! Basic trainable layers: convolution, linear, ReLU, pooling.
+//! Basic trainable layers: convolution (with optional fused bias +
+//! activation), linear (fused bias, optional fused activation), ReLU,
+//! pooling.
 
 use rand::rngs::StdRng;
 
 use mbs_tensor::init::kaiming_normal;
 use mbs_tensor::ops::{
-    conv2d, conv2d_backward_data, conv2d_backward_weights, global_avg_pool,
-    global_avg_pool_backward, matmul, matmul_a_bt, matmul_at_b, maxpool2d, maxpool2d_backward,
-    relu, relu_backward, BitMask, Conv2dCfg,
+    conv2d_backward_data, conv2d_backward_weights, conv2d_fused_with, fuse_enabled,
+    global_avg_pool, global_avg_pool_backward, matmul, matmul_a_bt_fused_with, matmul_at_b,
+    maxpool2d, maxpool2d_backward, relu_backward, relu_clamp, relu_inplace, BitMask, Conv2dCfg,
 };
 use mbs_tensor::Tensor;
 
 use crate::module::{Module, Param};
 
-/// 2-D convolution without bias (the zoo pairs convs with norms).
+/// 2-D convolution, optionally with a per-channel bias and a fused ReLU.
+///
+/// The model zoo's default ([`Conv2d::new`]) is bias-free and
+/// activation-free because convs there pair with normalization layers. A
+/// conv built with [`Conv2d::with_bias_relu`] runs conv + bias + ReLU as
+/// one op: the bias rides the GEMM epilogue and the clamp (plus its 1-bit
+/// backward mask) rides the flat→NCHW transpose, so neither costs a pass
+/// over the output. The `MBS_FUSE=0` knob (or [`Conv2d::set_fused`])
+/// switches to the separate-pass path, which is bitwise identical.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Param,
+    bias: Option<Param>,
     cfg: Conv2dCfg,
+    fuse_relu: bool,
+    fused: bool,
     cache_x: Option<Tensor>,
+    mask: Option<BitMask>,
 }
 
 impl Conv2d {
-    /// Kaiming-initialized convolution.
+    /// Kaiming-initialized convolution, bias-free, no activation.
     pub fn new(
         in_channels: usize,
         out_channels: usize,
         kernel: usize,
         stride: usize,
         pad: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self::with_bias_relu(
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            false,
+            false,
+            rng,
+        )
+    }
+
+    /// Kaiming-initialized convolution with an optional zero-initialized
+    /// bias and an optional fused ReLU.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_bias_relu(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        relu: bool,
         rng: &mut StdRng,
     ) -> Self {
         let fan_in = in_channels * kernel * kernel;
@@ -38,8 +77,12 @@ impl Conv2d {
         ));
         Self {
             weight,
+            bias: bias.then(|| Param::new(Tensor::zeros(&[out_channels]))),
             cfg: Conv2dCfg::square(kernel, stride, pad),
+            fuse_relu: relu,
+            fused: fuse_enabled(),
             cache_x: None,
+            mask: None,
         }
     }
 
@@ -52,67 +95,50 @@ impl Conv2d {
     pub fn weight(&self) -> &Param {
         &self.weight
     }
+
+    /// Overrides the process-wide `MBS_FUSE` decision for this layer (the
+    /// bench sweeps fused vs unfused in one process; results are bitwise
+    /// identical either way).
+    pub fn set_fused(&mut self, fused: bool) {
+        self.fused = fused;
+    }
+
+    /// Forward body shared by the borrowed and owned entry points. Only a
+    /// training forward records the backward sign mask; inference applies
+    /// a mask-free clamp instead of building bits nobody will read.
+    fn run_forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (mut y, mask) = conv2d_fused_with(
+            x,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| b.value.data()),
+            self.fuse_relu && train,
+            self.cfg,
+            self.fused,
+        );
+        if train {
+            self.mask = mask;
+        } else if self.fuse_relu {
+            relu_clamp(&mut y);
+        }
+        y
+    }
 }
 
 impl Module for Conv2d {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = self.run_forward(x, train);
         if train {
             self.cache_x = Some(x.clone());
         }
-        conv2d(x, &self.weight.value, self.cfg)
+        y
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let x = self
-            .cache_x
-            .as_ref()
-            .expect("backward requires a training forward");
-        let dw = conv2d_backward_weights(x, dy, self.cfg);
-        self.weight.grad.add_assign(&dw);
-        conv2d_backward_data(dy, &self.weight.value, x.shape(), self.cfg)
-    }
-
-    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
-        f(&mut self.weight);
-    }
-}
-
-/// Fully-connected layer with bias.
-#[derive(Debug, Clone)]
-pub struct Linear {
-    weight: Param, // [out, in]
-    bias: Param,   // [out]
-    cache_x: Option<Tensor>,
-}
-
-impl Linear {
-    /// Kaiming-initialized linear layer.
-    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
-        Self {
-            weight: Param::new(kaiming_normal(
-                &[out_features, in_features],
-                in_features,
-                rng,
-            )),
-            bias: Param::new(Tensor::zeros(&[out_features])),
-            cache_x: None,
-        }
-    }
-}
-
-impl Module for Linear {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        let y = self.run_forward(&x, train);
         if train {
-            self.cache_x = Some(x.clone());
-        }
-        let mut y = matmul_a_bt(x, &self.weight.value); // [n, out]
-        let (n, o) = (y.shape()[0], y.shape()[1]);
-        let bd = self.bias.value.data().to_vec();
-        let yd = y.data_mut();
-        for i in 0..n {
-            for j in 0..o {
-                yd[i * o + j] += bd[j];
-            }
+            // Move the input into the cache — the clone `forward` pays is
+            // the only difference between the two entry points.
+            self.cache_x = Some(x);
         }
         y
     }
@@ -122,6 +148,134 @@ impl Module for Linear {
             .cache_x
             .as_ref()
             .expect("backward requires a training forward");
+        // Undo the fused activation first: dL/d(pre-activation) is dy
+        // masked by the stored sign bits.
+        let masked;
+        let dy = if self.fuse_relu {
+            let mask = self.mask.as_ref().expect("fused ReLU stores a mask");
+            masked = relu_backward(dy, mask);
+            &masked
+        } else {
+            dy
+        };
+        if let Some(bias) = &mut self.bias {
+            // dL/db[c] = Σ_{n,h,w} dy[n,c,h,w].
+            let [_, co, ho, wo]: [usize; 4] = dy.shape().try_into().expect("conv dy must be 4-D");
+            let hw = ho * wo;
+            let gb = bias.grad.data_mut();
+            for (chunk_idx, chunk) in dy.data().chunks_exact(hw).enumerate() {
+                gb[chunk_idx % co] += chunk.iter().sum::<f32>();
+            }
+        }
+        let dw = conv2d_backward_weights(x, dy, self.cfg);
+        self.weight.grad.add_assign(&dw);
+        conv2d_backward_data(dy, &self.weight.value, x.shape(), self.cfg)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(bias) = &mut self.bias {
+            f(bias);
+        }
+    }
+}
+
+/// Fully-connected layer with bias and an optional fused ReLU.
+///
+/// The bias is always folded into the GEMM's C write-back
+/// ([`mbs_tensor::ops::Epilogue`]) — the seed's separate `y += b` pass over
+/// the output is gone. [`Linear::with_relu`] additionally fuses the
+/// activation (and its 1-bit backward mask) into the same store. The
+/// `MBS_FUSE=0` knob (or [`Linear::set_fused`]) selects the bitwise
+/// identical separate-pass path.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param, // [out, in]
+    bias: Param,   // [out]
+    fuse_relu: bool,
+    fused: bool,
+    cache_x: Option<Tensor>,
+    mask: Option<BitMask>,
+}
+
+impl Linear {
+    /// Kaiming-initialized linear layer (no activation).
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        let mut layer = Self::with_relu(in_features, out_features, rng);
+        layer.fuse_relu = false;
+        layer
+    }
+
+    /// Kaiming-initialized linear layer with a fused ReLU activation.
+    pub fn with_relu(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        Self {
+            weight: Param::new(kaiming_normal(
+                &[out_features, in_features],
+                in_features,
+                rng,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            fuse_relu: true,
+            fused: fuse_enabled(),
+            cache_x: None,
+            mask: None,
+        }
+    }
+
+    /// Overrides the process-wide `MBS_FUSE` decision for this layer.
+    pub fn set_fused(&mut self, fused: bool) {
+        self.fused = fused;
+    }
+
+    /// Forward body shared by the borrowed and owned entry points. As for
+    /// [`Conv2d`], inference skips the mask machinery and clamps instead.
+    fn run_forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (mut y, mask) = matmul_a_bt_fused_with(
+            x,
+            &self.weight.value,
+            self.bias.value.data(),
+            self.fuse_relu && train,
+            self.fused,
+        );
+        if train {
+            self.mask = mask;
+        } else if self.fuse_relu {
+            relu_clamp(&mut y);
+        }
+        y
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = self.run_forward(x, train);
+        if train {
+            self.cache_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        let y = self.run_forward(&x, train);
+        if train {
+            self.cache_x = Some(x);
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self
+            .cache_x
+            .as_ref()
+            .expect("backward requires a training forward");
+        let masked;
+        let dy = if self.fuse_relu {
+            let mask = self.mask.as_ref().expect("fused ReLU stores a mask");
+            masked = relu_backward(dy, mask);
+            &masked
+        } else {
+            dy
+        };
         let dw = matmul_at_b(dy, x); // [out, in]
         self.weight.grad.add_assign(&dw);
         let (n, o) = (dy.shape()[0], dy.shape()[1]);
@@ -156,11 +310,16 @@ impl Relu {
 
 impl Module for Relu {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let (y, mask) = relu(x);
+        self.forward_owned(x.clone(), train)
+    }
+
+    fn forward_owned(&mut self, mut x: Tensor, train: bool) -> Tensor {
+        // Owned input → clamp in place; no output tensor is allocated.
+        let mask = relu_inplace(&mut x);
         if train {
             self.mask = Some(mask);
         }
-        y
+        x
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
@@ -319,6 +478,127 @@ mod tests {
         let _ = m.forward(&x, true);
         let dx = m.backward(&Tensor::full(&[4], 1.0));
         assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn conv_with_bias_gradient() {
+        // Bias but no ReLU: the layer is smooth, so the generic
+        // finite-difference check covers the bias-gradient path too.
+        let mut m = Conv2d::with_bias_relu(2, 3, 3, 1, 1, true, false, &mut rng());
+        m.visit_params(&mut |p| {
+            // Perturb the zero-init bias so the check exercises it.
+            if p.value.shape().len() == 1 {
+                for (i, v) in p.value.data_mut().iter_mut().enumerate() {
+                    *v = (i as f32 - 1.0) / 4.0;
+                }
+            }
+        });
+        grad_check(&mut m, &seeded(&[2, 2, 5, 5], 4), 1e-2);
+    }
+
+    #[test]
+    fn conv_bias_gradient_sums_output_gradient() {
+        let mut m = Conv2d::with_bias_relu(1, 2, 3, 1, 1, true, false, &mut rng());
+        let x = seeded(&[2, 1, 4, 4], 7);
+        let y = m.forward(&x, true);
+        let _ = m.backward(&Tensor::full(y.shape(), 1.0));
+        // db[c] = Σ dy over (n, h, w) = 2·4·4 = 32 per channel.
+        let mut biases = Vec::new();
+        m.visit_params(&mut |p| {
+            if p.value.shape().len() == 1 {
+                biases.push(p.grad.clone());
+            }
+        });
+        assert_eq!(biases.len(), 1);
+        assert!(biases[0].max_abs_diff(&Tensor::full(&[2], 32.0)) < 1e-4);
+    }
+
+    /// A fused conv+bias+ReLU layer must match the composition the zoo
+    /// previously ran (conv, separate bias, Relu module) bitwise — forward
+    /// output, input gradient, and weight gradient.
+    #[test]
+    fn fused_conv_relu_layer_matches_composition() {
+        let x = seeded(&[2, 2, 6, 6], 8);
+        let dy = seeded(&[2, 3, 6, 6], 9);
+        let mut fused = Conv2d::with_bias_relu(2, 3, 3, 1, 1, false, true, &mut rng());
+        let mut plain = Conv2d::new(2, 3, 3, 1, 1, &mut rng());
+        let mut act = Relu::new();
+
+        let y_f = fused.forward(&x, true);
+        let y_p = act.forward_owned(plain.forward(&x, true), true);
+        assert_eq!(y_f, y_p, "fused forward must equal conv-then-ReLU");
+
+        let dx_f = fused.backward(&dy);
+        let dx_p = plain.backward(&act.backward(&dy));
+        assert_eq!(dx_f, dx_p, "fused backward must equal conv-then-ReLU");
+        assert_eq!(fused.weight().grad, plain.weight().grad);
+    }
+
+    /// `set_fused(false)` (the per-layer `MBS_FUSE=0` path) is bitwise
+    /// identical to the fused path, gradients included.
+    #[test]
+    fn conv_fused_and_unfused_layers_agree_bitwise() {
+        let x = seeded(&[1, 2, 5, 5], 10);
+        let mut a = Conv2d::with_bias_relu(2, 4, 3, 1, 1, true, true, &mut rng());
+        let mut b = a.clone();
+        a.set_fused(true);
+        b.set_fused(false);
+        let ya = a.forward(&x, true);
+        let yb = b.forward(&x, true);
+        assert_eq!(ya, yb);
+        let dy = seeded(ya.shape(), 11);
+        assert_eq!(a.backward(&dy), b.backward(&dy));
+        let mut ga = Vec::new();
+        a.visit_params(&mut |p| ga.push(p.grad.clone()));
+        let mut i = 0;
+        b.visit_params(&mut |p| {
+            assert_eq!(ga[i], p.grad, "param {i} gradient");
+            i += 1;
+        });
+    }
+
+    #[test]
+    fn fused_linear_relu_matches_composition() {
+        let x = seeded(&[3, 6], 12);
+        let dy = seeded(&[3, 4], 13);
+        let mut fused = Linear::with_relu(6, 4, &mut rng());
+        let mut plain = Linear::new(6, 4, &mut rng());
+        let mut act = Relu::new();
+
+        let y_f = fused.forward(&x, true);
+        let y_p = act.forward_owned(plain.forward(&x, true), true);
+        assert_eq!(y_f, y_p);
+
+        let dx_f = fused.backward(&dy);
+        let dx_p = plain.backward(&act.backward(&dy));
+        assert_eq!(dx_f, dx_p);
+    }
+
+    #[test]
+    fn inference_forward_matches_training_forward_values() {
+        // train=false skips the mask machinery (relu_clamp path) but must
+        // produce the same activations as a training forward.
+        let x = seeded(&[2, 2, 5, 5], 16);
+        let mut m = Conv2d::with_bias_relu(2, 3, 3, 1, 1, true, true, &mut rng());
+        let y_train = m.forward(&x, true);
+        let y_eval = m.forward(&x, false);
+        assert_eq!(y_train, y_eval);
+
+        let mut l = Linear::with_relu(6, 4, &mut rng());
+        let x = seeded(&[3, 6], 17);
+        assert_eq!(l.forward(&x, true), l.forward(&x, false));
+    }
+
+    #[test]
+    fn forward_owned_matches_forward_and_caches_for_backward() {
+        let x = seeded(&[2, 2, 5, 5], 14);
+        let dy = seeded(&[2, 3, 5, 5], 15);
+        let mut a = Conv2d::new(2, 3, 3, 1, 1, &mut rng());
+        let mut b = a.clone();
+        let ya = a.forward(&x, true);
+        let yb = b.forward_owned(x.clone(), true);
+        assert_eq!(ya, yb);
+        assert_eq!(a.backward(&dy), b.backward(&dy));
     }
 
     #[test]

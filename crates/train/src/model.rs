@@ -63,19 +63,28 @@ impl ResidualBlock {
 
 impl Module for ResidualBlock {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let h = self.conv1.forward(x, train);
-        let h = self.norm1.forward(&h, train);
-        let h = self.relu1.forward(&h, train);
-        let h = self.conv2.forward(&h, train);
-        let h = self.norm2.forward(&h, train);
+        self.forward_owned(x.clone(), train)
+    }
+
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        // Intermediates are owned, so every hop uses the owned entry
+        // point: ReLUs clamp in place, convs move their backward cache,
+        // and the shortcut consumes `x` instead of cloning it.
+        let h = self.conv1.forward(&x, train);
+        let h = self.norm1.forward_owned(h, train);
+        let h = self.relu1.forward_owned(h, train);
+        let h = self.conv2.forward_owned(h, train);
+        let mut h = self.norm2.forward_owned(h, train);
         let s = match &mut self.shortcut {
             Some((conv, norm)) => {
-                let s = conv.forward(x, train);
-                norm.forward(&s, train)
+                let s = conv.forward_owned(x, train);
+                norm.forward_owned(s, train)
             }
-            None => x.clone(),
+            None => x,
         };
-        self.relu_out.forward(&h.add(&s), train)
+        h.add_assign(&s);
+        drop(s);
+        self.relu_out.forward_owned(h, train)
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
@@ -106,6 +115,17 @@ impl Module for ResidualBlock {
         if let Some((conv, norm)) = &mut self.shortcut {
             conv.visit_params(f);
             norm.visit_params(f);
+        }
+    }
+}
+
+impl ResidualBlock {
+    /// Overrides the `MBS_FUSE` decision for every GEMM layer in the block.
+    pub fn set_fused(&mut self, fused: bool) {
+        self.conv1.set_fused(fused);
+        self.conv2.set_fused(fused);
+        if let Some((conv, _)) = &mut self.shortcut {
+            conv.set_fused(fused);
         }
     }
 }
@@ -153,6 +173,17 @@ impl MiniResNet {
         }
     }
 
+    /// Overrides the process-wide `MBS_FUSE` decision for every GEMM layer
+    /// (convs and the classifier head). The bench runner uses this to
+    /// sweep fused vs unfused training steps inside one process.
+    pub fn set_fused(&mut self, fused: bool) {
+        self.stem_conv.set_fused(fused);
+        for b in &mut self.blocks {
+            b.set_fused(fused);
+        }
+        self.head.set_fused(fused);
+    }
+
     /// Mean output of the first and last normalization layers on `x`
     /// (the paper's Fig. 6 pre-activation probes).
     pub fn preactivation_means(&mut self, x: &Tensor) -> (f32, f32) {
@@ -174,13 +205,13 @@ impl MiniResNet {
 impl Module for MiniResNet {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let h = self.stem_conv.forward(x, train);
-        let h = self.stem_norm.forward(&h, train);
-        let mut h = self.stem_relu.forward(&h, train);
+        let h = self.stem_norm.forward_owned(h, train);
+        let mut h = self.stem_relu.forward_owned(h, train);
         for b in &mut self.blocks {
-            h = b.forward(&h, train);
+            h = b.forward_owned(h, train);
         }
-        let h = self.pool.forward(&h, train);
-        self.head.forward(&h, train)
+        let h = self.pool.forward_owned(h, train);
+        self.head.forward_owned(h, train)
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
@@ -199,6 +230,79 @@ impl Module for MiniResNet {
         self.stem_norm.visit_params(f);
         for b in &mut self.blocks {
             b.visit_params(f);
+        }
+        self.head.visit_params(f);
+    }
+}
+
+/// A norm-free conv–bias–ReLU stack (stem → `depth` same-width conv
+/// layers → global pool → classifier): every layer is a fused
+/// conv+bias+ReLU, so this is the model where the epilogue pipeline
+/// carries the *whole* per-layer post-processing — the bench runner sweeps
+/// it fused vs unfused to measure the executor-level win.
+#[derive(Debug, Clone)]
+pub struct ConvNet {
+    convs: Vec<Conv2d>,
+    pool: GlobalAvgPool,
+    head: Linear,
+}
+
+impl ConvNet {
+    /// Builds the stack for `in_channels`-channel inputs, `classes`
+    /// outputs, `width` channels per conv layer, and `depth` conv layers
+    /// (≥ 1).
+    pub fn new(
+        in_channels: usize,
+        classes: usize,
+        width: usize,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(depth >= 1, "ConvNet needs at least one conv layer");
+        let mut convs = Vec::with_capacity(depth);
+        let mut cur = in_channels;
+        for _ in 0..depth {
+            convs.push(Conv2d::with_bias_relu(cur, width, 3, 1, 1, true, true, rng));
+            cur = width;
+        }
+        Self {
+            convs,
+            pool: GlobalAvgPool::new(),
+            head: Linear::new(cur, classes, rng),
+        }
+    }
+
+    /// Overrides the process-wide `MBS_FUSE` decision for every layer.
+    pub fn set_fused(&mut self, fused: bool) {
+        for c in &mut self.convs {
+            c.set_fused(fused);
+        }
+        self.head.set_fused(fused);
+    }
+}
+
+impl Module for ConvNet {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut h = self.convs[0].forward(x, train);
+        for c in &mut self.convs[1..] {
+            h = c.forward_owned(h, train);
+        }
+        let h = self.pool.forward_owned(h, train);
+        self.head.forward_owned(h, train)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let d = self.head.backward(dy);
+        let mut d = self.pool.backward(&d);
+        for c in self.convs.iter_mut().rev() {
+            d = c.backward(&d);
+        }
+        d
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for c in &mut self.convs {
+            c.visit_params(f);
         }
         self.head.visit_params(f);
     }

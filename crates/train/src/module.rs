@@ -35,6 +35,18 @@ pub trait Module {
     /// statistics, caching for backward).
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
 
+    /// Forward pass **consuming** an owned input. Semantically identical to
+    /// [`Module::forward`]; layers override it to exploit ownership — ReLU
+    /// clamps in place instead of allocating an output, Conv2d/Linear move
+    /// the input into their backward cache instead of cloning it, identity
+    /// norms return the input untouched. Chains that own their
+    /// intermediates (every layer-to-layer hop inside a model) should call
+    /// this so the serialized sub-batch loop recycles activations instead
+    /// of copying them.
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        self.forward(&x, train)
+    }
+
     /// Backward pass: consumes the output gradient, *accumulates* parameter
     /// gradients, and returns the input gradient.
     fn backward(&mut self, dy: &Tensor) -> Tensor;

@@ -176,11 +176,11 @@ impl Module for GroupNorm {
         let cpg = c / self.groups;
         let m = (cpg * h * w) as f32;
         let xd = x.data();
-        let mut y = Tensor::zeros(x.shape());
-        let mut xhat = Tensor::zeros(x.shape());
+        let mut y = Tensor::uninit(x.shape());
+        let mut xhat = Tensor::uninit(x.shape());
         let mut ivar = vec![0.0f32; n * self.groups];
-        let gd = self.gamma.value.data().to_vec();
-        let bd = self.beta.value.data().to_vec();
+        let gd = self.gamma.value.data();
+        let bd = self.beta.value.data();
 
         let yd = y.data_mut();
         let xhd = xhat.data_mut();
@@ -229,8 +229,10 @@ impl Module for GroupNorm {
         let m = (cpg * h * w) as f32;
         let dyd = dy.data();
         let xh = cache.xhat.data();
-        let gd = self.gamma.value.data().to_vec();
-        let mut dx = Tensor::zeros(dy.shape());
+        let gd = self.gamma.value.data();
+        // Every element of dx is written below (all groups × all channels
+        // cover the tensor), so the buffer starts uninitialized.
+        let mut dx = Tensor::uninit(dy.shape());
 
         // Per-channel parameter gradients.
         for cc in 0..c {
@@ -324,6 +326,16 @@ impl Module for Norm {
             Norm::Batch(b) => b.forward(x, train),
             Norm::Group(g) => g.forward(x, train),
             Norm::None => x.clone(),
+        }
+    }
+
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        match self {
+            Norm::Batch(b) => b.forward(&x, train),
+            Norm::Group(g) => g.forward(&x, train),
+            // The identity norm passes the owned activation straight
+            // through — no clone, no allocation.
+            Norm::None => x,
         }
     }
 

@@ -43,11 +43,11 @@ impl Sgd {
                 velocities.push(Tensor::zeros(p.value.shape()));
             }
             let v = &mut velocities[i];
-            for ((vv, &g), w) in v
+            for ((vv, &g), &w) in v
                 .data_mut()
                 .iter_mut()
                 .zip(p.grad.data())
-                .zip(p.value.data().to_vec())
+                .zip(p.value.data())
             {
                 *vv = mu * *vv + g + wd * w;
             }

@@ -1,0 +1,56 @@
+//! Pins the activation-planner claim: after a warm-up step, the MBS
+//! serialized training loop runs with **zero arena misses** — every layer
+//! output, gradient, backward cache, GEMM packing panel, and staging
+//! buffer is served from the pooled arena, so steady-state sub-batch
+//! iterations perform no fresh f32-storage allocations.
+//!
+//! This lives in its own integration-test binary because the arena's
+//! hit/miss counters are process-global: unit tests running concurrently
+//! would pollute them.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mbs_tensor::arena;
+use mbs_train::data::generate;
+use mbs_train::executor::{evaluate, train_step_mbs};
+use mbs_train::model::{ConvNet, MiniResNet};
+use mbs_train::norm::NormChoice;
+use mbs_train::optim::Sgd;
+
+#[test]
+fn steady_state_mbs_training_is_arena_miss_free() {
+    let d = generate(16, 8, 0.3, 77);
+
+    // GN residual model — the paper's Fig. 6 configuration.
+    let mut resnet = MiniResNet::new(3, 4, 1, NormChoice::Group(4), &mut StdRng::seed_from_u64(2));
+    let mut opt_r = Sgd::new(0.05, 0.9, 1e-4);
+    // Fused conv-bias-ReLU stack — the epilogue showcase model.
+    let mut convnet = ConvNet::new(3, 4, 16, 3, &mut StdRng::seed_from_u64(3));
+    let mut opt_c = Sgd::new(0.05, 0.9, 1e-4);
+
+    for sub in [2usize, 4] {
+        // Warm the pool: the first step at each sub-batch size populates
+        // it with every buffer shape the loop cycles through.
+        for _ in 0..2 {
+            let _ = train_step_mbs(&mut resnet, &d.images, &d.labels, sub, &mut opt_r);
+            let _ = train_step_mbs(&mut convnet, &d.images, &d.labels, sub, &mut opt_c);
+        }
+        arena::reset_stats();
+        let _ = train_step_mbs(&mut resnet, &d.images, &d.labels, sub, &mut opt_r);
+        let _ = train_step_mbs(&mut convnet, &d.images, &d.labels, sub, &mut opt_c);
+        let (hits, misses) = arena::stats();
+        assert!(hits > 0, "the training step must route through the arena");
+        assert_eq!(
+            misses, 0,
+            "steady-state sub-batch loop (sub={sub}) allocated fresh buffers"
+        );
+    }
+
+    // Inference chunks reuse the same pools.
+    let _ = evaluate(&mut resnet, &d.images, &d.labels, 4);
+    arena::reset_stats();
+    let _ = evaluate(&mut resnet, &d.images, &d.labels, 4);
+    let (_, misses) = arena::stats();
+    assert_eq!(misses, 0, "steady-state evaluation allocated fresh buffers");
+}
