@@ -125,6 +125,85 @@ struct TrainReport {
     /// call (pool pre-warmed by the benches above); `arena_misses` must be
     /// 0 — the sub-batch loop allocates no fresh f32 storage.
     steady_state: SteadyState,
+    /// Grouped (schedule-driven) vs uniform serialized training step on
+    /// lowered-IR networks: the `GroupedExecutor` runs the scheduler's
+    /// multi-group plan; the uniform baseline is `train_step_mbs` at the
+    /// schedule's *minimum* sub-batch (what an MBS-FS-style single-group
+    /// serialization of the same net would have to use). Note the grouped
+    /// step pays a backward replay for multi-iteration groups (boundary
+    /// checkpointing), so on cache-resident toy shapes the ratio reads as
+    /// compute overhead, not the DRAM win the schedule models.
+    grouped: Vec<GroupedBench>,
+    /// The schedules themselves: chosen groups and per-group sub-batches
+    /// per model, with the modeled DRAM traffic — the plan the grouped
+    /// executor runs for the runtime nets, and the paper-default plans for
+    /// the zoo networks.
+    schedule: Vec<ScheduleInfo>,
+}
+
+/// One schedule group, as recorded in `BENCH_train.json`.
+#[derive(Debug, Clone, Serialize)]
+struct GroupInfo {
+    /// First node index (inclusive).
+    start: usize,
+    /// Last node index (exclusive).
+    end: usize,
+    /// Samples per sub-batch iteration.
+    sub_batch: usize,
+    /// Sub-batch iterations over the mini-batch.
+    iterations: usize,
+}
+
+impl GroupInfo {
+    fn from_schedule(s: &mbs_core::Schedule) -> Vec<GroupInfo> {
+        s.groups()
+            .iter()
+            .map(|g| GroupInfo {
+                start: g.start,
+                end: g.end,
+                sub_batch: g.sub_batch,
+                iterations: g.iterations,
+            })
+            .collect()
+    }
+}
+
+/// One network's chosen schedule under one configuration.
+#[derive(Debug, Clone, Serialize)]
+struct ScheduleInfo {
+    /// Network name.
+    network: String,
+    /// Execution configuration label (`MBS1`, `MBS2`, …).
+    config: String,
+    /// Per-core mini-batch size.
+    batch: usize,
+    /// Global-buffer bytes the schedule was sized against.
+    buffer_bytes: usize,
+    /// The chosen groups.
+    groups: Vec<GroupInfo>,
+    /// Modeled DRAM bytes per training step under this schedule.
+    dram_bytes: u64,
+    /// Whether every group fits the buffer at ≥ 1 sample.
+    fits: bool,
+}
+
+/// One grouped-vs-uniform measurement.
+#[derive(Debug, Clone, Serialize)]
+struct GroupedBench {
+    /// Lowered network name.
+    network: String,
+    /// Mini-batch size of the measured step.
+    batch: usize,
+    /// The executed schedule's groups.
+    groups: Vec<GroupInfo>,
+    /// Sub-batch of the uniform baseline (`schedule.min_sub_batch()`).
+    uniform_sub_batch: usize,
+    /// Best (minimum-over-rounds) ns per grouped `train_step`.
+    grouped_best_ns: f64,
+    /// Best ns per uniform `train_step_mbs` at the minimum sub-batch.
+    uniform_best_ns: f64,
+    /// `uniform / grouped` — >1 means the schedule-driven step wins.
+    speedup_grouped: f64,
 }
 
 /// One layer-level fused-vs-unfused measurement.
@@ -549,6 +628,135 @@ fn layer_fused() -> Vec<LayerFusedBench> {
     rows
 }
 
+/// The schedules behind the numbers: paper-default plans for three zoo
+/// networks plus the CPU-budget plans the grouped sweep actually executes.
+fn schedule_section() -> Vec<ScheduleInfo> {
+    use mbs_cnn::networks::{alexnet, inception_v3, resnet, toy};
+    use mbs_core::{analyze, ExecConfig, HardwareConfig, MbsScheduler};
+
+    let mut rows = Vec::new();
+    let mut record = |net: &mbs_cnn::Network, hw: &HardwareConfig, cfg: ExecConfig| {
+        let s = MbsScheduler::new(net, hw, cfg).schedule();
+        rows.push(ScheduleInfo {
+            network: net.name().to_string(),
+            config: cfg.label().to_string(),
+            batch: s.batch(),
+            buffer_bytes: hw.global_buffer_bytes,
+            groups: GroupInfo::from_schedule(&s),
+            dram_bytes: analyze(net, &s, hw.global_buffer_bytes).dram_bytes(),
+            fits: s.fits(),
+        });
+    };
+
+    let paper_hw = HardwareConfig::default();
+    for net in [resnet(50), inception_v3(), alexnet()] {
+        for cfg in [ExecConfig::Mbs1, ExecConfig::Mbs2] {
+            record(&net, &paper_hw, cfg);
+        }
+    }
+    // The runtime nets, sized against the (shrunken) CPU budgets the
+    // grouped sweep uses below.
+    record(
+        &toy::runtime_mix(16, 16),
+        &HardwareConfig::cpu().with_global_buffer(16 * 1024),
+        ExecConfig::Mbs1,
+    );
+    record(
+        &toy::tiny_resnet(1, 8),
+        &HardwareConfig::cpu().with_global_buffer(128 * 1024),
+        ExecConfig::Mbs1,
+    );
+    rows
+}
+
+/// Grouped (schedule-driven) vs uniform serialized step on two lowered-IR
+/// networks, through the same interleaved min-of-rounds harness as the
+/// `train_steps` sweep.
+fn grouped_steps() -> Vec<GroupedBench> {
+    use mbs_cnn::networks::toy;
+    use mbs_core::{ExecConfig, HardwareConfig, MbsScheduler};
+    use mbs_train::grouped::GroupedExecutor;
+    use mbs_train::lower::lower;
+
+    const ROUNDS: usize = 6;
+    let mut rows = Vec::new();
+    let cases = [
+        (toy::runtime_mix(16, 16), 16usize * 1024, 16usize, 16usize),
+        (toy::tiny_resnet(1, 8), 128 * 1024, 32, 8),
+    ];
+    for (net, buffer, img_size, batch) in cases {
+        let hw = HardwareConfig::cpu().with_global_buffer(buffer);
+        let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1)
+            .with_batch(batch)
+            .schedule();
+        let uniform_sub = schedule.min_sub_batch();
+        let d = generate(batch, img_size, 0.3, 57);
+        let mut grouped_model = lower(&net, &mut StdRng::seed_from_u64(2)).expect("net lowers");
+        let mut uniform_model = lower(&net, &mut StdRng::seed_from_u64(2)).expect("net lowers");
+        let mut exec = GroupedExecutor::new(&schedule, grouped_model.len());
+        let mut opt_g = Sgd::new(0.05, 0.9, 1e-4);
+        let mut opt_u = Sgd::new(0.05, 0.9, 1e-4);
+
+        let warm0 = std::time::Instant::now();
+        for _ in 0..2 {
+            criterion::black_box(exec.train_step(
+                &mut grouped_model,
+                &d.images,
+                &d.labels,
+                &mut opt_g,
+            ));
+            criterion::black_box(train_step_mbs(
+                &mut uniform_model,
+                &d.images,
+                &d.labels,
+                uniform_sub,
+                &mut opt_u,
+            ));
+        }
+        let approx_step_ns = warm0.elapsed().as_nanos() as f64 / 4.0;
+        let block_iters = ((80e6 / approx_step_ns) as usize).clamp(2, 64);
+        let best = interleaved_best(
+            ROUNDS,
+            block_iters,
+            || {
+                criterion::black_box(exec.train_step(
+                    &mut grouped_model,
+                    &d.images,
+                    &d.labels,
+                    &mut opt_g,
+                ));
+            },
+            || {
+                criterion::black_box(train_step_mbs(
+                    &mut uniform_model,
+                    &d.images,
+                    &d.labels,
+                    uniform_sub,
+                    &mut opt_u,
+                ));
+            },
+        );
+        println!(
+            "grouped/{}: grouped {:.0} ns ({} groups, subs {:?}), uniform(sub{uniform_sub}) {:.0} ns",
+            net.name(),
+            best[0],
+            schedule.groups().len(),
+            schedule.sub_batches(),
+            best[1]
+        );
+        rows.push(GroupedBench {
+            network: net.name().to_string(),
+            batch,
+            groups: GroupInfo::from_schedule(&schedule),
+            uniform_sub_batch: uniform_sub,
+            grouped_best_ns: best[0],
+            uniform_best_ns: best[1],
+            speedup_grouped: best[1] / best[0],
+        });
+    }
+    rows
+}
+
 /// One steady-state training step with the pool already warm: the arena
 /// counters must show pure reuse (`arena_misses == 0`).
 fn steady_state() -> SteadyState {
@@ -586,6 +794,9 @@ fn main() {
     let train_step = train_steps();
     println!("== layer-level fused epilogue (L2-busting shapes) ==");
     let layer_fused = layer_fused();
+    println!("== grouped vs uniform serialized step (lowered IR) ==");
+    let grouped = grouped_steps();
+    let schedule = schedule_section();
     let aa_noise_ratio = aa_noise();
     let steady = steady_state();
 
@@ -645,6 +856,30 @@ fn main() {
             lf.op, lf.shape, lf.fused_best_ns, lf.unfused_best_ns, lf.speedup_fused
         );
     }
+    for g in &grouped {
+        println!(
+            "grouped {:>13} batch {:<2} grouped {:>12.0} ns  uniform(sub{}) {:>12.0} ns  {:>5.2}x",
+            g.network,
+            g.batch,
+            g.grouped_best_ns,
+            g.uniform_sub_batch,
+            g.uniform_best_ns,
+            g.speedup_grouped
+        );
+    }
+    for s in &schedule {
+        let subs: Vec<usize> = s.groups.iter().map(|g| g.sub_batch).collect();
+        println!(
+            "schedule {:>12} {:<5} batch {:>2} buffer {:>9}: {} group(s), subs {:?}, {:.1} MiB DRAM",
+            s.network,
+            s.config,
+            s.batch,
+            s.buffer_bytes,
+            s.groups.len(),
+            subs,
+            s.dram_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
     println!("A/A step-harness noise ratio: {aa_noise_ratio:.3} (1.0 = noise-free)");
     println!(
         "steady-state arena: {} hits, {} misses",
@@ -673,6 +908,8 @@ fn main() {
         aa_noise_ratio,
         layer_fused,
         steady_state: steady,
+        grouped,
+        schedule,
     };
     match mbs_bench::write_json(&out_dir, "BENCH_train", &train_report) {
         Ok(()) => println!("wrote {}", out_dir.join("BENCH_train.json").display()),

@@ -85,6 +85,39 @@ pub fn tiny_resnet(blocks_per_stage: usize, default_batch: usize) -> Network {
     b.fully_connected("fc", 10).build()
 }
 
+/// The runtime-lowering showcase: a network that exercises every IR
+/// construct the training substrate implements (conv / group norm / ReLU,
+/// unpadded max pooling, an identity-shortcut residual block, global
+/// average pooling, fully-connected) at a spatial size small enough to
+/// train on the CPU in tests and demos. `size` is the square input extent
+/// (must be even — the stem pools by 2); `default_batch` is the per-core
+/// mini-batch recorded in the IR.
+pub fn runtime_mix(size: usize, default_batch: usize) -> Network {
+    assert!(
+        size >= 4 && size.is_multiple_of(2),
+        "size must be even and >= 4"
+    );
+    let mut b = NetworkBuilder::new(
+        "RuntimeMix",
+        FeatureShape::new(3, size, size),
+        default_batch,
+    );
+    for l in conv_norm_relu("stem", b.shape(), 8, (3, 3), 1, (1, 1)) {
+        b = b.push(Node::Single(l));
+    }
+    b = b
+        .pool("pool1", PoolKind::Max, 2, 2, 0)
+        .expect("even input halves cleanly");
+    let input = b.shape();
+    let mut main = conv_norm_relu("res.1", input, 8, (3, 3), 1, (1, 1));
+    main.extend(conv_norm("res.2", input, 8, (3, 3), 1, (1, 1)));
+    let block = Block::residual("res", input, main, Vec::new()).expect("shapes are preserved");
+    b.block(block)
+        .global_avg_pool("gap")
+        .fully_connected("fc", 10)
+        .build()
+}
+
 /// A plain chain of conv/norm/relu stages with the given output channel
 /// counts, downsampling by 2 at each stage; handy for property tests where
 /// footprints must vary monotonically.
@@ -114,6 +147,17 @@ mod tests {
         let net = tiny_resnet(2, 8);
         assert_eq!(net.nodes().iter().filter(|n| n.is_block()).count(), 4);
         assert_eq!(net.output().channels, 10);
+    }
+
+    #[test]
+    fn runtime_mix_covers_the_lowerable_kinds() {
+        let net = runtime_mix(8, 4);
+        assert_eq!(net.output().channels, 10);
+        assert_eq!(net.nodes().iter().filter(|n| n.is_block()).count(), 1);
+        let tags: Vec<String> = net.nodes().iter().map(Node::tag).collect();
+        for want in ["CONV", "NORM", "RELU", "POOL", "RES_BLK", "FC"] {
+            assert!(tags.iter().any(|t| t == want), "missing {want} in {tags:?}");
+        }
     }
 
     #[test]

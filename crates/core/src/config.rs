@@ -219,6 +219,28 @@ impl HardwareConfig {
         }
     }
 
+    /// A CPU preset for driving the **training runtime** with the
+    /// scheduler: one core, and a global buffer sized from the machine's
+    /// last-level cache so [`crate::footprint::max_sub_batch`] sizes
+    /// groups against the actual LLC instead of the paper's 10 MiB GPU
+    /// SRAM.
+    ///
+    /// The LLC byte budget comes from `MBS_CACHE_BUDGET` when set (plain
+    /// bytes, or with a `K`/`M`/`G` suffix, e.g. `MBS_CACHE_BUDGET=16M`),
+    /// else from sysfs cache topology on Linux, else an 8 MiB fallback.
+    /// The footprint model counts 16-bit words while the CPU runtime
+    /// computes in f32, so the modeled buffer is **half** the byte budget
+    /// — a group the model says fits then genuinely fits the cache at f32
+    /// precision.
+    pub fn cpu() -> Self {
+        let budget = cache_budget_bytes();
+        Self {
+            global_buffer_bytes: (budget / 2).max(1),
+            cores: 1,
+            ..Self::new()
+        }
+    }
+
     /// Same hardware with a different memory system.
     pub fn with_memory(mut self, kind: MemoryKind) -> Self {
         self.memory = MemoryConfig::preset(kind);
@@ -253,6 +275,54 @@ impl Default for HardwareConfig {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// The CPU cache budget in bytes: the `MBS_CACHE_BUDGET` override when
+/// set and parseable, else the detected last-level cache size, else 8 MiB.
+pub fn cache_budget_bytes() -> usize {
+    if let Ok(raw) = std::env::var("MBS_CACHE_BUDGET") {
+        match parse_byte_size(&raw) {
+            Some(bytes) if bytes > 0 => return bytes,
+            _ => eprintln!(
+                "warning: MBS_CACHE_BUDGET={raw:?} is not a byte size \
+                 (expected e.g. 8388608, 8192K, or 8M); falling back to detection"
+            ),
+        }
+    }
+    detect_llc_bytes().unwrap_or(8 * 1024 * 1024)
+}
+
+/// Parses `"8388608"`, `"8192K"`, `"8M"`, `"1G"` (suffixes are
+/// case-insensitive, powers of 1024) into bytes.
+fn parse_byte_size(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (digits, shift) = match t.chars().last()? {
+        'k' | 'K' => (&t[..t.len() - 1], 10),
+        'm' | 'M' => (&t[..t.len() - 1], 20),
+        'g' | 'G' => (&t[..t.len() - 1], 30),
+        _ => (t, 0),
+    };
+    let n: usize = digits.trim().parse().ok()?;
+    // checked_mul (not checked_shl) so a value whose suffixed product
+    // overflows usize maps to None — shifts only guard the shift amount,
+    // not shifted-out bits.
+    n.checked_mul(1usize << shift)
+}
+
+/// Largest cache reported by sysfs for cpu0 (the LLC) on Linux; `None`
+/// elsewhere or when the topology is unreadable.
+fn detect_llc_bytes() -> Option<usize> {
+    let base = std::path::Path::new("/sys/devices/system/cpu/cpu0/cache");
+    let mut best: Option<usize> = None;
+    for entry in std::fs::read_dir(base).ok()? {
+        // One unreadable entry must not discard sizes already found.
+        let Ok(entry) = entry else { continue };
+        let size = std::fs::read_to_string(entry.path().join("size")).ok();
+        if let Some(bytes) = size.as_deref().and_then(parse_byte_size) {
+            best = Some(best.map_or(bytes, |b| b.max(bytes)));
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -304,6 +374,30 @@ mod tests {
     fn per_core_bandwidth_is_half_chip() {
         let hw = HardwareConfig::default();
         assert!((hw.per_core_dram_bw() * 2.0 - hw.memory.total_bw_bytes()).abs() < 1.0);
+    }
+
+    #[test]
+    fn byte_size_parsing() {
+        assert_eq!(parse_byte_size("8388608"), Some(8 * 1024 * 1024));
+        assert_eq!(parse_byte_size("8192K"), Some(8 * 1024 * 1024));
+        assert_eq!(parse_byte_size(" 8M "), Some(8 * 1024 * 1024));
+        assert_eq!(parse_byte_size("1g"), Some(1 << 30));
+        assert_eq!(parse_byte_size("lots"), None);
+        assert_eq!(parse_byte_size(""), None);
+        // Suffixed products that overflow usize are rejected, not wrapped.
+        assert_eq!(parse_byte_size("18446744073709551615G"), None);
+        assert_eq!(parse_byte_size(&format!("{}G", usize::MAX >> 29)), None);
+    }
+
+    #[test]
+    fn cpu_preset_halves_the_byte_budget() {
+        // The modeled buffer is budget/2 because the footprint model counts
+        // 16-bit words while the runtime computes in f32.
+        let hw = HardwareConfig::cpu();
+        assert_eq!(hw.cores, 1);
+        assert!(hw.global_buffer_bytes >= 1);
+        let budget = cache_budget_bytes();
+        assert_eq!(hw.global_buffer_bytes, (budget / 2).max(1));
     }
 
     #[test]

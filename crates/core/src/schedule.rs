@@ -108,6 +108,30 @@ impl Schedule {
         self.fits
     }
 
+    /// Number of scheduling units (network nodes) the schedule covers —
+    /// the node count a lowered runtime model must match.
+    pub fn node_count(&self) -> usize {
+        self.groups.last().map_or(0, |g| g.end)
+    }
+
+    /// Per-group sub-batch sizes in execution order (the annotation of the
+    /// paper's Fig. 5).
+    pub fn sub_batches(&self) -> Vec<usize> {
+        self.groups.iter().map(|g| g.sub_batch).collect()
+    }
+
+    /// Smallest sub-batch across groups: the single size a uniform (MBS-FS
+    /// style) serialization of the same network would have to use to stay
+    /// within the same buffer — the natural baseline when benchmarking
+    /// grouped against uniform execution.
+    pub fn min_sub_batch(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.sub_batch)
+            .min()
+            .unwrap_or(self.batch)
+    }
+
     /// The group containing node `i`.
     ///
     /// # Panics
@@ -194,6 +218,9 @@ mod tests {
         assert_eq!(s.iterations_of(0), 2);
         assert_eq!(s.iterations_of(4), 1);
         assert!(s.fits());
+        assert_eq!(s.node_count(), 5);
+        assert_eq!(s.sub_batches(), vec![4, 8]);
+        assert_eq!(s.min_sub_batch(), 4);
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Golden-schedule snapshots: the exact groups and per-group sub-batch
+//! sizes `MbsScheduler` emits for ResNet50 under the paper's default
+//! hardware, pinned as literals so scheduler refactors cannot silently
+//! drift the plan that now *drives real execution* (the grouped training
+//! runtime in `mbs-train` runs whatever this scheduler says).
+//!
+//! If a change to the footprint or traffic model moves these values
+//! *intentionally*, update the snapshot in the same commit and say why in
+//! the commit message.
+
+use mbs_cnn::networks::resnet;
+use mbs_core::{ExecConfig, HardwareConfig, MbsScheduler, Schedule};
+
+/// `(start, end, sub_batch)` per group.
+fn shape(s: &Schedule) -> Vec<(usize, usize, usize)> {
+    s.groups()
+        .iter()
+        .map(|g| (g.start, g.end, g.sub_batch))
+        .collect()
+}
+
+#[test]
+fn resnet50_mbs1_greedy_snapshot() {
+    let net = resnet(50);
+    let hw = HardwareConfig::default();
+    let s = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1).schedule();
+    assert_eq!(
+        shape(&s),
+        vec![(0, 8, 3), (8, 12, 6), (12, 17, 13), (17, 24, 17)]
+    );
+    assert_eq!(s.batch(), 32);
+    assert!(s.fits());
+}
+
+#[test]
+fn resnet50_mbs1_optimal_snapshot() {
+    // The DP optimum peels the final FC-side group off at full batch — the
+    // ≈1 % refinement the paper's footnote 1 found over greedy.
+    let net = resnet(50);
+    let hw = HardwareConfig::default();
+    let s = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1).optimal_schedule();
+    assert_eq!(
+        shape(&s),
+        vec![
+            (0, 8, 3),
+            (8, 12, 6),
+            (12, 17, 13),
+            (17, 23, 17),
+            (23, 24, 32)
+        ]
+    );
+}
+
+#[test]
+fn resnet50_mbs2_greedy_snapshot() {
+    // Branch-reuse provisioning (Eq. 1) shrinks sub-batches slightly —
+    // block inputs stay resident — but buys inter-branch locality.
+    let net = resnet(50);
+    let hw = HardwareConfig::default();
+    let s = MbsScheduler::new(&net, &hw, ExecConfig::Mbs2).schedule();
+    assert_eq!(
+        shape(&s),
+        vec![(0, 8, 2), (8, 12, 5), (12, 18, 11), (18, 24, 23)]
+    );
+}
+
+#[test]
+fn resnet50_mbs2_optimal_snapshot() {
+    let net = resnet(50);
+    let hw = HardwareConfig::default();
+    let s = MbsScheduler::new(&net, &hw, ExecConfig::Mbs2).optimal_schedule();
+    assert_eq!(
+        shape(&s),
+        vec![
+            (0, 8, 2),
+            (8, 12, 5),
+            (12, 18, 11),
+            (18, 23, 23),
+            (23, 24, 32)
+        ]
+    );
+}

@@ -164,6 +164,27 @@ impl Tensor {
         buf.extend_from_slice(data);
     }
 
+    /// Consumes the tensor and returns it under a new shape — a pure
+    /// metadata change, no copy (unlike [`Tensor::reshape`], which clones
+    /// the storage because it only borrows). The lowered-IR runtime uses
+    /// this to flatten `[n, c, h, w]` activations into the `[n, c*h*w]`
+    /// view a fully-connected layer consumes, and to restore the 4-D view
+    /// on the gradient coming back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ.
+    pub fn into_reshaped(mut self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            self.len(),
+            shape.iter().product::<usize>(),
+            "reshape must preserve element count"
+        );
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self
+    }
+
     /// Returns a tensor with a new shape sharing the same data.
     ///
     /// # Panics
@@ -302,5 +323,20 @@ mod tests {
     fn bad_reshape_panics() {
         let a = Tensor::zeros(&[2, 3]);
         let _ = a.reshape(&[4, 2]);
+    }
+
+    #[test]
+    fn into_reshaped_keeps_data_without_copying() {
+        let a = Tensor::from_vec(&[2, 3], (0..6).map(|x| x as f32).collect());
+        let ptr = a.data().as_ptr();
+        let b = a.into_reshaped(&[6]);
+        assert_eq!(b.shape(), &[6]);
+        assert_eq!(b.data().as_ptr(), ptr, "must reuse the same storage");
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape must preserve")]
+    fn bad_into_reshaped_panics() {
+        let _ = Tensor::zeros(&[2, 3]).into_reshaped(&[7]);
     }
 }

@@ -13,7 +13,7 @@
 use mbs_tensor::ops::{cross_entropy, softmax, softmax_xent_backward};
 use mbs_tensor::Tensor;
 
-use crate::module::{slice_batch_into, Module};
+use crate::module::{slice_batch_into, slice_batch_owned, Module};
 use crate::optim::Sgd;
 
 /// One conventional training step over the full mini-batch. Returns the
@@ -91,12 +91,15 @@ pub fn evaluate(
     let mut loss_sum = 0.0f32;
     let mut hits = 0usize;
     let mut start = 0;
-    let mut xs = Tensor::zeros(&[0]);
     while start < n {
         let end = (start + batch.max(1)).min(n);
-        slice_batch_into(images, start, end, &mut xs);
+        // The chunk is a private arena-pooled staging buffer, so hand the
+        // chain ownership: ReLUs clamp it in place instead of allocating,
+        // and no layer pays a defensive clone. Dropping each chunk returns
+        // its storage to the pool for the next one (pure hits).
+        let xs = slice_batch_owned(images, start, end);
         let ls = &labels[start..end];
-        let logits = model.forward(&xs, false);
+        let logits = model.forward_owned(xs, false);
         let probs = softmax(&logits);
         loss_sum += cross_entropy(&probs, ls) * (end - start) as f32;
         // Count top-1 hits directly — reconstructing them by rounding

@@ -1,0 +1,362 @@
+//! Schedule-driven grouped execution: run the serialized training step the
+//! way the MBS scheduler planned it (paper §3, Fig. 5).
+//!
+//! [`crate::executor::train_step_mbs`] serializes the *whole* network at
+//! one sub-batch size. The paper's actual mechanism is finer: the
+//! scheduler partitions layers into groups, each with its own sub-batch
+//! size (deeper groups carry more samples because down-sampling shrinks
+//! their footprints). [`GroupedExecutor`] executes exactly that plan over
+//! a [`crate::lower::LoweredNet`]:
+//!
+//! - **Within a group** activations stream sub-batch-at-a-time, exactly as
+//!   the uniform executor does.
+//! - **At group boundaries** each chunk's output is staged into a pooled
+//!   full-mini-batch boundary buffer; the next group re-slices that buffer
+//!   at its own (typically larger) sub-batch size.
+//! - **Backward replays groups in reverse** (boundary checkpointing): the
+//!   full-batch activations are checkpointed only at group boundaries, so
+//!   for a multi-chunk group the backward pass re-runs each chunk's
+//!   forward from the group's input boundary to repopulate layer caches,
+//!   then propagates the re-sliced gradient chunk. Single-iteration groups
+//!   — and the most recently forwarded chunk of each group — skip the
+//!   replay because their caches are still live. Gradients cross each
+//!   boundary through a staged full-batch gradient buffer, re-sliced at
+//!   the upstream group's sub-batch size.
+//!
+//! The synchronization points are the same as the uniform executor's: loss
+//! gradients are scaled by the *total* mini-batch size, parameter
+//! gradients accumulate across every chunk of every group, and the
+//! optimizer steps once at the end — so for per-sample normalizations (GN)
+//! the grouped step matches `train_step_full` to f32 rounding, whatever
+//! the schedule. All staging buffers persist inside the executor and chunk
+//! slices come from the pooled arena, so steady-state grouped steps run
+//! with zero arena misses.
+
+use mbs_core::{Group, Schedule};
+use mbs_tensor::ops::{cross_entropy, softmax, softmax_xent_backward};
+use mbs_tensor::Tensor;
+
+use crate::lower::LoweredNet;
+use crate::module::{slice_batch_into, slice_batch_owned, Module};
+use crate::optim::Sgd;
+
+/// Executes training steps group-wise according to an MBS [`Schedule`].
+///
+/// The executor owns the boundary staging buffers (activations and
+/// gradients at every group boundary) so repeated steps reuse them; one
+/// instance should live as long as the training loop.
+///
+/// Use it with **per-sample normalizations** (GN, or none) — the models
+/// MBS targets. Batch normalization is already incompatible with any
+/// serialized execution (paper §3.1: sub-batch statistics differ), and
+/// under this executor the backward *replay* additionally re-runs
+/// training forwards, so a lowered `BatchNorm2d`'s running statistics
+/// would be momentum-updated once more per replayed chunk on top of that.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_cnn::networks::toy;
+/// use mbs_core::{ExecConfig, HardwareConfig, MbsScheduler};
+/// use mbs_train::data::generate;
+/// use mbs_train::grouped::GroupedExecutor;
+/// use mbs_train::lower::lower;
+/// use mbs_train::optim::Sgd;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let net = toy::runtime_mix(8, 8);
+/// let hw = HardwareConfig::cpu().with_global_buffer(4 * 1024);
+/// let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1).schedule();
+/// let mut model = lower(&net, &mut StdRng::seed_from_u64(1)).unwrap();
+/// let mut exec = GroupedExecutor::new(&schedule, model.len());
+/// let d = generate(8, 8, 0.3, 5);
+/// let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+/// let loss = exec.train_step(&mut model, &d.images, &d.labels, &mut opt);
+/// assert!(loss.is_finite());
+/// ```
+#[derive(Debug)]
+pub struct GroupedExecutor {
+    groups: Vec<Group>,
+    /// `stages[g]` holds group `g`'s full-mini-batch output (the boundary
+    /// activation buffer); the last entry is the logits.
+    stages: Vec<Tensor>,
+    /// `grads[g]` holds the gradient of group `g`'s output, staged chunk
+    /// by chunk by group `g + 1`'s backward.
+    grads: Vec<Tensor>,
+    /// Reusable gradient-chunk slice buffer.
+    dy_chunk: Tensor,
+    /// Batch-row start of the most recent forward chunk per group —
+    /// backward skips the replay for that chunk (its caches are live).
+    last_fwd_start: Vec<usize>,
+}
+
+impl GroupedExecutor {
+    /// Builds an executor for `schedule` over a lowered network with
+    /// `node_count` scheduling units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule does not cover exactly `node_count` nodes.
+    pub fn new(schedule: &Schedule, node_count: usize) -> Self {
+        let covered = schedule.node_count();
+        assert_eq!(
+            covered, node_count,
+            "schedule covers {covered} nodes but the model has {node_count}"
+        );
+        let groups = schedule.groups().to_vec();
+        let n = groups.len();
+        Self {
+            groups,
+            stages: (0..n).map(|_| empty()).collect(),
+            grads: (0..n).map(|_| empty()).collect(),
+            dy_chunk: empty(),
+            last_fwd_start: vec![0; n],
+        }
+    }
+
+    /// The schedule groups the executor runs.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// Grouped forward pass over the full mini-batch; returns the staged
+    /// logits. With `train` set, layer caches and the boundary buffers are
+    /// left ready for [`GroupedExecutor::backward_from_logits`].
+    ///
+    /// The per-group sub-batch sizes are applied to whatever batch `x`
+    /// carries — a schedule planned for the IR's default mini-batch runs
+    /// unchanged on a smaller or larger one (iteration counts are derived
+    /// from `x`, not from the schedule's planning batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or `model` does not have the node count the
+    /// schedule covers.
+    pub fn forward(&mut self, model: &mut LoweredNet, x: &Tensor, train: bool) -> &Tensor {
+        let n = x.shape()[0];
+        assert!(n > 0, "empty batch");
+        let covered = self.groups.last().map_or(0, |g| g.end);
+        assert_eq!(
+            model.len(),
+            covered,
+            "model has {} nodes but the schedule covers {covered}",
+            model.len()
+        );
+        for (g, group) in self.groups.iter().enumerate() {
+            // Split so group g's input boundary (stage g-1) stays readable
+            // while stage g is written.
+            let (prev, cur) = self.stages.split_at_mut(g);
+            let src = if g == 0 { x } else { &prev[g - 1] };
+            let dst = &mut cur[0];
+            let mut start = 0;
+            while start < n {
+                let end = (start + group.sub_batch).min(n);
+                let chunk = slice_batch_owned(src, start, end);
+                let y = model.forward_range(group.start..group.end, chunk, train);
+                stage_rows(dst, &y, start, n);
+                self.last_fwd_start[g] = start;
+                start = end;
+            }
+        }
+        self.stages.last().expect("at least one group")
+    }
+
+    /// Grouped backward pass from a full-batch logits gradient, replaying
+    /// groups in reverse and re-slicing gradients at each boundary.
+    /// Parameter gradients accumulate into the model; the returned value
+    /// is the gradient with respect to the network input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`GroupedExecutor::forward`] (with `train = true`) has
+    /// not populated the boundary buffers for `x`.
+    pub fn backward_from_logits(
+        &mut self,
+        model: &mut LoweredNet,
+        x: &Tensor,
+        dlogits: Tensor,
+    ) -> Tensor {
+        self.backward_inner(model, x, dlogits, true)
+    }
+
+    /// [`GroupedExecutor::backward_from_logits`] body; `want_dx` skips
+    /// assembling the full-batch input gradient (an input-sized buffer
+    /// plus one copy per group-0 chunk) when the caller discards it, as
+    /// [`GroupedExecutor::train_step`] does.
+    fn backward_inner(
+        &mut self,
+        model: &mut LoweredNet,
+        x: &Tensor,
+        dlogits: Tensor,
+        want_dx: bool,
+    ) -> Tensor {
+        let n = x.shape()[0];
+        let last = self.groups.len() - 1;
+        self.grads[last] = dlogits;
+        let mut dx = empty();
+        for g in (0..self.groups.len()).rev() {
+            let group = self.groups[g].clone();
+            // Consume this boundary's gradient buffer; its storage returns
+            // to the arena when the group is done.
+            let dy_full = std::mem::replace(&mut self.grads[g], empty());
+            // Detach the input boundary (if any) so `self` stays borrowable.
+            let src_owned: Option<Tensor> =
+                (g > 0).then(|| std::mem::replace(&mut self.stages[g - 1], empty()));
+            let src: &Tensor = src_owned.as_ref().unwrap_or(x);
+            // Reverse chunk order: the first chunk processed is the last
+            // one forwarded, whose layer caches are still live.
+            let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(group.iterations);
+            let mut start = 0;
+            while start < n {
+                let end = (start + group.sub_batch).min(n);
+                bounds.push((start, end));
+                start = end;
+            }
+            for &(start, end) in bounds.iter().rev() {
+                if start != self.last_fwd_start[g] {
+                    // Boundary checkpointing: replay this chunk's forward
+                    // to repopulate the group's layer caches.
+                    let chunk = slice_batch_owned(src, start, end);
+                    let _ = model.forward_range(group.start..group.end, chunk, true);
+                    self.last_fwd_start[g] = start;
+                }
+                slice_batch_into(&dy_full, start, end, &mut self.dy_chunk);
+                let d = model.backward_range(group.start..group.end, &self.dy_chunk);
+                if g == 0 {
+                    if want_dx {
+                        stage_rows(&mut dx, &d, start, n);
+                    }
+                } else {
+                    stage_rows(&mut self.grads[g - 1], &d, start, n);
+                }
+            }
+            if let Some(boundary) = src_owned {
+                // Re-attach the input boundary (forward's staged values are
+                // still needed by group g-1's replay).
+                self.stages[g - 1] = boundary;
+            }
+        }
+        dx
+    }
+
+    /// One grouped training step: grouped forward, full-batch softmax
+    /// cross-entropy (row-wise, so chunking cannot change it), grouped
+    /// backward, one optimizer step. Returns the mean loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` length differs from the batch size or `model`
+    /// does not have the node count the schedule covers.
+    pub fn train_step(
+        &mut self,
+        model: &mut LoweredNet,
+        x: &Tensor,
+        labels: &[usize],
+        opt: &mut Sgd,
+    ) -> f32 {
+        let n = x.shape()[0];
+        assert_eq!(labels.len(), n, "one label per sample");
+        model.zero_grad();
+        self.forward(model, x, true);
+        let logits = self.stages.last().expect("at least one group");
+        let probs = softmax(logits);
+        let loss = cross_entropy(&probs, labels);
+        let dlogits = softmax_xent_backward(&probs, labels, n);
+        drop(probs);
+        let _ = self.backward_inner(model, x, dlogits, false);
+        opt.step(model);
+        loss
+    }
+}
+
+/// A zero-element placeholder tensor with **no** backing allocation — it
+/// neither draws from nor returns to the arena, so swapping placeholders
+/// in and out of the staging slots is free and does not churn the pool.
+fn empty() -> Tensor {
+    Tensor::from_vec(&[0], Vec::new())
+}
+
+/// Copies `src` (a chunk of `rows` batch rows) into `dst` at batch-row
+/// offset `row_start`, sizing `dst` as `[batch, src.shape[1..]]` first if
+/// its shape is stale.
+fn stage_rows(dst: &mut Tensor, src: &Tensor, row_start: usize, batch: usize) {
+    let mut target = src.shape().to_vec();
+    target[0] = batch;
+    if dst.shape() != &target[..] {
+        *dst = Tensor::uninit(&target);
+    }
+    let rows = src.shape()[0];
+    let row = src.len() / rows.max(1);
+    dst.data_mut()[row_start * row..(row_start + rows) * row].copy_from_slice(src.data());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::generate;
+    use crate::executor::train_step_full;
+    use crate::lower::lower;
+    use mbs_cnn::networks::toy;
+    use mbs_cnn::FeatureShape;
+    use mbs_core::ExecConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn multi_group_schedule(nodes: usize, batch: usize) -> Schedule {
+        // Two groups with distinct sub-batch sizes — the shape the paper's
+        // Fig. 5 schedules take (small early sub-batches, larger deep ones).
+        let cut = nodes / 2;
+        Schedule::new(
+            ExecConfig::Mbs1,
+            batch,
+            vec![
+                Group::new(0, cut, 2, batch),
+                Group::new(cut, nodes, batch, batch),
+            ],
+            true,
+        )
+    }
+
+    #[test]
+    fn grouped_forward_matches_full_forward() {
+        let net = toy::conv_chain(&[4, 8], FeatureShape::new(3, 8, 8), 8);
+        let mut a = lower(&net, &mut StdRng::seed_from_u64(5)).unwrap();
+        let mut b = lower(&net, &mut StdRng::seed_from_u64(5)).unwrap();
+        let d = generate(8, 8, 0.3, 41);
+        let full = a.forward(&d.images, false);
+        let sched = multi_group_schedule(net.nodes().len(), 8);
+        let mut exec = GroupedExecutor::new(&sched, b.len());
+        let grouped = exec.forward(&mut b, &d.images, false);
+        assert!(
+            full.max_abs_diff(grouped) < 1e-5,
+            "grouped forward diverged: {}",
+            full.max_abs_diff(grouped)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule covers")]
+    fn schedule_model_mismatch_is_rejected() {
+        let net = toy::conv_chain(&[4], FeatureShape::new(3, 8, 8), 4);
+        let model = lower(&net, &mut StdRng::seed_from_u64(1)).unwrap();
+        let sched = multi_group_schedule(net.nodes().len() + 1, 4);
+        let _ = GroupedExecutor::new(&sched, model.len());
+    }
+
+    #[test]
+    fn uneven_final_chunks_are_handled() {
+        // batch 7 with sub-batches 2 and 7: the re-slicing must cope with
+        // remainder chunks on both sides of the boundary.
+        let net = toy::runtime_mix(8, 7);
+        let mut full = lower(&net, &mut StdRng::seed_from_u64(9)).unwrap();
+        let mut grouped = lower(&net, &mut StdRng::seed_from_u64(9)).unwrap();
+        let d = generate(7, 8, 0.3, 43);
+        let mut oa = Sgd::new(0.05, 0.9, 0.0);
+        let mut ob = Sgd::new(0.05, 0.9, 0.0);
+        let sched = multi_group_schedule(net.nodes().len(), 7);
+        let mut exec = GroupedExecutor::new(&sched, grouped.len());
+        let lf = train_step_full(&mut full, &d.images, &d.labels, &mut oa);
+        let lg = exec.train_step(&mut grouped, &d.images, &d.labels, &mut ob);
+        assert!((lf - lg).abs() < 1e-4, "losses {lf} vs {lg}");
+    }
+}

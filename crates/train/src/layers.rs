@@ -86,6 +86,34 @@ impl Conv2d {
         }
     }
 
+    /// Kaiming-initialized convolution over an arbitrary (possibly
+    /// rectangular-kernel, asymmetrically padded) geometry, bias-free and
+    /// activation-free. The IR lowering path uses this: `mbs_cnn` conv
+    /// layers carry a full [`Conv2dCfg`]-shaped geometry rather than the
+    /// square kernels [`Conv2d::new`] assumes.
+    pub fn from_cfg(
+        in_channels: usize,
+        out_channels: usize,
+        cfg: Conv2dCfg,
+        rng: &mut StdRng,
+    ) -> Self {
+        let fan_in = in_channels * cfg.kernel_h * cfg.kernel_w;
+        let weight = Param::new(kaiming_normal(
+            &[out_channels, in_channels, cfg.kernel_h, cfg.kernel_w],
+            fan_in,
+            rng,
+        ));
+        Self {
+            weight,
+            bias: None,
+            cfg,
+            fuse_relu: false,
+            fused: fuse_enabled(),
+            cache_x: None,
+            mask: None,
+        }
+    }
+
     /// The convolution geometry.
     pub fn cfg(&self) -> Conv2dCfg {
         self.cfg

@@ -9,6 +9,14 @@
 //! equivalent to full-mini-batch training for group normalization and
 //! provably *not* equivalent for batch normalization.
 //!
+//! Since the schedule-driven-execution PR this crate is also where the
+//! repo's two halves meet: [`lower::lower`] compiles an
+//! [`mbs_cnn::Network`] (the IR the scheduler consumes) into a runnable
+//! [`LoweredNet`], and
+//! [`grouped::GroupedExecutor`] runs the training step exactly as an
+//! `mbs_core` [`mbs_core::Schedule`] prescribes — per-group sub-batch
+//! sizes, boundary staging, backward replay.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,7 +40,9 @@
 
 pub mod data;
 pub mod executor;
+pub mod grouped;
 pub mod layers;
+pub mod lower;
 pub mod model;
 pub mod module;
 pub mod norm;
@@ -40,6 +50,8 @@ pub mod optim;
 pub mod training;
 
 pub use executor::{evaluate, train_step_full, train_step_mbs};
+pub use grouped::GroupedExecutor;
+pub use lower::{lower, LowerError, LoweredNet};
 pub use model::MiniResNet;
 pub use module::{Module, Param};
 pub use norm::{Norm, NormChoice};

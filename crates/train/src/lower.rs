@@ -1,0 +1,554 @@
+//! Lowering: compile an [`mbs_cnn::Network`] (the analytical IR the MBS
+//! scheduler consumes) into a runnable chain of [`Module`] layers.
+//!
+//! This is the bridge between the repo's two halves. The IR side describes
+//! networks as shapes and layer kinds so `mbs_core::MbsScheduler` can size
+//! sub-batches and form groups; this module turns the *same* description
+//! into live `mbs_train` layers with initialized parameters, one
+//! [`NodeModule`] per IR [`Node`] — exactly the granularity schedules are
+//! expressed in, so a [`crate::grouped::GroupedExecutor`] can map each
+//! schedule group straight onto a contiguous module range.
+//!
+//! The supported subset is the set of [`LayerKind`]s the training substrate
+//! implements: convolution (bias-free, rectangular kernels allowed), group
+//! and batch normalization, ReLU, unpadded max pooling, global average
+//! pooling, fully-connected (with flattening), and two-branch residual
+//! blocks merged by `Add`. Inception-style `Concat` blocks, local response
+//! norm, average (non-global) pooling, and padded pooling produce a
+//! [`LowerError`] naming the offending layer.
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+
+use mbs_cnn::{Block, Layer, LayerKind, Network, Node, NormKind, PoolKind};
+use mbs_tensor::ops::Conv2dCfg;
+use mbs_tensor::Tensor;
+
+use crate::layers::{Conv2d, GlobalAvgPool, Linear, MaxPool2d, Relu};
+use crate::module::{Module, Param};
+use crate::norm::{Norm, NormChoice};
+
+/// Error raised when a network uses an IR construct the training runtime
+/// does not implement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    layer: String,
+    reason: String,
+}
+
+impl LowerError {
+    fn new(layer: &str, reason: impl Into<String>) -> Self {
+        Self {
+            layer: layer.to_owned(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Name of the IR layer that could not be lowered.
+    pub fn layer(&self) -> &str {
+        &self.layer
+    }
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot lower layer {}: {}", self.layer, self.reason)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// One lowered IR layer: a thin dispatch wrapper so a whole branch or node
+/// can be stored as `Vec<LayerModule>` without boxing.
+#[derive(Debug, Clone)]
+enum LayerModule {
+    Conv(Conv2d),
+    Norm(Norm),
+    Relu(Relu),
+    MaxPool(MaxPool2d),
+    GlobalAvgPool(GlobalAvgPool),
+    /// Fully-connected with flatten plumbing: remembers the (possibly 4-D)
+    /// input shape of the last forward so backward can restore it on the
+    /// gradient it hands upstream.
+    Fc {
+        linear: Linear,
+        in_shape: Option<Vec<usize>>,
+    },
+}
+
+impl Module for LayerModule {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_owned(x.clone(), train)
+    }
+
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        match self {
+            LayerModule::Conv(m) => m.forward_owned(x, train),
+            LayerModule::Norm(m) => m.forward_owned(x, train),
+            LayerModule::Relu(m) => m.forward_owned(x, train),
+            LayerModule::MaxPool(m) => m.forward(&x, train),
+            LayerModule::GlobalAvgPool(m) => m.forward_owned(x, train),
+            LayerModule::Fc { linear, in_shape } => {
+                let x = if x.shape().len() > 2 {
+                    *in_shape = Some(x.shape().to_vec());
+                    let n = x.shape()[0];
+                    let flat = x.len() / n.max(1);
+                    x.into_reshaped(&[n, flat])
+                } else {
+                    *in_shape = None;
+                    x
+                };
+                linear.forward_owned(x, train)
+            }
+        }
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        match self {
+            LayerModule::Conv(m) => m.backward(dy),
+            LayerModule::Norm(m) => m.backward(dy),
+            LayerModule::Relu(m) => m.backward(dy),
+            LayerModule::MaxPool(m) => m.backward(dy),
+            LayerModule::GlobalAvgPool(m) => m.backward(dy),
+            LayerModule::Fc { linear, in_shape } => {
+                let d = linear.backward(dy);
+                match in_shape {
+                    Some(shape) => d.into_reshaped(shape),
+                    None => d,
+                }
+            }
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            LayerModule::Conv(m) => m.visit_params(f),
+            LayerModule::Norm(m) => m.visit_params(f),
+            LayerModule::Relu(m) => m.visit_params(f),
+            LayerModule::MaxPool(m) => m.visit_params(f),
+            LayerModule::GlobalAvgPool(m) => m.visit_params(f),
+            LayerModule::Fc { linear, .. } => linear.visit_params(f),
+        }
+    }
+}
+
+/// A lowered two-branch residual block: main chain, shortcut chain (empty
+/// = identity), element-wise add, then the post-merge layers (the IR puts
+/// the block's output ReLU there).
+#[derive(Debug, Clone)]
+struct LoweredBlock {
+    main: Vec<LayerModule>,
+    shortcut: Vec<LayerModule>,
+    post: Vec<LayerModule>,
+}
+
+impl Module for LoweredBlock {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_owned(x.clone(), train)
+    }
+
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        // As in `model::ResidualBlock`: the first main layer borrows `x`
+        // (the shortcut still needs it), everything after runs owned.
+        let mut h = match self.main.first_mut() {
+            Some(first) => first.forward(&x, train),
+            None => x.clone(),
+        };
+        for m in self.main.iter_mut().skip(1) {
+            h = m.forward_owned(h, train);
+        }
+        let mut s = x;
+        for m in &mut self.shortcut {
+            s = m.forward_owned(s, train);
+        }
+        h.add_assign(&s);
+        drop(s);
+        for m in &mut self.post {
+            h = m.forward_owned(h, train);
+        }
+        h
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut g = dy.clone();
+        for m in self.post.iter_mut().rev() {
+            g = m.backward(&g);
+        }
+        // Both add operands receive `g`.
+        let mut d = g.clone();
+        for m in self.main.iter_mut().rev() {
+            d = m.backward(&d);
+        }
+        let mut ds = g;
+        for m in self.shortcut.iter_mut().rev() {
+            ds = m.backward(&ds);
+        }
+        d.add_assign(&ds);
+        d
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for m in &mut self.main {
+            m.visit_params(f);
+        }
+        for m in &mut self.shortcut {
+            m.visit_params(f);
+        }
+        for m in &mut self.post {
+            m.visit_params(f);
+        }
+    }
+}
+
+/// One lowered scheduling unit: the runtime mirror of [`mbs_cnn::Node`].
+#[derive(Debug, Clone)]
+pub struct NodeModule {
+    name: String,
+    body: NodeBody,
+}
+
+#[derive(Debug, Clone)]
+enum NodeBody {
+    Single(Box<LayerModule>),
+    Block(LoweredBlock),
+}
+
+impl NodeModule {
+    /// Name of the IR node this module was lowered from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Module for NodeModule {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_owned(x.clone(), train)
+    }
+
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        match &mut self.body {
+            NodeBody::Single(m) => m.forward_owned(x, train),
+            NodeBody::Block(b) => b.forward_owned(x, train),
+        }
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        match &mut self.body {
+            NodeBody::Single(m) => m.backward(dy),
+            NodeBody::Block(b) => b.backward(dy),
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match &mut self.body {
+            NodeBody::Single(m) => m.visit_params(f),
+            NodeBody::Block(b) => b.visit_params(f),
+        }
+    }
+}
+
+/// A network lowered from the IR: one [`NodeModule`] per IR node, runnable
+/// whole (it implements [`Module`]) or range-wise (the entry points the
+/// grouped executor uses).
+#[derive(Debug, Clone)]
+pub struct LoweredNet {
+    name: String,
+    nodes: Vec<NodeModule>,
+}
+
+impl LoweredNet {
+    /// Name of the source network.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of scheduling units — equals `net.nodes().len()` of the
+    /// source IR, so schedule node indices map 1:1.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The lowered scheduling units in execution order.
+    pub fn nodes(&self) -> &[NodeModule] {
+        &self.nodes
+    }
+
+    /// Forward through nodes `range` only, consuming the input — the
+    /// grouped executor streams each schedule group through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn forward_range(&mut self, range: Range<usize>, mut x: Tensor, train: bool) -> Tensor {
+        for node in &mut self.nodes[range] {
+            x = node.forward_owned(x, train);
+        }
+        x
+    }
+
+    /// Backward through nodes `range` in reverse, returning the gradient
+    /// with respect to the range's input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or a node in the range has no
+    /// cached training forward.
+    pub fn backward_range(&mut self, range: Range<usize>, dy: &Tensor) -> Tensor {
+        let mut iter = self.nodes[range].iter_mut().rev();
+        let mut d = match iter.next() {
+            Some(node) => node.backward(dy),
+            None => dy.clone(),
+        };
+        for node in iter {
+            d = node.backward(&d);
+        }
+        d
+    }
+}
+
+impl Module for LoweredNet {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_owned(x.clone(), train)
+    }
+
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        let len = self.len();
+        self.forward_range(0..len, x, train)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let len = self.len();
+        self.backward_range(0..len, dy)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for node in &mut self.nodes {
+            node.visit_params(f);
+        }
+    }
+}
+
+/// Compiles `net` into a [`LoweredNet`], initializing parameters from
+/// `rng` (Kaiming for convolutions and the classifier, ones/zeros for norm
+/// scale/shift — the same scheme the hand-built models use).
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] naming the first layer whose kind the training
+/// runtime does not implement.
+pub fn lower(net: &Network, rng: &mut StdRng) -> Result<LoweredNet, LowerError> {
+    let nodes = net
+        .nodes()
+        .iter()
+        .map(|node| {
+            let body = match node {
+                Node::Single(layer) => NodeBody::Single(Box::new(lower_layer(layer, rng)?)),
+                Node::Block(block) => NodeBody::Block(lower_block(block, rng)?),
+            };
+            Ok(NodeModule {
+                name: node.name().to_owned(),
+                body,
+            })
+        })
+        .collect::<Result<Vec<_>, LowerError>>()?;
+    Ok(LoweredNet {
+        name: net.name().to_owned(),
+        nodes,
+    })
+}
+
+fn lower_layer(layer: &Layer, rng: &mut StdRng) -> Result<LayerModule, LowerError> {
+    match layer.kind {
+        LayerKind::Conv {
+            kernel_h,
+            kernel_w,
+            stride,
+            pad_h,
+            pad_w,
+        } => {
+            let cfg = Conv2dCfg {
+                kernel_h,
+                kernel_w,
+                stride,
+                pad_h,
+                pad_w,
+            };
+            Ok(LayerModule::Conv(Conv2d::from_cfg(
+                layer.input.channels,
+                layer.output.channels,
+                cfg,
+                rng,
+            )))
+        }
+        LayerKind::Norm { kind } => {
+            let channels = layer.input.channels;
+            let choice = match kind {
+                NormKind::Group { groups } => NormChoice::Group(groups),
+                NormKind::Batch => NormChoice::Batch,
+                NormKind::Local => {
+                    return Err(LowerError::new(
+                        &layer.name,
+                        "local response normalization is not implemented by the runtime",
+                    ))
+                }
+            };
+            Ok(LayerModule::Norm(Norm::new(choice, channels)))
+        }
+        LayerKind::Relu => Ok(LayerModule::Relu(Relu::new())),
+        LayerKind::Pool {
+            kind: PoolKind::Max,
+            kernel,
+            stride,
+            pad: 0,
+        } => Ok(LayerModule::MaxPool(MaxPool2d::new(kernel, stride))),
+        LayerKind::Pool { kind, pad, .. } => Err(LowerError::new(
+            &layer.name,
+            format!("only unpadded max pooling is implemented (kind {kind:?}, pad {pad})"),
+        )),
+        LayerKind::GlobalAvgPool => Ok(LayerModule::GlobalAvgPool(GlobalAvgPool::new())),
+        LayerKind::FullyConnected => Ok(LayerModule::Fc {
+            linear: Linear::new(layer.input.elems(), layer.output.channels, rng),
+            in_shape: None,
+        }),
+        LayerKind::Add | LayerKind::Concat => Err(LowerError::new(
+            &layer.name,
+            "merge layers only occur inside blocks; a top-level merge has no second operand",
+        )),
+    }
+}
+
+fn lower_block(block: &Block, rng: &mut StdRng) -> Result<LoweredBlock, LowerError> {
+    if !matches!(block.merge.kind, LayerKind::Add) {
+        return Err(LowerError::new(
+            &block.merge.name,
+            "only residual (Add-merged) blocks are implemented; Concat is not",
+        ));
+    }
+    if block.branches.len() != 2 {
+        return Err(LowerError::new(
+            &block.name,
+            format!(
+                "residual lowering expects 2 branches, found {}",
+                block.branches.len()
+            ),
+        ));
+    }
+    let chain = |layers: &[Layer], rng: &mut StdRng| {
+        layers
+            .iter()
+            .map(|l| lower_layer(l, rng))
+            .collect::<Result<Vec<_>, _>>()
+    };
+    Ok(LoweredBlock {
+        main: chain(&block.branches[0], rng)?,
+        shortcut: chain(&block.branches[1], rng)?,
+        post: chain(&block.post, rng)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbs_cnn::networks::toy;
+    use mbs_cnn::{FeatureShape, NetworkBuilder};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn lowers_the_runtime_mix_network() {
+        let net = toy::runtime_mix(8, 4);
+        let mut m = lower(&net, &mut rng()).expect("runtime_mix must lower");
+        assert_eq!(m.len(), net.nodes().len());
+        let x = Tensor::from_vec(
+            &[2, 3, 8, 8],
+            (0..2 * 3 * 64)
+                .map(|v| ((v % 13) as f32 - 6.0) / 4.0)
+                .collect(),
+        );
+        let y = m.forward(&x, true);
+        assert_eq!(y.shape(), &[2, net.output().channels]);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        let dx = m.backward(&Tensor::full(y.shape(), 0.1));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn lowered_forward_shapes_match_ir_shape_inference() {
+        // Every node's runtime output must agree with the IR's per-node
+        // shape inference — the property the grouped executor relies on
+        // when it sizes boundary buffers from live chunks.
+        let net = toy::runtime_mix(8, 4);
+        let mut m = lower(&net, &mut rng()).unwrap();
+        let mut x = Tensor::full(&[2, 3, 8, 8], 0.5);
+        for (i, node) in net.nodes().iter().enumerate() {
+            x = m.forward_range(i..i + 1, x, false);
+            let out = node.output();
+            let want: Vec<usize> = if x.shape().len() == 4 {
+                vec![2, out.channels, out.height, out.width]
+            } else {
+                vec![2, out.elems()]
+            };
+            assert_eq!(x.shape(), &want[..], "node {}", node.name());
+        }
+    }
+
+    #[test]
+    fn range_execution_composes_to_full_execution() {
+        let net = toy::conv_chain(&[4, 8], FeatureShape::new(3, 8, 8), 4);
+        let mut a = lower(&net, &mut rng()).unwrap();
+        let mut b = lower(&net, &mut rng()).unwrap();
+        let x = Tensor::from_vec(
+            &[2, 3, 8, 8],
+            (0..2 * 3 * 64)
+                .map(|v| ((v % 11) as f32 - 5.0) / 3.0)
+                .collect(),
+        );
+        let y_full = a.forward(&x, true);
+        let mid = net.nodes().len() / 2;
+        let h = b.forward_range(0..mid, x.clone(), true);
+        let y_split = b.forward_range(mid..net.nodes().len(), h, true);
+        assert_eq!(y_full, y_split);
+
+        let dy = Tensor::full(y_full.shape(), 0.25);
+        let dx_full = a.backward(&dy);
+        let dmid = b.backward_range(mid..net.nodes().len(), &dy);
+        let dx_split = b.backward_range(0..mid, &dmid);
+        assert_eq!(dx_full, dx_split);
+    }
+
+    #[test]
+    fn param_counts_match_the_ir() {
+        let net = toy::runtime_mix(8, 4);
+        let mut m = lower(&net, &mut rng()).unwrap();
+        let mut elems = 0usize;
+        m.visit_params(&mut |p| elems += p.value.len());
+        assert_eq!(elems, net.param_elems());
+    }
+
+    #[test]
+    fn concat_blocks_are_rejected() {
+        let net = mbs_cnn::networks::inception_v3();
+        let err = lower(&net, &mut rng()).unwrap_err();
+        assert!(err.to_string().contains("cannot lower"));
+    }
+
+    #[test]
+    fn padded_pooling_is_rejected() {
+        let net = NetworkBuilder::new("p", FeatureShape::new(3, 8, 8), 4)
+            .pool("pool", mbs_cnn::PoolKind::Max, 3, 2, 1)
+            .unwrap()
+            .build();
+        let err = lower(&net, &mut rng()).unwrap_err();
+        assert_eq!(err.layer(), "pool");
+    }
+}

@@ -74,6 +74,29 @@ pub fn slice_batch(x: &Tensor, start: usize, end: usize) -> Tensor {
     Tensor::from_vec(&shape, x.data()[start * row..end * row].to_vec())
 }
 
+/// [`slice_batch`], but the returned tensor's storage comes from the
+/// pooled arena (`Tensor::uninit`) instead of a fresh `Vec` — the chunk is
+/// a *private* staging buffer the caller owns outright, so chunked loops
+/// (grouped execution, [`crate::executor::evaluate`]) can hand it to
+/// [`Module::forward_owned`] and let the chain recycle it in place rather
+/// than paying a defensive clone per chunk. Steady-state loops see pure
+/// pool hits.
+///
+/// # Panics
+///
+/// Panics if the range is out of bounds.
+pub fn slice_batch_owned(x: &Tensor, start: usize, end: usize) -> Tensor {
+    let n = x.shape()[0];
+    assert!(start <= end && end <= n, "batch slice out of range");
+    let row = x.len() / n.max(1);
+    let mut shape = x.shape().to_vec();
+    shape[0] = end - start;
+    let mut out = Tensor::uninit(&shape);
+    out.data_mut()
+        .copy_from_slice(&x.data()[start * row..end * row]);
+    out
+}
+
 /// [`slice_batch`] into an existing tensor, reusing its allocation — the
 /// MBS executor calls this once per sub-batch so the serialized loop does
 /// not allocate a fresh input tensor per iteration.
@@ -105,6 +128,13 @@ mod tests {
         slice_batch_into(&x, 3, 4, &mut buf);
         assert_eq!(buf.shape(), &[1, 2]);
         assert_eq!(buf.data(), &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn slice_batch_owned_matches_slice_batch() {
+        let x = Tensor::from_vec(&[4, 3], (0..12).map(|v| v as f32).collect());
+        assert_eq!(slice_batch_owned(&x, 1, 3), slice_batch(&x, 1, 3));
+        assert_eq!(slice_batch_owned(&x, 0, 4), x);
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Pins the grouped executor's memory-planning claim: after a warm-up
+//! step, a schedule-driven grouped training step — boundary staging,
+//! backward replay, gradient re-slicing and all — runs with **zero arena
+//! misses**: every chunk slice, layer output, boundary buffer, and
+//! gradient stage is served from the pooled arena or from the executor's
+//! persistent staging tensors.
+//!
+//! Like `steady_state_alloc.rs`, this lives in its own integration-test
+//! binary (with a single `#[test]`) because the arena's hit/miss counters
+//! are process-global and concurrently running tests would pollute them.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mbs_cnn::networks::toy;
+use mbs_core::{ExecConfig, Group, Schedule};
+use mbs_tensor::arena;
+use mbs_train::data::generate;
+use mbs_train::grouped::GroupedExecutor;
+use mbs_train::lower::lower;
+use mbs_train::Sgd;
+
+#[test]
+fn steady_state_grouped_training_is_arena_miss_free() {
+    let net = toy::runtime_mix(8, 8);
+    let nodes = net.nodes().len();
+    // Distinct per-group sub-batches so every boundary re-slices.
+    let schedule = Schedule::new(
+        ExecConfig::Mbs1,
+        8,
+        vec![
+            Group::new(0, 2, 2, 8),
+            Group::new(2, nodes - 1, 4, 8),
+            Group::new(nodes - 1, nodes, 8, 8),
+        ],
+        true,
+    );
+    let d = generate(8, 8, 0.3, 78);
+    let mut model = lower(&net, &mut StdRng::seed_from_u64(4)).expect("runtime_mix lowers");
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut exec = GroupedExecutor::new(&schedule, model.len());
+
+    // Warm the pool and the executor's persistent boundary buffers.
+    for _ in 0..2 {
+        let _ = exec.train_step(&mut model, &d.images, &d.labels, &mut opt);
+    }
+    arena::reset_stats();
+    let _ = exec.train_step(&mut model, &d.images, &d.labels, &mut opt);
+    let (hits, misses) = arena::stats();
+    assert!(hits > 0, "the grouped step must route through the arena");
+    assert_eq!(
+        misses, 0,
+        "steady-state grouped step allocated fresh buffers"
+    );
+}
