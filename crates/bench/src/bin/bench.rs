@@ -126,13 +126,15 @@ struct TrainReport {
     /// 0 — the sub-batch loop allocates no fresh f32 storage.
     steady_state: SteadyState,
     /// Grouped (schedule-driven) vs uniform serialized training step on
-    /// lowered-IR networks: the `GroupedExecutor` runs the scheduler's
-    /// multi-group plan; the uniform baseline is `train_step_mbs` at the
-    /// schedule's *minimum* sub-batch (what an MBS-FS-style single-group
-    /// serialization of the same net would have to use). Note the grouped
-    /// step pays a backward replay for multi-iteration groups (boundary
-    /// checkpointing), so on cache-resident toy shapes the ratio reads as
-    /// compute overhead, not the DRAM win the schedule models.
+    /// lowered-IR networks, with the grouped step swept **stash vs
+    /// replay**: `grouped_best_ns` is the cache-stashing default,
+    /// `replay_best_ns` is the same executor under the `MBS_STASH=0`
+    /// strategy (backward re-forwards multi-iteration groups), and the
+    /// uniform baseline is `train_step_mbs` at the schedule's *minimum*
+    /// sub-batch (what an MBS-FS-style single-group serialization of the
+    /// same net would have to use). Stashing must not lose to replay
+    /// (`speedup_stash_vs_replay >= ~1.0`): it strictly removes forward
+    /// work and the two are bitwise-equivalent otherwise.
     grouped: Vec<GroupedBench>,
     /// The schedules themselves: chosen groups and per-group sub-batches
     /// per model, with the modeled DRAM traffic — the plan the grouped
@@ -183,6 +185,10 @@ struct ScheduleInfo {
     groups: Vec<GroupInfo>,
     /// Modeled DRAM bytes per training step under this schedule.
     dram_bytes: u64,
+    /// Bytes of backward caches a cache-stashing executor keeps stashed
+    /// across the forward pass (`Schedule::stash_bytes`) — the memory the
+    /// `MBS_STASH=0` replay mode trades back for recompute.
+    stash_bytes: u64,
     /// Whether every group fits the buffer at ≥ 1 sample.
     fits: bool,
 }
@@ -198,12 +204,19 @@ struct GroupedBench {
     groups: Vec<GroupInfo>,
     /// Sub-batch of the uniform baseline (`schedule.min_sub_batch()`).
     uniform_sub_batch: usize,
-    /// Best (minimum-over-rounds) ns per grouped `train_step`.
+    /// Best (minimum-over-rounds) ns per grouped `train_step` with cache
+    /// stashing (the default backward strategy).
     grouped_best_ns: f64,
+    /// Best ns per grouped `train_step` with backward replay
+    /// (`MBS_STASH=0` / `set_stashing(false)`).
+    replay_best_ns: f64,
     /// Best ns per uniform `train_step_mbs` at the minimum sub-batch.
     uniform_best_ns: f64,
-    /// `uniform / grouped` — >1 means the schedule-driven step wins.
+    /// `uniform / grouped(stash)` — >1 means the schedule-driven step wins.
     speedup_grouped: f64,
+    /// `replay / stash` — >1 means cache stashing beats backward replay
+    /// (expected whenever any group runs more than one iteration).
+    speedup_stash_vs_replay: f64,
 }
 
 /// One layer-level fused-vs-unfused measurement.
@@ -521,6 +534,32 @@ fn train_steps() -> Vec<TrainStepBench> {
     rows
 }
 
+/// Generic interleaved N-way timer: round-robins `N` variants of `run`
+/// over `rounds` rounds (starting slot rotated each round, so block
+/// position cancels) and returns each variant's minimum per-call
+/// nanoseconds.
+fn interleaved_best_n<const N: usize>(
+    rounds: usize,
+    iters: usize,
+    run: &mut impl FnMut(usize),
+) -> [f64; N] {
+    let mut best = [f64::INFINITY; N];
+    for slot in 0..N {
+        run(slot);
+    }
+    for round in 0..rounds {
+        for i in 0..N {
+            let slot = (round + i) % N;
+            let t0 = std::time::Instant::now();
+            for _ in 0..iters {
+                run(slot);
+            }
+            best[slot] = best[slot].min(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+    best
+}
+
 /// Generic interleaved A/B timer: alternates two closures over `rounds`
 /// rounds (order flipped each round, so block position cancels) and
 /// returns each side's minimum per-call nanoseconds.
@@ -530,24 +569,13 @@ fn interleaved_best(
     mut a: impl FnMut(),
     mut b: impl FnMut(),
 ) -> [f64; 2] {
-    let mut best = [f64::INFINITY; 2];
-    a();
-    b();
-    for round in 0..rounds {
-        let order = if round % 2 == 0 { [0usize, 1] } else { [1, 0] };
-        for slot in order {
-            let t0 = std::time::Instant::now();
-            for _ in 0..iters {
-                if slot == 0 {
-                    a();
-                } else {
-                    b();
-                }
-            }
-            best[slot] = best[slot].min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    interleaved_best_n::<2>(rounds, iters, &mut |slot| {
+        if slot == 0 {
+            a();
+        } else {
+            b();
         }
-    }
-    best
+    })
 }
 
 /// Measures the A/A noise floor of the step harness: two identical fused
@@ -644,6 +672,7 @@ fn schedule_section() -> Vec<ScheduleInfo> {
             buffer_bytes: hw.global_buffer_bytes,
             groups: GroupInfo::from_schedule(&s),
             dram_bytes: analyze(net, &s, hw.global_buffer_bytes).dram_bytes(),
+            stash_bytes: s.stash_bytes(net) as u64,
             fits: s.fits(),
         });
     };
@@ -666,12 +695,23 @@ fn schedule_section() -> Vec<ScheduleInfo> {
         &HardwareConfig::cpu().with_global_buffer(128 * 1024),
         ExecConfig::Mbs1,
     );
+    record(
+        &toy::tiny_inception(16, 16),
+        &HardwareConfig::cpu().with_global_buffer(8 * 1024),
+        ExecConfig::Mbs1,
+    );
+    record(
+        &toy::tiny_alexnet(16, 16),
+        &HardwareConfig::cpu().with_global_buffer(8 * 1024),
+        ExecConfig::Mbs1,
+    );
     rows
 }
 
-/// Grouped (schedule-driven) vs uniform serialized step on two lowered-IR
-/// networks, through the same interleaved min-of-rounds harness as the
-/// `train_steps` sweep.
+/// Grouped (schedule-driven, stash **and** replay backward) vs uniform
+/// serialized step on lowered-IR networks, through the same interleaved
+/// min-of-rounds harness as the `train_steps` sweep — three variants
+/// round-robined per round so all see the same machine state.
 fn grouped_steps() -> Vec<GroupedBench> {
     use mbs_cnn::networks::toy;
     use mbs_core::{ExecConfig, HardwareConfig, MbsScheduler};
@@ -683,6 +723,8 @@ fn grouped_steps() -> Vec<GroupedBench> {
     let cases = [
         (toy::runtime_mix(16, 16), 16usize * 1024, 16usize, 16usize),
         (toy::tiny_resnet(1, 8), 128 * 1024, 32, 8),
+        (toy::tiny_inception(16, 16), 8 * 1024, 16, 16),
+        (toy::tiny_alexnet(16, 16), 8 * 1024, 16, 16),
     ];
     for (net, buffer, img_size, batch) in cases {
         let hw = HardwareConfig::cpu().with_global_buffer(buffer);
@@ -691,42 +733,35 @@ fn grouped_steps() -> Vec<GroupedBench> {
             .schedule();
         let uniform_sub = schedule.min_sub_batch();
         let d = generate(batch, img_size, 0.3, 57);
-        let mut grouped_model = lower(&net, &mut StdRng::seed_from_u64(2)).expect("net lowers");
+        let mut stash_model = lower(&net, &mut StdRng::seed_from_u64(2)).expect("net lowers");
+        let mut replay_model = lower(&net, &mut StdRng::seed_from_u64(2)).expect("net lowers");
         let mut uniform_model = lower(&net, &mut StdRng::seed_from_u64(2)).expect("net lowers");
-        let mut exec = GroupedExecutor::new(&schedule, grouped_model.len());
-        let mut opt_g = Sgd::new(0.05, 0.9, 1e-4);
+        let mut exec_s = GroupedExecutor::new(&schedule, stash_model.len());
+        exec_s.set_stashing(true);
+        let mut exec_r = GroupedExecutor::new(&schedule, replay_model.len());
+        exec_r.set_stashing(false);
+        let mut opt_s = Sgd::new(0.05, 0.9, 1e-4);
+        let mut opt_r = Sgd::new(0.05, 0.9, 1e-4);
         let mut opt_u = Sgd::new(0.05, 0.9, 1e-4);
 
-        let warm0 = std::time::Instant::now();
-        for _ in 0..2 {
-            criterion::black_box(exec.train_step(
-                &mut grouped_model,
-                &d.images,
-                &d.labels,
-                &mut opt_g,
-            ));
-            criterion::black_box(train_step_mbs(
-                &mut uniform_model,
-                &d.images,
-                &d.labels,
-                uniform_sub,
-                &mut opt_u,
-            ));
-        }
-        let approx_step_ns = warm0.elapsed().as_nanos() as f64 / 4.0;
-        let block_iters = ((80e6 / approx_step_ns) as usize).clamp(2, 64);
-        let best = interleaved_best(
-            ROUNDS,
-            block_iters,
-            || {
-                criterion::black_box(exec.train_step(
-                    &mut grouped_model,
+        let mut run = |slot: usize| match slot {
+            0 => {
+                criterion::black_box(exec_s.train_step(
+                    &mut stash_model,
                     &d.images,
                     &d.labels,
-                    &mut opt_g,
+                    &mut opt_s,
                 ));
-            },
-            || {
+            }
+            1 => {
+                criterion::black_box(exec_r.train_step(
+                    &mut replay_model,
+                    &d.images,
+                    &d.labels,
+                    &mut opt_r,
+                ));
+            }
+            _ => {
                 criterion::black_box(train_step_mbs(
                     &mut uniform_model,
                     &d.images,
@@ -734,15 +769,25 @@ fn grouped_steps() -> Vec<GroupedBench> {
                     uniform_sub,
                     &mut opt_u,
                 ));
-            },
-        );
+            }
+        };
+        let warm0 = std::time::Instant::now();
+        for _ in 0..2 {
+            for slot in 0..3 {
+                run(slot);
+            }
+        }
+        let approx_step_ns = warm0.elapsed().as_nanos() as f64 / 6.0;
+        let block_iters = ((80e6 / approx_step_ns) as usize).clamp(2, 64);
+        let best = interleaved_best_n::<3>(ROUNDS, block_iters, &mut run);
         println!(
-            "grouped/{}: grouped {:.0} ns ({} groups, subs {:?}), uniform(sub{uniform_sub}) {:.0} ns",
+            "grouped/{}: stash {:.0} ns, replay {:.0} ns ({} groups, subs {:?}), uniform(sub{uniform_sub}) {:.0} ns",
             net.name(),
             best[0],
+            best[1],
             schedule.groups().len(),
             schedule.sub_batches(),
-            best[1]
+            best[2]
         );
         rows.push(GroupedBench {
             network: net.name().to_string(),
@@ -750,8 +795,10 @@ fn grouped_steps() -> Vec<GroupedBench> {
             groups: GroupInfo::from_schedule(&schedule),
             uniform_sub_batch: uniform_sub,
             grouped_best_ns: best[0],
-            uniform_best_ns: best[1],
-            speedup_grouped: best[1] / best[0],
+            replay_best_ns: best[1],
+            uniform_best_ns: best[2],
+            speedup_grouped: best[2] / best[0],
+            speedup_stash_vs_replay: best[1] / best[0],
         });
     }
     rows
@@ -858,10 +905,12 @@ fn main() {
     }
     for g in &grouped {
         println!(
-            "grouped {:>13} batch {:<2} grouped {:>12.0} ns  uniform(sub{}) {:>12.0} ns  {:>5.2}x",
+            "grouped {:>13} batch {:<2} stash {:>11.0} ns  replay {:>11.0} ns ({:>5.2}x)  uniform(sub{}) {:>11.0} ns  {:>5.2}x",
             g.network,
             g.batch,
             g.grouped_best_ns,
+            g.replay_best_ns,
+            g.speedup_stash_vs_replay,
             g.uniform_sub_batch,
             g.uniform_best_ns,
             g.speedup_grouped
@@ -870,14 +919,15 @@ fn main() {
     for s in &schedule {
         let subs: Vec<usize> = s.groups.iter().map(|g| g.sub_batch).collect();
         println!(
-            "schedule {:>12} {:<5} batch {:>2} buffer {:>9}: {} group(s), subs {:?}, {:.1} MiB DRAM",
+            "schedule {:>13} {:<5} batch {:>2} buffer {:>9}: {} group(s), subs {:?}, {:.1} MiB DRAM, {:.1} KiB stash",
             s.network,
             s.config,
             s.batch,
             s.buffer_bytes,
             s.groups.len(),
             subs,
-            s.dram_bytes as f64 / (1024.0 * 1024.0)
+            s.dram_bytes as f64 / (1024.0 * 1024.0),
+            s.stash_bytes as f64 / 1024.0
         );
     }
     println!("A/A step-harness noise ratio: {aa_noise_ratio:.3} (1.0 = noise-free)");

@@ -400,7 +400,11 @@ impl Layer {
             LayerKind::FullyConnected => {
                 self.input.elems() * self.output.channels + self.output.channels
             }
-            // Scale and shift per channel.
+            // Scale and shift per channel; LRN is parameterless (its
+            // constants are hyperparameters, not learned).
+            LayerKind::Norm {
+                kind: NormKind::Local,
+            } => 0,
             LayerKind::Norm { .. } => 2 * self.input.channels,
             _ => 0,
         }

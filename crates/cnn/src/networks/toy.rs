@@ -2,7 +2,7 @@
 //! of the scheduler.
 
 use crate::block::{Block, Node};
-use crate::layer::{FeatureShape, PoolKind};
+use crate::layer::{FeatureShape, Layer, NormKind, PoolKind};
 use crate::network::{Network, NetworkBuilder};
 
 use super::{conv_norm, conv_norm_relu};
@@ -118,6 +118,96 @@ pub fn runtime_mix(size: usize, default_batch: usize) -> Network {
         .build()
 }
 
+/// A structurally faithful miniature of Inception v3: a conv stem, one
+/// `inception_a`-shaped concat block (1×1 / 3×3 / pooled-projection
+/// branches, the pooled branch using the padded 3×3/1 **average** pool),
+/// a reduction block whose third branch is a bare max pool, then GAP and
+/// the classifier. Exercises every construct full Inception needs from
+/// the lowering — `Concat` merges, average pooling, padded pooling —
+/// at a size small enough to train in tests. `size` is the square input
+/// extent (must be even); `default_batch` is the IR's mini-batch.
+pub fn tiny_inception(size: usize, default_batch: usize) -> Network {
+    assert!(
+        size >= 8 && size.is_multiple_of(2),
+        "size must be even and >= 8"
+    );
+    let mut b = NetworkBuilder::new(
+        "TinyInception",
+        FeatureShape::new(3, size, size),
+        default_batch,
+    );
+    for l in conv_norm_relu("stem", b.shape(), 8, (3, 3), 1, (1, 1)) {
+        b = b.push(Node::Single(l));
+    }
+
+    // inception_a in miniature: 1x1, 1x1->3x3, and avg-pool->1x1 branches.
+    let input = b.shape();
+    let b1 = conv_norm_relu("mix.b1", input, 4, (1, 1), 1, (0, 0));
+    let mut b2 = conv_norm_relu("mix.b2a", input, 4, (1, 1), 1, (0, 0));
+    b2.extend(conv_norm_relu(
+        "mix.b2b",
+        b2.last().expect("non-empty").output,
+        8,
+        (3, 3),
+        1,
+        (1, 1),
+    ));
+    let pool = Layer::pool("mix.b3.pool", input, PoolKind::Avg, 3, 1, 1)
+        .expect("same-padded avg pool fits");
+    let mut b3 = vec![pool];
+    b3.extend(conv_norm_relu(
+        "mix.b3.proj",
+        b3[0].output,
+        4,
+        (1, 1),
+        1,
+        (0, 0),
+    ));
+    let block =
+        Block::inception("mix", input, vec![b1, b2, b3]).expect("branch spatials all match");
+    b = b.block(block);
+
+    // reduction_a in miniature: strided conv branch + bare max-pool branch.
+    let input = b.shape();
+    let r1 = conv_norm_relu("red.b1", input, 8, (3, 3), 2, (0, 0));
+    let r2 =
+        vec![Layer::pool("red.pool", input, PoolKind::Max, 3, 2, 0).expect("reduction pool fits")];
+    let block = Block::inception("red", input, vec![r1, r2]).expect("spatials match");
+    b = b.block(block);
+
+    b = b.global_avg_pool("gap");
+    b.fully_connected("fc", 10).build()
+}
+
+/// A structurally faithful miniature of AlexNet: conv → ReLU → **LRN** →
+/// padded max pool stages followed by two fully-connected layers — the
+/// norm-after-activation, FC-heavy shape that makes AlexNet the paper's
+/// contrast case, with every layer kind the full `alexnet()` needs from
+/// the lowering (local response norm, padded pooling, multiple FCs).
+pub fn tiny_alexnet(size: usize, default_batch: usize) -> Network {
+    assert!(size >= 8, "size must be >= 8");
+    let mut b = NetworkBuilder::new(
+        "TinyAlexNet",
+        FeatureShape::new(3, size, size),
+        default_batch,
+    );
+    b = b
+        .conv("conv1", 8, 3, 1, 1)
+        .expect("conv1")
+        .relu("relu1")
+        .norm("lrn1", NormKind::Local)
+        .pool("pool1", PoolKind::Max, 3, 2, 1)
+        .expect("pool1")
+        .conv("conv2", 16, 3, 1, 1)
+        .expect("conv2")
+        .relu("relu2")
+        .norm("lrn2", NormKind::Local)
+        .pool("pool2", PoolKind::Max, 3, 2, 1)
+        .expect("pool2");
+    b = b.fully_connected("fc3", 32).relu("relu3");
+    b.fully_connected("fc4", 10).build()
+}
+
 /// A plain chain of conv/norm/relu stages with the given output channel
 /// counts, downsampling by 2 at each stage; handy for property tests where
 /// footprints must vary monotonically.
@@ -164,5 +254,46 @@ mod tests {
     fn conv_chain_downsamples() {
         let net = conv_chain(&[8, 16, 32], FeatureShape::new(3, 32, 32), 4);
         assert_eq!(net.output(), FeatureShape::new(32, 8, 8));
+    }
+
+    #[test]
+    fn tiny_inception_has_concat_blocks_and_avg_pool() {
+        let net = tiny_inception(16, 4);
+        assert_eq!(net.nodes().iter().filter(|n| n.is_block()).count(), 2);
+        assert!(net.layers().any(|l| matches!(
+            l.kind,
+            crate::LayerKind::Pool {
+                kind: PoolKind::Avg,
+                pad: 1,
+                ..
+            }
+        )));
+        // Concat: 4 + 8 + 4 channels out of the mixing block.
+        let mix = net.nodes().iter().find(|n| n.name() == "mix").unwrap();
+        assert_eq!(mix.output().channels, 16);
+        assert_eq!(net.output().channels, 10);
+    }
+
+    #[test]
+    fn tiny_alexnet_has_lrn_and_padded_pools() {
+        let net = tiny_alexnet(16, 4);
+        assert!(net.layers().any(|l| matches!(
+            l.kind,
+            crate::LayerKind::Norm {
+                kind: NormKind::Local
+            }
+        )));
+        assert!(net.layers().any(|l| matches!(
+            l.kind,
+            crate::LayerKind::Pool {
+                kind: PoolKind::Max,
+                pad: 1,
+                ..
+            }
+        )));
+        // 16 -> pool1 -> 8 -> pool2 -> 4.
+        let pool2 = net.nodes().iter().find(|n| n.name() == "pool2").unwrap();
+        assert_eq!(pool2.output(), FeatureShape::new(16, 4, 4));
+        assert_eq!(net.output().channels, 10);
     }
 }

@@ -2,7 +2,7 @@
 //! sub-batches (paper §3, Eq. 1 for residual blocks, Eq. 2 for inception
 //! modules).
 
-use mbs_cnn::{Block, BlockKind, Layer, LayerKind, Node};
+use mbs_cnn::{Block, BlockKind, Layer, LayerKind, Node, NormKind};
 
 /// Bytes of buffer space needed to stream one sample through `layer` while
 /// keeping its live inter-layer data on chip.
@@ -96,6 +96,32 @@ fn block_space(block: &Block) -> usize {
         worst = worst.max(layer_space(layer));
     }
     worst
+}
+
+/// Per-sample bytes of backward caches one node retains after its forward
+/// — the tensors a cache-stashing executor must keep alive per stashed
+/// sample. Per layer kind, mirroring what the runtime actually stashes:
+///
+/// - conv / FC / GN / BN: the input (or input-sized `xhat`) tensor;
+/// - LRN: **two** input-sized tensors (the input and the scale
+///   denominator);
+/// - max pooling: nothing input-sized — the runtime keeps per-*output*
+///   argmax indices, not the input;
+/// - ReLU: nothing (a 1-bit sign mask).
+///
+/// Small residue (ReLU masks, argmax indices, per-group statistics
+/// vectors) is ignored.
+pub fn node_stash_bytes(node: &Node) -> usize {
+    node.layers()
+        .map(|l| match l.kind {
+            LayerKind::Norm {
+                kind: NormKind::Local,
+            } => 2 * l.input_bytes(),
+            LayerKind::Pool { .. } => 0,
+            _ if l.kind.needs_input_in_backward() => l.input_bytes(),
+            _ => 0,
+        })
+        .sum()
 }
 
 /// Largest sub-batch (≥ 1) whose live data fits in `buffer_bytes`, and

@@ -53,6 +53,21 @@ impl Group {
         }
         sizes
     }
+
+    /// Samples whose backward caches a **cache-stashing** executor holds
+    /// stashed for this group at the end of the group's forward over a
+    /// `batch`-sample mini-batch: every chunk except the last one
+    /// forwarded (whose caches stay live in the layers). Zero when the
+    /// group runs `batch` in a single chunk — like
+    /// [`Group::sub_batch_sizes`], the chunking follows the `batch`
+    /// argument, which may differ from the planning batch.
+    pub fn stashed_samples(&self, batch: usize) -> usize {
+        let sizes = self.sub_batch_sizes(batch);
+        match sizes.last() {
+            Some(&last) if sizes.len() > 1 => batch - last,
+            _ => 0,
+        }
+    }
 }
 
 /// A complete schedule for one network under one execution configuration.
@@ -130,6 +145,37 @@ impl Schedule {
             .map(|g| g.sub_batch)
             .min()
             .unwrap_or(self.batch)
+    }
+
+    /// Bytes of backward caches a **cache-stashing** grouped executor
+    /// keeps stashed across this schedule's forward pass — the working-set
+    /// cost of skipping the backward replay. Per group: the per-sample
+    /// cached-input bytes of its nodes
+    /// ([`crate::footprint::node_stash_bytes`]) times the samples stashed
+    /// ([`Group::stashed_samples`]). Single-iteration groups contribute
+    /// nothing, so uniform full-batch schedules stash nothing.
+    ///
+    /// These bytes live in DRAM, not the on-chip buffer (stashes are only
+    /// read back chunk-by-chunk during backward), so they do **not**
+    /// constrain sub-batch sizing — but they are exactly the memory the
+    /// `MBS_STASH=0` replay mode trades back for recompute, so the
+    /// schedule reports them next to its DRAM-traffic model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule covers more nodes than `net` has.
+    pub fn stash_bytes(&self, net: &Network) -> usize {
+        let nodes = net.nodes();
+        self.groups
+            .iter()
+            .map(|g| {
+                let per_sample: usize = nodes[g.start..g.end]
+                    .iter()
+                    .map(crate::footprint::node_stash_bytes)
+                    .sum();
+                per_sample * g.stashed_samples(self.batch)
+            })
+            .sum()
     }
 
     /// The group containing node `i`.
@@ -228,5 +274,39 @@ mod tests {
     fn schedule_rejects_gaps() {
         let groups = vec![Group::new(0, 2, 4, 8), Group::new(3, 5, 8, 8)];
         let _ = Schedule::new(ExecConfig::Mbs1, 8, groups, true);
+    }
+
+    #[test]
+    fn stashed_samples_excludes_the_last_chunk() {
+        // 8 samples at sub-batch 3 -> chunks [3,3,2]; the last (2) stays
+        // live, 6 are stashed.
+        assert_eq!(Group::new(0, 2, 3, 8).stashed_samples(8), 6);
+        // Single-iteration groups never stash.
+        assert_eq!(Group::new(0, 2, 8, 8).stashed_samples(8), 0);
+        assert_eq!(Group::new(0, 2, 4, 8).stashed_samples(8), 4);
+    }
+
+    #[test]
+    fn stash_bytes_counts_cached_inputs_of_multi_iteration_groups() {
+        use mbs_cnn::networks::toy;
+        use mbs_cnn::FeatureShape;
+
+        let net = toy::conv_chain(&[4], FeatureShape::new(3, 8, 8), 8);
+        let nodes = net.nodes().len(); // conv, norm, relu
+                                       // Conv and norm cache their inputs; ReLU does not (1-bit mask).
+        let per_sample: usize = net
+            .nodes()
+            .iter()
+            .map(crate::footprint::node_stash_bytes)
+            .sum();
+        assert!(per_sample > 0);
+
+        // One full-batch group: nothing stashed.
+        let uniform = Schedule::new(ExecConfig::MbsFs, 8, vec![Group::new(0, nodes, 8, 8)], true);
+        assert_eq!(uniform.stash_bytes(&net), 0);
+
+        // Sub-batch 2 over 8 samples: 6 samples' caches stashed.
+        let serialized = Schedule::new(ExecConfig::Mbs1, 8, vec![Group::new(0, nodes, 2, 8)], true);
+        assert_eq!(serialized.stash_bytes(&net), per_sample * 6);
     }
 }

@@ -1,0 +1,124 @@
+//! Channel-wise concatenation and its inverse split — the merge/unmerge
+//! pair Inception-style blocks are built from.
+//!
+//! Both operate on NCHW tensors sharing batch and spatial extents. The
+//! concat is the forward merge; the split is its exact adjoint (backward
+//! routes each channel range of the output gradient to its branch).
+
+use crate::tensor::Tensor;
+
+/// Concatenates NCHW tensors along the channel axis.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_tensor::ops::concat_channels;
+/// use mbs_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(&[1, 1, 1, 2], vec![1.0, 2.0]);
+/// let b = Tensor::from_vec(&[1, 2, 1, 2], vec![3.0, 4.0, 5.0, 6.0]);
+/// let y = concat_channels(&[&a, &b]);
+/// assert_eq!(y.shape(), &[1, 3, 1, 2]);
+/// assert_eq!(y.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `parts` is empty, any part is not 4-D, or batch/spatial
+/// extents disagree.
+pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat needs at least one operand");
+    let [n, _, h, w]: [usize; 4] = parts[0]
+        .shape()
+        .try_into()
+        .expect("concat expects 4-D operands");
+    let mut c_total = 0usize;
+    for p in parts {
+        let [pn, pc, ph, pw]: [usize; 4] =
+            p.shape().try_into().expect("concat expects 4-D operands");
+        assert_eq!((pn, ph, pw), (n, h, w), "concat batch/spatial mismatch");
+        c_total += pc;
+    }
+    let mut out = Tensor::uninit(&[n, c_total, h, w]);
+    let od = out.data_mut();
+    let hw = h * w;
+    let mut c_off = 0usize;
+    for p in parts {
+        let pc = p.shape()[1];
+        let pd = p.data();
+        for ni in 0..n {
+            let src = ni * pc * hw;
+            let dst = (ni * c_total + c_off) * hw;
+            od[dst..dst + pc * hw].copy_from_slice(&pd[src..src + pc * hw]);
+        }
+        c_off += pc;
+    }
+    out
+}
+
+/// Extracts channels `[c_start, c_start + channels)` of an NCHW tensor —
+/// the adjoint routing of [`concat_channels`], used by the concat block's
+/// backward to hand each branch its slice of the output gradient.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_tensor::ops::{concat_channels, slice_channels};
+/// use mbs_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(&[1, 1, 1, 2], vec![1.0, 2.0]);
+/// let b = Tensor::from_vec(&[1, 2, 1, 2], vec![3.0, 4.0, 5.0, 6.0]);
+/// let y = concat_channels(&[&a, &b]);
+/// assert_eq!(slice_channels(&y, 0, 1), a);
+/// assert_eq!(slice_channels(&y, 1, 2), b);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D or the channel range is out of bounds.
+pub fn slice_channels(x: &Tensor, c_start: usize, channels: usize) -> Tensor {
+    let [n, c, h, w]: [usize; 4] = x.shape().try_into().expect("slice expects 4-D");
+    assert!(c_start + channels <= c, "channel slice out of range");
+    let mut out = Tensor::uninit(&[n, channels, h, w]);
+    let od = out.data_mut();
+    let xd = x.data();
+    let hw = h * w;
+    for ni in 0..n {
+        let src = (ni * c + c_start) * hw;
+        let dst = ni * channels * hw;
+        od[dst..dst + channels * hw].copy_from_slice(&xd[src..src + channels * hw]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_then_slice_round_trips() {
+        let a = Tensor::from_vec(&[2, 2, 2, 2], (0..16).map(|v| v as f32).collect());
+        let b = Tensor::from_vec(&[2, 3, 2, 2], (0..24).map(|v| 100.0 + v as f32).collect());
+        let c = Tensor::from_vec(&[2, 1, 2, 2], (0..8).map(|v| 200.0 + v as f32).collect());
+        let y = concat_channels(&[&a, &b, &c]);
+        assert_eq!(y.shape(), &[2, 6, 2, 2]);
+        assert_eq!(slice_channels(&y, 0, 2), a);
+        assert_eq!(slice_channels(&y, 2, 3), b);
+        assert_eq!(slice_channels(&y, 5, 1), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "spatial mismatch")]
+    fn concat_rejects_spatial_mismatch() {
+        let a = Tensor::zeros(&[1, 1, 2, 2]);
+        let b = Tensor::zeros(&[1, 1, 3, 3]);
+        let _ = concat_channels(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_rejects_overrun() {
+        let a = Tensor::zeros(&[1, 2, 2, 2]);
+        let _ = slice_channels(&a, 1, 2);
+    }
+}

@@ -3,6 +3,7 @@
 //! cross-entropy.
 
 pub mod activation;
+pub mod concat;
 pub mod conv;
 pub mod im2col;
 pub mod kernel;
@@ -12,6 +13,7 @@ pub mod pool;
 pub mod softmax;
 
 pub use activation::{relu, relu_backward, relu_clamp, relu_inplace, BitMask, MaskSink};
+pub use concat::{concat_channels, slice_channels};
 pub use conv::{
     conv2d, conv2d_backward_data, conv2d_backward_weights, conv2d_fused, conv2d_fused_with,
     conv2d_naive,
@@ -25,5 +27,8 @@ pub use pack::{
     configured_threads, fuse_enabled, gemm, gemm_fused, gemm_fused_with, gemm_with_kernel,
     gemm_with_threads, Epilogue, Im2colGeom, MatSrc,
 };
-pub use pool::{global_avg_pool, global_avg_pool_backward, maxpool2d, maxpool2d_backward};
+pub use pool::{
+    avgpool2d, avgpool2d_backward, global_avg_pool, global_avg_pool_backward, maxpool2d,
+    maxpool2d_backward, maxpool2d_padded,
+};
 pub use softmax::{accuracy, correct, cross_entropy, softmax, softmax_xent_backward};

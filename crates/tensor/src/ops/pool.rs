@@ -2,33 +2,84 @@
 
 use crate::tensor::Tensor;
 
+/// Output extent of a pooling window sweep over one spatial axis.
+fn pooled_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= kernel && kernel > 0 && stride > 0,
+        "window larger than padded input"
+    );
+    (padded - kernel) / stride + 1
+}
+
 /// Max-pool forward. Returns the pooled tensor and the flat input index of
 /// each output's argmax (consumed by [`maxpool2d_backward`]).
 ///
+/// Shorthand for [`maxpool2d_padded`] with zero padding.
+///
 /// # Panics
 ///
-/// Panics if `x` is not 4-D or the window does not tile the input
-/// (`h`/`w` must be ≥ `kernel` and stride-reachable).
+/// Panics if `x` is not 4-D or the window does not fit the input.
 pub fn maxpool2d(x: &Tensor, kernel: usize, stride: usize) -> (Tensor, Vec<usize>) {
+    maxpool2d_padded(x, kernel, stride, 0)
+}
+
+/// Max-pool forward with symmetric zero padding (`pad` rows/columns on
+/// each edge). Padding cells hold `-inf` conceptually: a window is clipped
+/// to the valid input region and the maximum is taken over real elements
+/// only, so the argmax always points at an input cell.
+///
+/// Returns the pooled tensor and the flat input index of each output's
+/// argmax (consumed by [`maxpool2d_backward`]).
+///
+/// # Examples
+///
+/// ```
+/// use mbs_tensor::ops::maxpool2d_padded;
+/// use mbs_tensor::Tensor;
+///
+/// // 2x2 input, 3x3 window, stride 2, pad 1: four windows, each clipped
+/// // to a 2x2 quadrant overlapping the single valid cell region.
+/// let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// let (y, arg) = maxpool2d_padded(&x, 3, 2, 1);
+/// assert_eq!(y.shape(), &[1, 1, 1, 1]);
+/// assert_eq!(y.data(), &[4.0]);
+/// assert_eq!(arg, vec![3]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D, the window does not fit the padded input, or
+/// `pad >= kernel` (some windows would lie entirely in padding).
+pub fn maxpool2d_padded(
+    x: &Tensor,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> (Tensor, Vec<usize>) {
     let [n, c, h, w]: [usize; 4] = x.shape().try_into().expect("maxpool expects 4-D");
-    assert!(h >= kernel && w >= kernel, "window larger than input");
-    let ho = (h - kernel) / stride + 1;
-    let wo = (w - kernel) / stride + 1;
-    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    assert!(pad < kernel, "pad >= kernel leaves all-padding windows");
+    let ho = pooled_extent(h, kernel, stride, pad);
+    let wo = pooled_extent(w, kernel, stride, pad);
+    let mut out = Tensor::uninit(&[n, c, ho, wo]);
     let mut arg = vec![0usize; out.len()];
     let xd = x.data();
     let od = out.data_mut();
     for ni in 0..n {
         for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
             for oy in 0..ho {
+                // Window rows clipped to the valid input region.
+                let y0 = (oy * stride).saturating_sub(pad);
+                let y1 = (oy * stride + kernel - pad).min(h);
                 for ox in 0..wo {
+                    let x0 = (ox * stride).saturating_sub(pad);
+                    let x1 = (ox * stride + kernel - pad).min(w);
                     let mut best = f32::NEG_INFINITY;
                     let mut best_idx = 0;
-                    for ky in 0..kernel {
-                        for kx in 0..kernel {
-                            let iy = oy * stride + ky;
-                            let ix = ox * stride + kx;
-                            let idx = ((ni * c + ci) * h + iy) * w + ix;
+                    for iy in y0..y1 {
+                        for ix in x0..x1 {
+                            let idx = plane + iy * w + ix;
                             if xd[idx] > best {
                                 best = xd[idx];
                                 best_idx = idx;
@@ -52,6 +103,99 @@ pub fn maxpool2d_backward(dy: &Tensor, argmax: &[usize], x_shape: &[usize]) -> T
     let dxd = dx.data_mut();
     for (g, &idx) in dy.data().iter().zip(argmax) {
         dxd[idx] += g;
+    }
+    dx
+}
+
+/// Average-pool forward with symmetric zero padding. The divisor is the
+/// full window area (`kernel * kernel`), padding included — zero-padding
+/// cells contribute zeros to the sum, matching the convention of the
+/// Inception-style `Pool { kind: Avg, pad: 1 }` layers this op lowers.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_tensor::ops::avgpool2d;
+/// use mbs_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// let y = avgpool2d(&x, 2, 2, 0);
+/// assert_eq!(y.shape(), &[1, 1, 1, 1]);
+/// assert_eq!(y.data(), &[2.5]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `x` is not 4-D, the window does not fit the padded input, or
+/// `pad >= kernel`.
+pub fn avgpool2d(x: &Tensor, kernel: usize, stride: usize, pad: usize) -> Tensor {
+    let [n, c, h, w]: [usize; 4] = x.shape().try_into().expect("avgpool expects 4-D");
+    assert!(pad < kernel, "pad >= kernel leaves all-padding windows");
+    let ho = pooled_extent(h, kernel, stride, pad);
+    let wo = pooled_extent(w, kernel, stride, pad);
+    let mut out = Tensor::uninit(&[n, c, ho, wo]);
+    let inv_area = 1.0 / (kernel * kernel) as f32;
+    let xd = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oy in 0..ho {
+                let y0 = (oy * stride).saturating_sub(pad);
+                let y1 = (oy * stride + kernel - pad).min(h);
+                for ox in 0..wo {
+                    let x0 = (ox * stride).saturating_sub(pad);
+                    let x1 = (ox * stride + kernel - pad).min(w);
+                    let mut sum = 0.0f32;
+                    for iy in y0..y1 {
+                        sum += xd[plane + iy * w + x0..plane + iy * w + x1]
+                            .iter()
+                            .sum::<f32>();
+                    }
+                    od[((ni * c + ci) * ho + oy) * wo + ox] = sum * inv_area;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Average-pool backward: spreads each output gradient uniformly over its
+/// window's valid cells (scaled by the same full-window divisor the
+/// forward used, so the pair is an exact adjoint).
+pub fn avgpool2d_backward(
+    dy: &Tensor,
+    x_shape: &[usize],
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let [n, c, h, w]: [usize; 4] = x_shape.try_into().expect("avgpool expects 4-D shape");
+    let ho = pooled_extent(h, kernel, stride, pad);
+    let wo = pooled_extent(w, kernel, stride, pad);
+    assert_eq!(dy.shape(), &[n, c, ho, wo], "dy shape mismatch");
+    let mut dx = Tensor::zeros(x_shape);
+    let inv_area = 1.0 / (kernel * kernel) as f32;
+    let dyd = dy.data();
+    let dxd = dx.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oy in 0..ho {
+                let y0 = (oy * stride).saturating_sub(pad);
+                let y1 = (oy * stride + kernel - pad).min(h);
+                for ox in 0..wo {
+                    let x0 = (ox * stride).saturating_sub(pad);
+                    let x1 = (ox * stride + kernel - pad).min(w);
+                    let g = dyd[((ni * c + ci) * ho + oy) * wo + ox] * inv_area;
+                    for iy in y0..y1 {
+                        for v in &mut dxd[plane + iy * w + x0..plane + iy * w + x1] {
+                            *v += g;
+                        }
+                    }
+                }
+            }
+        }
     }
     dx
 }
@@ -111,6 +255,72 @@ mod tests {
         let dy = Tensor::from_vec(&[1, 1, 1, 1], vec![2.5]);
         let dx = maxpool2d_backward(&dy, &arg, x.shape());
         assert_eq!(dx.data(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn padded_maxpool_ignores_padding_cells() {
+        // All-negative input: -inf padding must never win a window.
+        let x = Tensor::from_vec(&[1, 1, 3, 3], (0..9).map(|v| -(v as f32) - 1.0).collect());
+        let (y, arg) = maxpool2d_padded(&x, 3, 2, 1);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        // Top-left window sees rows/cols {0,1}: max is x[0,0] = -1.
+        assert_eq!(y.get(&[0, 0, 0, 0]), -1.0);
+        assert_eq!(arg[0], 0);
+        // Every argmax is a valid input index.
+        assert!(arg.iter().all(|&i| i < 9));
+    }
+
+    #[test]
+    fn padded_maxpool_matches_resnet_stem_shape() {
+        // 7x7 input, 3x3/2 pad 1 -> 4x4 (the ResNet pool1 rule).
+        let x = Tensor::from_vec(&[1, 1, 7, 7], (0..49).map(|v| v as f32).collect());
+        let (y, _) = maxpool2d_padded(&x, 3, 2, 1);
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        assert_eq!(y.get(&[0, 0, 3, 3]), 48.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pad >= kernel")]
+    fn all_padding_windows_are_rejected() {
+        let x = Tensor::from_vec(&[1, 1, 4, 4], vec![0.0; 16]);
+        let _ = maxpool2d_padded(&x, 2, 2, 2);
+    }
+
+    #[test]
+    fn avgpool_means_windows() {
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = avgpool2d(&x, 2, 2, 0);
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn padded_avgpool_counts_padding_in_divisor() {
+        // 2x2 ones, 3x3/1 pad 1: center window sums all four ones, corner
+        // windows sum four ones too... no: corner (0,0) window covers rows
+        // {0,1} cols {0,1} = all four cells -> 4/9.
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0; 4]);
+        let y = avgpool2d(&x, 3, 1, 1);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        for &v in y.data() {
+            assert!((v - 4.0 / 9.0).abs() < 1e-6, "got {v}");
+        }
+    }
+
+    #[test]
+    fn avgpool_backward_is_adjoint() {
+        // <pool(x), dy> == <x, pool_backward(dy)> for an exact adjoint.
+        let x = Tensor::from_vec(
+            &[2, 2, 5, 5],
+            (0..100).map(|v| (v as f32) / 7.0 - 6.0).collect(),
+        );
+        for (k, s, p) in [(3usize, 1usize, 1usize), (3, 2, 0), (2, 2, 0), (3, 2, 1)] {
+            let y = avgpool2d(&x, k, s, p);
+            let dy = Tensor::from_vec(y.shape(), (0..y.len()).map(|v| v as f32 - 3.0).collect());
+            let dx = avgpool2d_backward(&dy, x.shape(), k, s, p);
+            let lhs: f32 = y.data().iter().zip(dy.data()).map(|(a, b)| a * b).sum();
+            let rhs: f32 = x.data().iter().zip(dx.data()).map(|(a, b)| a * b).sum();
+            assert!((lhs - rhs).abs() < 1e-3, "k{k} s{s} p{p}: {lhs} vs {rhs}");
+        }
     }
 
     #[test]

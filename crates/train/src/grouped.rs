@@ -13,45 +13,73 @@
 //! - **At group boundaries** each chunk's output is staged into a pooled
 //!   full-mini-batch boundary buffer; the next group re-slices that buffer
 //!   at its own (typically larger) sub-batch size.
-//! - **Backward replays groups in reverse** (boundary checkpointing): the
-//!   full-batch activations are checkpointed only at group boundaries, so
-//!   for a multi-chunk group the backward pass re-runs each chunk's
-//!   forward from the group's input boundary to repopulate layer caches,
-//!   then propagates the re-sliced gradient chunk. Single-iteration groups
-//!   — and the most recently forwarded chunk of each group — skip the
-//!   replay because their caches are still live. Gradients cross each
-//!   boundary through a staged full-batch gradient buffer, re-sliced at
-//!   the upstream group's sub-batch size.
+//! - **Backward consumes cache stashes in reverse.** A multi-chunk group
+//!   overwrites its layers' backward caches chunk by chunk, so the forward
+//!   pass *stashes* each chunk's caches — moving them out of the layers
+//!   into per-(group, chunk) [`CacheStash`]es, ownership only, no copies —
+//!   and backward restores each stash just before propagating that chunk's
+//!   gradient. No second forward runs. The `MBS_STASH=0` knob (or
+//!   [`GroupedExecutor::set_stashing`]) selects the older
+//!   boundary-checkpointing strategy instead: backward *replays* each
+//!   chunk's forward from the group's input boundary to rebuild the caches
+//!   it needs — less live memory, one extra forward per replayed chunk.
+//!   Both paths produce bitwise-identical training (replay recomputes
+//!   exactly the values stashing saved), pinned by the equivalence tests.
+//!   Either way, single-iteration groups and the most recently forwarded
+//!   chunk of each group use the live caches directly. Gradients cross
+//!   each boundary through a staged full-batch gradient buffer, re-sliced
+//!   at the upstream group's sub-batch size.
 //!
 //! The synchronization points are the same as the uniform executor's: loss
 //! gradients are scaled by the *total* mini-batch size, parameter
 //! gradients accumulate across every chunk of every group, and the
-//! optimizer steps once at the end — so for per-sample normalizations (GN)
-//! the grouped step matches `train_step_full` to f32 rounding, whatever
-//! the schedule. All staging buffers persist inside the executor and chunk
-//! slices come from the pooled arena, so steady-state grouped steps run
-//! with zero arena misses.
+//! optimizer steps once at the end — so for per-sample normalizations (GN,
+//! LRN) the grouped step matches `train_step_full` to f32 rounding,
+//! whatever the schedule. All staging buffers persist inside the executor,
+//! chunk slices come from the pooled arena, and stashed cache tensors keep
+//! their arena-backed storage as they move, so steady-state grouped steps
+//! run with zero arena misses.
+
+use std::sync::OnceLock;
 
 use mbs_core::{Group, Schedule};
 use mbs_tensor::ops::{cross_entropy, softmax, softmax_xent_backward};
 use mbs_tensor::Tensor;
 
 use crate::lower::LoweredNet;
-use crate::module::{slice_batch_into, slice_batch_owned, Module};
+use crate::module::{slice_batch_into, slice_batch_owned, CacheStash, Module};
 use crate::optim::Sgd;
+
+/// Whether grouped backward uses cache stashing: the `MBS_STASH`
+/// environment knob, read once per process. Unset or any value other than
+/// `0`/`false`/`off` means stashing; `MBS_STASH=0` restores the backward
+/// **replay** strategy (boundary checkpointing) for A/B comparisons and
+/// memory-constrained runs. Training results are bitwise identical either
+/// way; only the time/memory trade-off moves.
+pub fn stash_enabled() -> bool {
+    static STASH: OnceLock<bool> = OnceLock::new();
+    *STASH.get_or_init(|| {
+        !std::env::var("MBS_STASH").is_ok_and(|v| {
+            let v = v.trim();
+            v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off")
+        })
+    })
+}
 
 /// Executes training steps group-wise according to an MBS [`Schedule`].
 ///
 /// The executor owns the boundary staging buffers (activations and
-/// gradients at every group boundary) so repeated steps reuse them; one
-/// instance should live as long as the training loop.
+/// gradients at every group boundary) and the per-(group, chunk) cache
+/// stashes, so repeated steps reuse them; one instance should live as
+/// long as the training loop.
 ///
-/// Use it with **per-sample normalizations** (GN, or none) — the models
-/// MBS targets. Batch normalization is already incompatible with any
-/// serialized execution (paper §3.1: sub-batch statistics differ), and
-/// under this executor the backward *replay* additionally re-runs
-/// training forwards, so a lowered `BatchNorm2d`'s running statistics
-/// would be momentum-updated once more per replayed chunk on top of that.
+/// Use it with **per-sample normalizations** (GN, LRN, or none) — the
+/// models MBS targets. Batch normalization is already incompatible with
+/// any serialized execution (paper §3.1: sub-batch statistics differ);
+/// under the `MBS_STASH=0` replay strategy a lowered `BatchNorm2d`'s
+/// running statistics would additionally be momentum-updated once more per
+/// replayed chunk (the stashing default does not re-run forwards, so it
+/// has no such skew).
 ///
 /// # Examples
 ///
@@ -86,13 +114,23 @@ pub struct GroupedExecutor {
     /// Reusable gradient-chunk slice buffer.
     dy_chunk: Tensor,
     /// Batch-row start of the most recent forward chunk per group —
-    /// backward skips the replay for that chunk (its caches are live).
+    /// backward uses that chunk's caches live (no stash, no replay).
     last_fwd_start: Vec<usize>,
+    /// Whether forward stashes per-chunk caches (true) or backward replays
+    /// chunk forwards (false).
+    stashing: bool,
+    /// `stashes[g][i]` holds chunk `i`'s backward caches for group `g`.
+    /// Only multi-iteration groups use their slots, and the chunk a group
+    /// forwarded last is never stashed (its caches stay live in the
+    /// layers). Slots persist across steps so the deques keep their
+    /// capacity.
+    stashes: Vec<Vec<CacheStash>>,
 }
 
 impl GroupedExecutor {
     /// Builds an executor for `schedule` over a lowered network with
-    /// `node_count` scheduling units.
+    /// `node_count` scheduling units. Backward strategy (cache stashing
+    /// vs replay) defaults to the process-wide [`stash_enabled`] knob.
     ///
     /// # Panics
     ///
@@ -111,6 +149,8 @@ impl GroupedExecutor {
             grads: (0..n).map(|_| empty()).collect(),
             dy_chunk: empty(),
             last_fwd_start: vec![0; n],
+            stashing: stash_enabled(),
+            stashes: (0..n).map(|_| Vec::new()).collect(),
         }
     }
 
@@ -119,9 +159,32 @@ impl GroupedExecutor {
         &self.groups
     }
 
+    /// Overrides the process-wide `MBS_STASH` decision for this executor
+    /// (the bench sweeps stash vs replay in one process; training results
+    /// are bitwise identical either way). Takes effect from the next
+    /// forward — do not flip it between a forward and its backward.
+    /// Turning stashing off drops any held stashes (their tensors return
+    /// to the arena).
+    pub fn set_stashing(&mut self, stashing: bool) {
+        self.stashing = stashing;
+        if !stashing {
+            for slots in &mut self.stashes {
+                for s in slots {
+                    s.clear();
+                }
+            }
+        }
+    }
+
+    /// Whether this executor stashes caches (vs replaying forwards).
+    pub fn stashing(&self) -> bool {
+        self.stashing
+    }
+
     /// Grouped forward pass over the full mini-batch; returns the staged
-    /// logits. With `train` set, layer caches and the boundary buffers are
-    /// left ready for [`GroupedExecutor::backward_from_logits`].
+    /// logits. With `train` set, layer caches, cache stashes, and the
+    /// boundary buffers are left ready for
+    /// [`GroupedExecutor::backward_from_logits`].
     ///
     /// The per-group sub-batch sizes are applied to whatever batch `x`
     /// carries — a schedule planned for the IR's default mini-batch runs
@@ -149,27 +212,45 @@ impl GroupedExecutor {
             let src = if g == 0 { x } else { &prev[g - 1] };
             let dst = &mut cur[0];
             let mut start = 0;
+            let mut chunk_idx = 0usize;
             while start < n {
                 let end = (start + group.sub_batch).min(n);
                 let chunk = slice_batch_owned(src, start, end);
                 let y = model.forward_range(group.start..group.end, chunk, train);
                 stage_rows(dst, &y, start, n);
                 self.last_fwd_start[g] = start;
+                if train && self.stashing && end < n {
+                    // Another chunk will overwrite this group's layer
+                    // caches — move them out first. The group's *last*
+                    // chunk is never stashed: backward meets it first and
+                    // uses the live caches.
+                    let slots = &mut self.stashes[g];
+                    while slots.len() <= chunk_idx {
+                        slots.push(CacheStash::default());
+                    }
+                    let stash = &mut slots[chunk_idx];
+                    // A leftover stash (a forward whose backward never ran)
+                    // is dropped — its tensors return to the arena.
+                    stash.clear();
+                    model.stash_range(group.start..group.end, stash);
+                }
+                chunk_idx += 1;
                 start = end;
             }
         }
         self.stages.last().expect("at least one group")
     }
 
-    /// Grouped backward pass from a full-batch logits gradient, replaying
-    /// groups in reverse and re-slicing gradients at each boundary.
+    /// Grouped backward pass from a full-batch logits gradient, restoring
+    /// each chunk's stashed caches (or replaying its forward under
+    /// `MBS_STASH=0`) and re-slicing gradients at each boundary.
     /// Parameter gradients accumulate into the model; the returned value
     /// is the gradient with respect to the network input.
     ///
     /// # Panics
     ///
     /// Panics if [`GroupedExecutor::forward`] (with `train = true`) has
-    /// not populated the boundary buffers for `x`.
+    /// not populated the boundary buffers and stashes for `x`.
     pub fn backward_from_logits(
         &mut self,
         model: &mut LoweredNet,
@@ -212,12 +293,30 @@ impl GroupedExecutor {
                 bounds.push((start, end));
                 start = end;
             }
-            for &(start, end) in bounds.iter().rev() {
+            for (chunk_idx, &(start, end)) in bounds.iter().enumerate().rev() {
                 if start != self.last_fwd_start[g] {
-                    // Boundary checkpointing: replay this chunk's forward
-                    // to repopulate the group's layer caches.
-                    let chunk = slice_batch_owned(src, start, end);
-                    let _ = model.forward_range(group.start..group.end, chunk, true);
+                    // Only consult stashes in stash mode: a leftover stash
+                    // from an earlier stash-mode forward (one whose
+                    // backward never ran) must not shadow a replay-mode
+                    // step's current batch.
+                    let stash = self
+                        .stashing
+                        .then(|| self.stashes[g].get_mut(chunk_idx))
+                        .flatten();
+                    match stash.filter(|s| !s.is_empty()) {
+                        Some(stash) => {
+                            // Cache stashing: restore the caches this
+                            // chunk's forward saved — no recompute.
+                            model.unstash_range(group.start..group.end, stash);
+                        }
+                        None => {
+                            // Boundary checkpointing (`MBS_STASH=0`):
+                            // replay this chunk's forward from the group's
+                            // input boundary to repopulate the caches.
+                            let chunk = slice_batch_owned(src, start, end);
+                            let _ = model.forward_range(group.start..group.end, chunk, true);
+                        }
+                    }
                     self.last_fwd_start[g] = start;
                 }
                 slice_batch_into(&dy_full, start, end, &mut self.dy_chunk);
@@ -231,8 +330,8 @@ impl GroupedExecutor {
                 }
             }
             if let Some(boundary) = src_owned {
-                // Re-attach the input boundary (forward's staged values are
-                // still needed by group g-1's replay).
+                // Re-attach the input boundary (forward's staged values
+                // are still needed by group g-1's replay fallback).
                 self.stages[g - 1] = boundary;
             }
         }
@@ -346,17 +445,86 @@ mod tests {
     #[test]
     fn uneven_final_chunks_are_handled() {
         // batch 7 with sub-batches 2 and 7: the re-slicing must cope with
-        // remainder chunks on both sides of the boundary.
-        let net = toy::runtime_mix(8, 7);
-        let mut full = lower(&net, &mut StdRng::seed_from_u64(9)).unwrap();
-        let mut grouped = lower(&net, &mut StdRng::seed_from_u64(9)).unwrap();
-        let d = generate(7, 8, 0.3, 43);
-        let mut oa = Sgd::new(0.05, 0.9, 0.0);
-        let mut ob = Sgd::new(0.05, 0.9, 0.0);
-        let sched = multi_group_schedule(net.nodes().len(), 7);
-        let mut exec = GroupedExecutor::new(&sched, grouped.len());
-        let lf = train_step_full(&mut full, &d.images, &d.labels, &mut oa);
-        let lg = exec.train_step(&mut grouped, &d.images, &d.labels, &mut ob);
-        assert!((lf - lg).abs() < 1e-4, "losses {lf} vs {lg}");
+        // remainder chunks on both sides of the boundary, stashed or not.
+        for stashing in [true, false] {
+            let net = toy::runtime_mix(8, 7);
+            let mut full = lower(&net, &mut StdRng::seed_from_u64(9)).unwrap();
+            let mut grouped = lower(&net, &mut StdRng::seed_from_u64(9)).unwrap();
+            let d = generate(7, 8, 0.3, 43);
+            let mut oa = Sgd::new(0.05, 0.9, 0.0);
+            let mut ob = Sgd::new(0.05, 0.9, 0.0);
+            let sched = multi_group_schedule(net.nodes().len(), 7);
+            let mut exec = GroupedExecutor::new(&sched, grouped.len());
+            exec.set_stashing(stashing);
+            let lf = train_step_full(&mut full, &d.images, &d.labels, &mut oa);
+            let lg = exec.train_step(&mut grouped, &d.images, &d.labels, &mut ob);
+            assert!(
+                (lf - lg).abs() < 1e-4,
+                "losses {lf} vs {lg} (stash {stashing})"
+            );
+        }
+    }
+
+    /// A stash-mode forward whose backward never ran must not leak its
+    /// stashes into a later replay-mode step: `set_stashing(false)` drops
+    /// held stashes and replay backward never consults the slots, so the
+    /// step matches a pure replay executor exactly.
+    #[test]
+    fn switching_to_replay_ignores_stale_stashes() {
+        let net = toy::runtime_mix(8, 8);
+        let mut a = lower(&net, &mut StdRng::seed_from_u64(6)).unwrap();
+        let mut b = lower(&net, &mut StdRng::seed_from_u64(6)).unwrap();
+        let d_old = generate(8, 8, 0.3, 45);
+        let d_new = generate(8, 8, 0.3, 46);
+        let sched = multi_group_schedule(net.nodes().len(), 8);
+        let mut ea = GroupedExecutor::new(&sched, a.len());
+        ea.set_stashing(true);
+        // Forward-only: every non-last chunk's stash stays populated.
+        let _ = ea.forward(&mut a, &d_old.images, true);
+        ea.set_stashing(false);
+        let mut eb = GroupedExecutor::new(&sched, b.len());
+        eb.set_stashing(false);
+        let mut oa = Sgd::new(0.05, 0.9, 1e-4);
+        let mut ob = Sgd::new(0.05, 0.9, 1e-4);
+        let la = ea.train_step(&mut a, &d_new.images, &d_new.labels, &mut oa);
+        let lb = eb.train_step(&mut b, &d_new.images, &d_new.labels, &mut ob);
+        assert_eq!(la, lb, "stale stashes leaked into the replay step");
+        let mut pa = Vec::new();
+        a.visit_params(&mut |p| pa.push(p.value.clone()));
+        let mut i = 0;
+        b.visit_params(&mut |p| {
+            assert_eq!(pa[i], p.value, "param {i}");
+            i += 1;
+        });
+    }
+
+    /// The tentpole claim in miniature: stash and replay backward produce
+    /// **bitwise identical** parameter trajectories — replay recomputes
+    /// exactly the values stashing saved.
+    #[test]
+    fn stash_and_replay_are_bitwise_identical() {
+        let net = toy::runtime_mix(8, 8);
+        let mut m_stash = lower(&net, &mut StdRng::seed_from_u64(3)).unwrap();
+        let mut m_replay = lower(&net, &mut StdRng::seed_from_u64(3)).unwrap();
+        let d = generate(8, 8, 0.3, 44);
+        let sched = multi_group_schedule(net.nodes().len(), 8);
+        let mut ea = GroupedExecutor::new(&sched, m_stash.len());
+        ea.set_stashing(true);
+        let mut eb = GroupedExecutor::new(&sched, m_replay.len());
+        eb.set_stashing(false);
+        let mut oa = Sgd::new(0.05, 0.9, 1e-4);
+        let mut ob = Sgd::new(0.05, 0.9, 1e-4);
+        for step in 0..3 {
+            let la = ea.train_step(&mut m_stash, &d.images, &d.labels, &mut oa);
+            let lb = eb.train_step(&mut m_replay, &d.images, &d.labels, &mut ob);
+            assert_eq!(la, lb, "step {step} losses");
+        }
+        let mut pa = Vec::new();
+        m_stash.visit_params(&mut |p| pa.push(p.value.clone()));
+        let mut i = 0;
+        m_replay.visit_params(&mut |p| {
+            assert_eq!(pa[i], p.value, "param {i} diverged");
+            i += 1;
+        });
     }
 }

@@ -6,13 +6,14 @@ use rand::rngs::StdRng;
 
 use mbs_tensor::init::kaiming_normal;
 use mbs_tensor::ops::{
-    conv2d_backward_data, conv2d_backward_weights, conv2d_fused_with, fuse_enabled,
-    global_avg_pool, global_avg_pool_backward, matmul, matmul_a_bt_fused_with, matmul_at_b,
-    maxpool2d, maxpool2d_backward, relu_backward, relu_clamp, relu_inplace, BitMask, Conv2dCfg,
+    avgpool2d, avgpool2d_backward, conv2d_backward_data, conv2d_backward_weights,
+    conv2d_fused_with, fuse_enabled, global_avg_pool, global_avg_pool_backward, matmul,
+    matmul_a_bt_fused_with, matmul_at_b, maxpool2d_backward, maxpool2d_padded, relu_backward,
+    relu_clamp, relu_inplace, BitMask, Conv2dCfg,
 };
 use mbs_tensor::Tensor;
 
-use crate::module::{Module, Param};
+use crate::module::{stash_mismatch, CacheEntry, CacheStash, Module, Param};
 
 /// 2-D convolution, optionally with a per-channel bias and a fused ReLU.
 ///
@@ -206,6 +207,22 @@ impl Module for Conv2d {
             f(bias);
         }
     }
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        stash.push(CacheEntry::Tensor(self.cache_x.take()));
+        stash.push(CacheEntry::Mask(self.mask.take()));
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        match stash.pop() {
+            CacheEntry::Tensor(t) => self.cache_x = t,
+            other => stash_mismatch("conv input", &other),
+        }
+        match stash.pop() {
+            CacheEntry::Mask(m) => self.mask = m,
+            other => stash_mismatch("conv mask", &other),
+        }
+    }
 }
 
 /// Fully-connected layer with bias and an optional fused ReLU.
@@ -321,6 +338,22 @@ impl Module for Linear {
         f(&mut self.weight);
         f(&mut self.bias);
     }
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        stash.push(CacheEntry::Tensor(self.cache_x.take()));
+        stash.push(CacheEntry::Mask(self.mask.take()));
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        match stash.pop() {
+            CacheEntry::Tensor(t) => self.cache_x = t,
+            other => stash_mismatch("linear input", &other),
+        }
+        match stash.pop() {
+            CacheEntry::Mask(m) => self.mask = m,
+            other => stash_mismatch("linear mask", &other),
+        }
+    }
 }
 
 /// ReLU with the paper's 1-bit backward mask.
@@ -359,22 +392,55 @@ impl Module for Relu {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        stash.push(CacheEntry::Mask(self.mask.take()));
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        match stash.pop() {
+            CacheEntry::Mask(m) => self.mask = m,
+            other => stash_mismatch("relu mask", &other),
+        }
+    }
 }
 
-/// Max pooling.
+/// Max pooling, optionally with symmetric zero padding (windows are
+/// clipped to the valid region, so padding never wins an argmax).
 #[derive(Debug, Clone)]
 pub struct MaxPool2d {
     kernel: usize,
     stride: usize,
+    pad: usize,
     cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
 }
 
 impl MaxPool2d {
-    /// A `kernel × kernel` max pool with the given stride.
+    /// A `kernel × kernel` max pool with the given stride, unpadded.
     pub fn new(kernel: usize, stride: usize) -> Self {
+        Self::with_pad(kernel, stride, 0)
+    }
+
+    /// A `kernel × kernel` max pool with `pad` zero rows/columns on each
+    /// edge (the ResNet-stem `3×3/2 pad 1` geometry).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbs_train::layers::MaxPool2d;
+    /// use mbs_train::module::Module;
+    /// use mbs_tensor::Tensor;
+    ///
+    /// let mut pool = MaxPool2d::with_pad(3, 2, 1);
+    /// let x = Tensor::from_vec(&[1, 1, 7, 7], (0..49).map(|v| v as f32).collect());
+    /// let y = pool.forward(&x, false);
+    /// assert_eq!(y.shape(), &[1, 1, 4, 4]); // 7 -> 4, the ResNet pool1 rule
+    /// ```
+    pub fn with_pad(kernel: usize, stride: usize, pad: usize) -> Self {
         Self {
             kernel,
             stride,
+            pad,
             cache: None,
         }
     }
@@ -382,7 +448,7 @@ impl MaxPool2d {
 
 impl Module for MaxPool2d {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let (y, arg) = maxpool2d(x, self.kernel, self.stride);
+        let (y, arg) = maxpool2d_padded(x, self.kernel, self.stride, self.pad);
         if train {
             self.cache = Some((arg, x.shape().to_vec()));
         }
@@ -398,6 +464,87 @@ impl Module for MaxPool2d {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        stash.push(CacheEntry::Pool(self.cache.take()));
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        match stash.pop() {
+            CacheEntry::Pool(p) => self.cache = p,
+            other => stash_mismatch("max-pool argmax", &other),
+        }
+    }
+}
+
+/// Average pooling over square windows with symmetric zero padding. The
+/// divisor is the full window area (padding included), matching the
+/// Inception-style `Pool { kind: Avg }` IR layers this lowers from;
+/// backward needs only the input shape, not the activations.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// A `kernel × kernel` average pool with the given stride and padding.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbs_train::layers::AvgPool2d;
+    /// use mbs_train::module::Module;
+    /// use mbs_tensor::Tensor;
+    ///
+    /// // The Inception pooled-projection geometry: 3x3/1 pad 1 preserves
+    /// // the spatial extent.
+    /// let mut pool = AvgPool2d::new(3, 1, 1);
+    /// let x = Tensor::full(&[1, 2, 5, 5], 1.0);
+    /// let y = pool.forward(&x, false);
+    /// assert_eq!(y.shape(), x.shape());
+    /// assert_eq!(y.get(&[0, 0, 2, 2]), 1.0); // interior window: 9/9
+    /// ```
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        Self {
+            kernel,
+            stride,
+            pad,
+            cache_shape: None,
+        }
+    }
+}
+
+impl Module for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cache_shape = Some(x.shape().to_vec());
+        }
+        avgpool2d(x, self.kernel, self.stride, self.pad)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let shape = self
+            .cache_shape
+            .as_ref()
+            .expect("backward requires a training forward");
+        avgpool2d_backward(dy, shape, self.kernel, self.stride, self.pad)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        stash.push(CacheEntry::Shape(self.cache_shape.take()));
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        match stash.pop() {
+            CacheEntry::Shape(s) => self.cache_shape = s,
+            other => stash_mismatch("avg-pool shape", &other),
+        }
+    }
 }
 
 /// Global average pooling to `[n, c]`.
@@ -430,6 +577,17 @@ impl Module for GlobalAvgPool {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        stash.push(CacheEntry::Shape(self.cache_shape.take()));
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        match stash.pop() {
+            CacheEntry::Shape(s) => self.cache_shape = s,
+            other => stash_mismatch("gap shape", &other),
+        }
+    }
 }
 
 #[cfg(test)]

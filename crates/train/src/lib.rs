@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! CNN training substrate for the MBS reproduction (paper §3.1 / Fig. 6).
 //!
 //! Implements from scratch everything the Fig. 6 experiment needs:
@@ -11,11 +13,16 @@
 //!
 //! Since the schedule-driven-execution PR this crate is also where the
 //! repo's two halves meet: [`lower::lower`] compiles an
-//! [`mbs_cnn::Network`] (the IR the scheduler consumes) into a runnable
-//! [`LoweredNet`], and
+//! [`mbs_cnn::Network`] (the IR the scheduler consumes — including
+//! Inception-style `Concat` blocks, padded/average pooling, and local
+//! response norm, so the full zoo lowers) into a runnable [`LoweredNet`],
 //! [`grouped::GroupedExecutor`] runs the training step exactly as an
 //! `mbs_core` [`mbs_core::Schedule`] prescribes — per-group sub-batch
-//! sizes, boundary staging, backward replay.
+//! sizes, boundary staging, and a **cache-stashing** backward that keeps
+//! every chunk's layer caches alive instead of re-running forwards
+//! (`MBS_STASH=0` restores the replay strategy) — and
+//! [`training::train_grouped`] drives the full epoch loop (shuffling,
+//! evaluation, stepped LR) through that executor.
 //!
 //! # Examples
 //!
@@ -50,10 +57,10 @@ pub mod optim;
 pub mod training;
 
 pub use executor::{evaluate, train_step_full, train_step_mbs};
-pub use grouped::GroupedExecutor;
+pub use grouped::{stash_enabled, GroupedExecutor};
 pub use lower::{lower, LowerError, LoweredNet};
 pub use model::MiniResNet;
-pub use module::{Module, Param};
+pub use module::{CacheStash, Module, Param};
 pub use norm::{Norm, NormChoice};
 pub use optim::Sgd;
-pub use training::{train, EpochStats, TrainConfig};
+pub use training::{train, train_grouped, EpochStats, TrainConfig};

@@ -9,13 +9,18 @@
 //! expressed in, so a [`crate::grouped::GroupedExecutor`] can map each
 //! schedule group straight onto a contiguous module range.
 //!
-//! The supported subset is the set of [`LayerKind`]s the training substrate
-//! implements: convolution (bias-free, rectangular kernels allowed), group
-//! and batch normalization, ReLU, unpadded max pooling, global average
-//! pooling, fully-connected (with flattening), and two-branch residual
-//! blocks merged by `Add`. Inception-style `Concat` blocks, local response
-//! norm, average (non-global) pooling, and padded pooling produce a
-//! [`LowerError`] naming the offending layer.
+//! Every [`LayerKind`] the IR can express lowers: convolution (bias-free,
+//! rectangular kernels allowed), group / batch / local-response
+//! normalization, ReLU, max and average pooling (padded or not), global
+//! average pooling, fully-connected (with flattening), two-branch residual
+//! blocks merged by `Add`, and N-branch Inception-style blocks merged by
+//! `Concat` — which is what lets the full zoo networks
+//! (`mbs_cnn::networks::{inception_v3, alexnet, resnet}`) lower and train.
+//! The remaining rejections are shapes the IR builders never produce: a
+//! *degenerate* pool whose padding reaches the window size (some windows
+//! would lie entirely in padding — the [`LowerError`] names the layer and
+//! its full geometry) and malformed blocks (an `Add` merge without
+//! exactly two branches, a `Concat` with an empty branch).
 
 use std::fmt;
 use std::ops::Range;
@@ -23,12 +28,12 @@ use std::ops::Range;
 use rand::rngs::StdRng;
 
 use mbs_cnn::{Block, Layer, LayerKind, Network, Node, NormKind, PoolKind};
-use mbs_tensor::ops::Conv2dCfg;
+use mbs_tensor::ops::{concat_channels, slice_channels, Conv2dCfg};
 use mbs_tensor::Tensor;
 
-use crate::layers::{Conv2d, GlobalAvgPool, Linear, MaxPool2d, Relu};
-use crate::module::{Module, Param};
-use crate::norm::{Norm, NormChoice};
+use crate::layers::{AvgPool2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d, Relu};
+use crate::module::{stash_mismatch, CacheEntry, CacheStash, Module, Param};
+use crate::norm::{LocalResponseNorm, Norm, NormChoice};
 
 /// Error raised when a network uses an IR construct the training runtime
 /// does not implement.
@@ -68,6 +73,7 @@ enum LayerModule {
     Norm(Norm),
     Relu(Relu),
     MaxPool(MaxPool2d),
+    AvgPool(AvgPool2d),
     GlobalAvgPool(GlobalAvgPool),
     /// Fully-connected with flatten plumbing: remembers the (possibly 4-D)
     /// input shape of the last forward so backward can restore it on the
@@ -89,6 +95,7 @@ impl Module for LayerModule {
             LayerModule::Norm(m) => m.forward_owned(x, train),
             LayerModule::Relu(m) => m.forward_owned(x, train),
             LayerModule::MaxPool(m) => m.forward(&x, train),
+            LayerModule::AvgPool(m) => m.forward(&x, train),
             LayerModule::GlobalAvgPool(m) => m.forward_owned(x, train),
             LayerModule::Fc { linear, in_shape } => {
                 let x = if x.shape().len() > 2 {
@@ -111,6 +118,7 @@ impl Module for LayerModule {
             LayerModule::Norm(m) => m.backward(dy),
             LayerModule::Relu(m) => m.backward(dy),
             LayerModule::MaxPool(m) => m.backward(dy),
+            LayerModule::AvgPool(m) => m.backward(dy),
             LayerModule::GlobalAvgPool(m) => m.backward(dy),
             LayerModule::Fc { linear, in_shape } => {
                 let d = linear.backward(dy);
@@ -128,8 +136,42 @@ impl Module for LayerModule {
             LayerModule::Norm(m) => m.visit_params(f),
             LayerModule::Relu(m) => m.visit_params(f),
             LayerModule::MaxPool(m) => m.visit_params(f),
+            LayerModule::AvgPool(m) => m.visit_params(f),
             LayerModule::GlobalAvgPool(m) => m.visit_params(f),
             LayerModule::Fc { linear, .. } => linear.visit_params(f),
+        }
+    }
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        match self {
+            LayerModule::Conv(m) => m.stash_caches(stash),
+            LayerModule::Norm(m) => m.stash_caches(stash),
+            LayerModule::Relu(m) => m.stash_caches(stash),
+            LayerModule::MaxPool(m) => m.stash_caches(stash),
+            LayerModule::AvgPool(m) => m.stash_caches(stash),
+            LayerModule::GlobalAvgPool(m) => m.stash_caches(stash),
+            LayerModule::Fc { linear, in_shape } => {
+                stash.push(CacheEntry::Shape(in_shape.take()));
+                linear.stash_caches(stash);
+            }
+        }
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        match self {
+            LayerModule::Conv(m) => m.unstash_caches(stash),
+            LayerModule::Norm(m) => m.unstash_caches(stash),
+            LayerModule::Relu(m) => m.unstash_caches(stash),
+            LayerModule::MaxPool(m) => m.unstash_caches(stash),
+            LayerModule::AvgPool(m) => m.unstash_caches(stash),
+            LayerModule::GlobalAvgPool(m) => m.unstash_caches(stash),
+            LayerModule::Fc { linear, in_shape } => {
+                match stash.pop() {
+                    CacheEntry::Shape(s) => *in_shape = s,
+                    other => stash_mismatch("fc flatten shape", &other),
+                }
+                linear.unstash_caches(stash);
+            }
         }
     }
 }
@@ -200,6 +242,114 @@ impl Module for LoweredBlock {
             m.visit_params(f);
         }
     }
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        for m in self
+            .main
+            .iter_mut()
+            .chain(&mut self.shortcut)
+            .chain(&mut self.post)
+        {
+            m.stash_caches(stash);
+        }
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        for m in self
+            .main
+            .iter_mut()
+            .chain(&mut self.shortcut)
+            .chain(&mut self.post)
+        {
+            m.unstash_caches(stash);
+        }
+    }
+}
+
+/// A lowered N-branch Inception-style block: every branch runs from the
+/// shared block input, branch outputs are concatenated channel-wise, then
+/// any post-merge layers run. Backward splits the output gradient back
+/// into per-branch channel ranges and sums the branch input gradients.
+#[derive(Debug, Clone)]
+struct LoweredConcat {
+    branches: Vec<Vec<LayerModule>>,
+    /// Output channels per branch — the concat/split ranges.
+    branch_channels: Vec<usize>,
+    post: Vec<LayerModule>,
+}
+
+impl Module for LoweredConcat {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_owned(x.clone(), train)
+    }
+
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        let last = self.branches.len() - 1;
+        let mut outs: Vec<Tensor> = Vec::with_capacity(self.branches.len());
+        // Every branch but the last borrows the shared input...
+        for branch in self.branches.iter_mut().take(last) {
+            let mut h = branch[0].forward(&x, train);
+            for m in branch.iter_mut().skip(1) {
+                h = m.forward_owned(h, train);
+            }
+            outs.push(h);
+        }
+        // ...and the last consumes it, so the buffer recycles in place.
+        let mut h = x;
+        for m in &mut self.branches[last] {
+            h = m.forward_owned(h, train);
+        }
+        outs.push(h);
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        let mut y = concat_channels(&refs);
+        drop(outs);
+        for m in &mut self.post {
+            y = m.forward_owned(y, train);
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        // Inception-style blocks have no post-merge layers, so the common
+        // path slices straight from `dy` without copying it.
+        let mut g_owned: Option<Tensor> = None;
+        for m in self.post.iter_mut().rev() {
+            g_owned = Some(m.backward(g_owned.as_ref().unwrap_or(dy)));
+        }
+        let g: &Tensor = g_owned.as_ref().unwrap_or(dy);
+        let mut dx: Option<Tensor> = None;
+        let mut c_off = 0usize;
+        for (branch, &cb) in self.branches.iter_mut().zip(&self.branch_channels) {
+            let mut d = slice_channels(g, c_off, cb);
+            c_off += cb;
+            for m in branch.iter_mut().rev() {
+                d = m.backward(&d);
+            }
+            match &mut dx {
+                Some(acc) => acc.add_assign(&d),
+                None => dx = Some(d),
+            }
+        }
+        dx.expect("concat block has at least one branch")
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for m in self.branches.iter_mut().flatten().chain(&mut self.post) {
+            m.visit_params(f);
+        }
+    }
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        for m in self.branches.iter_mut().flatten().chain(&mut self.post) {
+            m.stash_caches(stash);
+        }
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        for m in self.branches.iter_mut().flatten().chain(&mut self.post) {
+            m.unstash_caches(stash);
+        }
+    }
 }
 
 /// One lowered scheduling unit: the runtime mirror of [`mbs_cnn::Node`].
@@ -213,6 +363,7 @@ pub struct NodeModule {
 enum NodeBody {
     Single(Box<LayerModule>),
     Block(LoweredBlock),
+    Concat(LoweredConcat),
 }
 
 impl NodeModule {
@@ -231,6 +382,7 @@ impl Module for NodeModule {
         match &mut self.body {
             NodeBody::Single(m) => m.forward_owned(x, train),
             NodeBody::Block(b) => b.forward_owned(x, train),
+            NodeBody::Concat(b) => b.forward_owned(x, train),
         }
     }
 
@@ -238,6 +390,7 @@ impl Module for NodeModule {
         match &mut self.body {
             NodeBody::Single(m) => m.backward(dy),
             NodeBody::Block(b) => b.backward(dy),
+            NodeBody::Concat(b) => b.backward(dy),
         }
     }
 
@@ -245,6 +398,23 @@ impl Module for NodeModule {
         match &mut self.body {
             NodeBody::Single(m) => m.visit_params(f),
             NodeBody::Block(b) => b.visit_params(f),
+            NodeBody::Concat(b) => b.visit_params(f),
+        }
+    }
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        match &mut self.body {
+            NodeBody::Single(m) => m.stash_caches(stash),
+            NodeBody::Block(b) => b.stash_caches(stash),
+            NodeBody::Concat(b) => b.stash_caches(stash),
+        }
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        match &mut self.body {
+            NodeBody::Single(m) => m.unstash_caches(stash),
+            NodeBody::Block(b) => b.unstash_caches(stash),
+            NodeBody::Concat(b) => b.unstash_caches(stash),
         }
     }
 }
@@ -311,6 +481,54 @@ impl LoweredNet {
         }
         d
     }
+
+    /// Moves the backward caches of nodes `range` (the state the last
+    /// training forward through that range left behind) into `stash`, in
+    /// node order. The grouped executor calls this after each chunk of a
+    /// multi-iteration group so the next chunk's forward cannot overwrite
+    /// the caches — see [`crate::grouped::GroupedExecutor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn stash_range(&mut self, range: Range<usize>, stash: &mut CacheStash) {
+        for node in &mut self.nodes[range] {
+            node.stash_caches(stash);
+        }
+    }
+
+    /// Restores caches previously moved out by [`LoweredNet::stash_range`]
+    /// for the same node range, consuming the stash's entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stash was produced by a different range (entry
+    /// sequence mismatch).
+    pub fn unstash_range(&mut self, range: Range<usize>, stash: &mut CacheStash) {
+        for node in &mut self.nodes[range] {
+            node.unstash_caches(stash);
+        }
+    }
+
+    /// Mean output of the first and last **top-level** normalization nodes
+    /// on `probe`, evaluated in inference mode — the lowered-net analogue
+    /// of `MiniResNet::preactivation_means` (the Fig. 6 diagnostic).
+    /// Returns `(0.0, 0.0)` if the network has no top-level norm node
+    /// (norms inside blocks are not probed).
+    pub fn preactivation_means(&mut self, probe: &Tensor) -> (f32, f32) {
+        let mut x = probe.clone();
+        let mut first = None;
+        let mut last = None;
+        for node in &mut self.nodes {
+            x = node.forward_owned(x, false);
+            if matches!(&node.body, NodeBody::Single(m) if matches!(**m, LayerModule::Norm(_))) {
+                let mean = x.mean();
+                first.get_or_insert(mean);
+                last = Some(mean);
+            }
+        }
+        (first.unwrap_or(0.0), last.unwrap_or(0.0))
+    }
 }
 
 impl Module for LoweredNet {
@@ -333,16 +551,49 @@ impl Module for LoweredNet {
             node.visit_params(f);
         }
     }
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        let len = self.len();
+        self.stash_range(0..len, stash);
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        let len = self.len();
+        self.unstash_range(0..len, stash);
+    }
 }
 
 /// Compiles `net` into a [`LoweredNet`], initializing parameters from
 /// `rng` (Kaiming for convolutions and the classifier, ones/zeros for norm
 /// scale/shift — the same scheme the hand-built models use).
 ///
+/// Every IR construct the zoo uses lowers: conv, GN/BN/LRN, ReLU, max and
+/// average pooling (padded or not), GAP, FC, residual (`Add`) blocks, and
+/// Inception-style (`Concat`) blocks — so `inception_v3()`, `alexnet()`,
+/// and `resnet(50)` all compile to runnable models.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_train::lower::lower;
+/// use mbs_train::Module;
+/// use mbs_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// // A toy Inception-style network: concat block + padded pools.
+/// let net = mbs_cnn::networks::toy::tiny_inception(16, 4);
+/// let mut model = lower(&net, &mut StdRng::seed_from_u64(1)).unwrap();
+/// assert_eq!(model.len(), net.nodes().len()); // one module per IR node
+/// let y = model.forward(&Tensor::full(&[2, 3, 16, 16], 0.1), false);
+/// assert_eq!(y.shape(), &[2, net.output().channels]);
+/// ```
+///
 /// # Errors
 ///
-/// Returns a [`LowerError`] naming the first layer whose kind the training
-/// runtime does not implement.
+/// Returns a [`LowerError`] naming the offending layer for degenerate
+/// pools (`pad >= kernel`) and for malformed block shapes the builders
+/// never produce (an `Add` block without exactly two branches, a `Concat`
+/// block with an empty branch, or a merge that is neither).
 pub fn lower(net: &Network, rng: &mut StdRng) -> Result<LoweredNet, LowerError> {
     let nodes = net
         .nodes()
@@ -350,7 +601,7 @@ pub fn lower(net: &Network, rng: &mut StdRng) -> Result<LoweredNet, LowerError> 
         .map(|node| {
             let body = match node {
                 Node::Single(layer) => NodeBody::Single(Box::new(lower_layer(layer, rng)?)),
-                Node::Block(block) => NodeBody::Block(lower_block(block, rng)?),
+                Node::Block(block) => lower_block(block, rng)?,
             };
             Ok(NodeModule {
                 name: node.name().to_owned(),
@@ -389,29 +640,36 @@ fn lower_layer(layer: &Layer, rng: &mut StdRng) -> Result<LayerModule, LowerErro
         }
         LayerKind::Norm { kind } => {
             let channels = layer.input.channels;
-            let choice = match kind {
-                NormKind::Group { groups } => NormChoice::Group(groups),
-                NormKind::Batch => NormChoice::Batch,
-                NormKind::Local => {
-                    return Err(LowerError::new(
-                        &layer.name,
-                        "local response normalization is not implemented by the runtime",
-                    ))
-                }
+            let norm = match kind {
+                NormKind::Group { groups } => Norm::new(NormChoice::Group(groups), channels),
+                NormKind::Batch => Norm::new(NormChoice::Batch, channels),
+                NormKind::Local => Norm::Local(LocalResponseNorm::alexnet()),
             };
-            Ok(LayerModule::Norm(Norm::new(choice, channels)))
+            Ok(LayerModule::Norm(norm))
         }
         LayerKind::Relu => Ok(LayerModule::Relu(Relu::new())),
         LayerKind::Pool {
-            kind: PoolKind::Max,
+            kind,
             kernel,
             stride,
-            pad: 0,
-        } => Ok(LayerModule::MaxPool(MaxPool2d::new(kernel, stride))),
-        LayerKind::Pool { kind, pad, .. } => Err(LowerError::new(
-            &layer.name,
-            format!("only unpadded max pooling is implemented (kind {kind:?}, pad {pad})"),
-        )),
+            pad,
+        } => {
+            if pad >= kernel {
+                // A window at the padded edge would contain no input cell.
+                return Err(LowerError::new(
+                    &layer.name,
+                    format!(
+                        "degenerate pool geometry: pad {pad} >= kernel {kernel} leaves \
+                         all-padding windows ({kind:?} pool, kernel {kernel}x{kernel}, \
+                         stride {stride}, pad {pad})"
+                    ),
+                ));
+            }
+            Ok(match kind {
+                PoolKind::Max => LayerModule::MaxPool(MaxPool2d::with_pad(kernel, stride, pad)),
+                PoolKind::Avg => LayerModule::AvgPool(AvgPool2d::new(kernel, stride, pad)),
+            })
+        }
         LayerKind::GlobalAvgPool => Ok(LayerModule::GlobalAvgPool(GlobalAvgPool::new())),
         LayerKind::FullyConnected => Ok(LayerModule::Fc {
             linear: Linear::new(layer.input.elems(), layer.output.channels, rng),
@@ -424,33 +682,56 @@ fn lower_layer(layer: &Layer, rng: &mut StdRng) -> Result<LayerModule, LowerErro
     }
 }
 
-fn lower_block(block: &Block, rng: &mut StdRng) -> Result<LoweredBlock, LowerError> {
-    if !matches!(block.merge.kind, LayerKind::Add) {
-        return Err(LowerError::new(
+fn lower_chain(layers: &[Layer], rng: &mut StdRng) -> Result<Vec<LayerModule>, LowerError> {
+    layers
+        .iter()
+        .map(|l| lower_layer(l, rng))
+        .collect::<Result<Vec<_>, _>>()
+}
+
+fn lower_block(block: &Block, rng: &mut StdRng) -> Result<NodeBody, LowerError> {
+    match block.merge.kind {
+        LayerKind::Add => {
+            if block.branches.len() != 2 {
+                return Err(LowerError::new(
+                    &block.name,
+                    format!(
+                        "residual lowering expects 2 branches, found {}",
+                        block.branches.len()
+                    ),
+                ));
+            }
+            Ok(NodeBody::Block(LoweredBlock {
+                main: lower_chain(&block.branches[0], rng)?,
+                shortcut: lower_chain(&block.branches[1], rng)?,
+                post: lower_chain(&block.post, rng)?,
+            }))
+        }
+        LayerKind::Concat => {
+            if block.branches.iter().any(Vec::is_empty) {
+                return Err(LowerError::new(
+                    &block.name,
+                    "concat lowering requires non-empty branches",
+                ));
+            }
+            let branch_channels = (0..block.branches.len())
+                .map(|b| block.branch_output(b).channels)
+                .collect();
+            Ok(NodeBody::Concat(LoweredConcat {
+                branches: block
+                    .branches
+                    .iter()
+                    .map(|b| lower_chain(b, rng))
+                    .collect::<Result<Vec<_>, _>>()?,
+                branch_channels,
+                post: lower_chain(&block.post, rng)?,
+            }))
+        }
+        _ => Err(LowerError::new(
             &block.merge.name,
-            "only residual (Add-merged) blocks are implemented; Concat is not",
-        ));
+            "block merge must be Add (residual) or Concat (inception)",
+        )),
     }
-    if block.branches.len() != 2 {
-        return Err(LowerError::new(
-            &block.name,
-            format!(
-                "residual lowering expects 2 branches, found {}",
-                block.branches.len()
-            ),
-        ));
-    }
-    let chain = |layers: &[Layer], rng: &mut StdRng| {
-        layers
-            .iter()
-            .map(|l| lower_layer(l, rng))
-            .collect::<Result<Vec<_>, _>>()
-    };
-    Ok(LoweredBlock {
-        main: chain(&block.branches[0], rng)?,
-        shortcut: chain(&block.branches[1], rng)?,
-        post: chain(&block.post, rng)?,
-    })
 }
 
 #[cfg(test)]
@@ -536,19 +817,101 @@ mod tests {
     }
 
     #[test]
-    fn concat_blocks_are_rejected() {
-        let net = mbs_cnn::networks::inception_v3();
-        let err = lower(&net, &mut rng()).unwrap_err();
-        assert!(err.to_string().contains("cannot lower"));
+    fn concat_blocks_lower_and_round_trip_gradients() {
+        let net = toy::tiny_inception(8, 2);
+        let mut m = lower(&net, &mut rng()).expect("tiny_inception must lower");
+        let x = Tensor::from_vec(
+            &[2, 3, 8, 8],
+            (0..2 * 3 * 64)
+                .map(|v| ((v % 13) as f32 - 6.0) / 4.0)
+                .collect(),
+        );
+        let y = m.forward(&x, true);
+        assert_eq!(y.shape(), &[2, net.output().channels]);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        let dx = m.backward(&Tensor::full(y.shape(), 0.1));
+        assert_eq!(dx.shape(), x.shape());
+        assert!(dx.data().iter().all(|v| v.is_finite()));
     }
 
     #[test]
-    fn padded_pooling_is_rejected() {
+    fn padded_and_average_pooling_lower() {
         let net = NetworkBuilder::new("p", FeatureShape::new(3, 8, 8), 4)
-            .pool("pool", mbs_cnn::PoolKind::Max, 3, 2, 1)
+            .pool("maxp", mbs_cnn::PoolKind::Max, 3, 2, 1)
+            .unwrap()
+            .pool("avgp", mbs_cnn::PoolKind::Avg, 3, 1, 1)
+            .unwrap()
+            .build();
+        let mut m = lower(&net, &mut rng()).expect("padded pools must lower");
+        let x = Tensor::full(&[1, 3, 8, 8], 0.5);
+        let y = m.forward(&x, true);
+        // 8 -> (8+2-3)/2+1 = 4, then 3x3/1 pad 1 preserves 4.
+        assert_eq!(y.shape(), &[1, 3, 4, 4]);
+    }
+
+    #[test]
+    fn degenerate_pool_error_names_layer_and_geometry() {
+        let net = NetworkBuilder::new("p", FeatureShape::new(3, 8, 8), 4)
+            .pool("stem.pool", mbs_cnn::PoolKind::Avg, 2, 2, 2)
             .unwrap()
             .build();
         let err = lower(&net, &mut rng()).unwrap_err();
-        assert_eq!(err.layer(), "pool");
+        assert_eq!(err.layer(), "stem.pool");
+        let msg = err.to_string();
+        // The message must carry the node name and the full geometry.
+        for needle in [
+            "stem.pool",
+            "Avg",
+            "kernel 2x2",
+            "stride 2",
+            "pad 2",
+            "all-padding windows",
+        ] {
+            assert!(msg.contains(needle), "missing {needle:?} in {msg:?}");
+        }
+    }
+
+    #[test]
+    fn full_zoo_networks_lower() {
+        // The acceptance bar of the full-network-lowering PR: InceptionV3
+        // (concat blocks, avg pools, rectangular kernels) and AlexNet
+        // (LRN, big FCs) compile without LowerError, with one module per
+        // scheduling unit and IR-truthful parameter counts.
+        for net in [
+            mbs_cnn::networks::inception_v3(),
+            mbs_cnn::networks::alexnet(),
+        ] {
+            let mut m = lower(&net, &mut rng())
+                .unwrap_or_else(|e| panic!("{} must lower: {e}", net.name()));
+            assert_eq!(m.len(), net.nodes().len(), "{}", net.name());
+            let mut elems = 0usize;
+            m.visit_params(&mut |p| elems += p.value.len());
+            assert_eq!(elems, net.param_elems(), "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn stash_range_round_trip_matches_unstashed_backward() {
+        let net = toy::runtime_mix(8, 4);
+        let mut a = lower(&net, &mut rng()).unwrap();
+        let mut b = lower(&net, &mut rng()).unwrap();
+        let x = Tensor::from_vec(
+            &[2, 3, 8, 8],
+            (0..2 * 3 * 64)
+                .map(|v| ((v % 7) as f32 - 3.0) / 2.0)
+                .collect(),
+        );
+        let ya = a.forward(&x, true);
+        let _ = b.forward(&x, true);
+        // Stash b's caches, clobber them with a second forward, restore.
+        let mut stash = CacheStash::default();
+        let len = b.len();
+        b.stash_range(0..len, &mut stash);
+        let _ = b.forward(&Tensor::full(x.shape(), 0.25), true);
+        b.unstash_range(0..len, &mut stash);
+        assert!(stash.is_empty(), "every entry must be consumed");
+        let dy = Tensor::full(ya.shape(), 0.5);
+        // Restored caches must reproduce the original backward bitwise.
+        assert_eq!(a.backward(&dy), b.backward(&dy));
     }
 }

@@ -1,5 +1,8 @@
 //! The layer/module abstraction for the CPU training substrate.
 
+use std::collections::VecDeque;
+
+use mbs_tensor::ops::BitMask;
 use mbs_tensor::Tensor;
 
 /// A learnable parameter with its accumulated gradient.
@@ -29,6 +32,101 @@ impl Param {
     }
 }
 
+/// One moved-out piece of a module's backward state. Every variant wraps
+/// the `Option` the owning module stores, so stashing is a plain
+/// `Option::take` — ownership moves, nothing is copied, and tensor
+/// storage stays arena-pooled wherever it goes.
+#[derive(Debug)]
+pub enum CacheEntry {
+    /// A cached activation tensor (layer inputs, normalized values).
+    Tensor(Option<Tensor>),
+    /// A ReLU sign mask.
+    Mask(Option<BitMask>),
+    /// Max-pool state: argmax indices plus the input shape.
+    Pool(Option<(Vec<usize>, Vec<usize>)>),
+    /// A cached shape (pooling layers, FC flatten plumbing).
+    Shape(Option<Vec<usize>>),
+    /// Per-sample / per-group statistics (normalization inverse stddevs,
+    /// LRN scale denominators).
+    Stats(Option<Vec<f32>>),
+}
+
+/// An ordered bag of [`CacheEntry`] values: the backward state of a module
+/// chain for **one** forwarded chunk, moved out of the layers so the next
+/// chunk's forward cannot overwrite it.
+///
+/// [`crate::grouped::GroupedExecutor`] keeps one stash per (group, chunk)
+/// and consumes them in reverse chunk order during backward — the
+/// cache-stashing alternative to replaying each chunk's forward. Entries
+/// are FIFO: modules push in forward order ([`Module::stash_caches`]) and
+/// pull in the same order ([`Module::unstash_caches`]), so a chain's stash
+/// and unstash walks can both iterate the chain front to back.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_train::layers::Relu;
+/// use mbs_train::module::{CacheStash, Module};
+/// use mbs_tensor::Tensor;
+///
+/// let mut relu = Relu::new();
+/// let x = Tensor::from_vec(&[2], vec![-1.0, 2.0]);
+/// let _ = relu.forward(&x, true);
+/// let mut stash = CacheStash::default();
+/// relu.stash_caches(&mut stash);       // mask moves out of the layer
+/// assert_eq!(stash.len(), 1);
+/// relu.unstash_caches(&mut stash);     // ...and back in
+/// assert!(stash.is_empty());
+/// let dx = relu.backward(&Tensor::full(&[2], 1.0));
+/// assert_eq!(dx.data(), &[0.0, 1.0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct CacheStash {
+    entries: VecDeque<CacheEntry>,
+}
+
+impl CacheStash {
+    /// Appends one entry (modules call this from
+    /// [`Module::stash_caches`]).
+    pub fn push(&mut self, entry: CacheEntry) {
+        self.entries.push_back(entry);
+    }
+
+    /// Removes and returns the oldest entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stash is empty — a module pulled more entries than
+    /// were pushed, i.e. stash/unstash walked different module sequences.
+    pub fn pop(&mut self) -> CacheEntry {
+        self.entries
+            .pop_front()
+            .expect("cache stash underflow: unstash order must mirror stash order")
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the stash holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all entries (tensor storage returns to the arena) while
+    /// keeping the deque's capacity for reuse.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Panic helper for a [`CacheEntry`] variant mismatch during unstash.
+#[cold]
+pub(crate) fn stash_mismatch(wanted: &str, got: &CacheEntry) -> ! {
+    panic!("cache stash mismatch: expected {wanted} entry, found {got:?}")
+}
+
 /// A differentiable module.
 pub trait Module {
     /// Forward pass. `train` selects training behavior (batch-norm batch
@@ -53,6 +151,31 @@ pub trait Module {
 
     /// Visits every parameter (used by optimizers and gradient checks).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// **Moves** this module's backward caches (the state a training
+    /// forward left behind for [`Module::backward`]) into `stash`, in a
+    /// fixed per-module order. After the call the module behaves as if no
+    /// training forward had run. Modules that cache nothing push nothing.
+    ///
+    /// Together with [`Module::unstash_caches`] this is the cache-stashing
+    /// protocol the grouped executor uses to keep every chunk's backward
+    /// state alive across a multi-chunk group forward (instead of
+    /// replaying forwards during backward).
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        let _ = stash;
+    }
+
+    /// Restores caches previously moved out by [`Module::stash_caches`],
+    /// consuming the same number of entries in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the next entries do not match this
+    /// module's expected sequence (the stash belongs to a different chain
+    /// or the walk orders diverged).
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        let _ = stash;
+    }
 
     /// Clears all accumulated gradients.
     fn zero_grad(&mut self) {

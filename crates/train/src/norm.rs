@@ -1,16 +1,19 @@
-//! Feature normalization: batch normalization and group normalization.
+//! Feature normalization: batch, group, and local response normalization.
 //!
 //! BN normalizes each channel over the whole per-processor mini-batch, so
 //! it fundamentally cannot be serialized into sub-batches — the statistics
 //! change. GN normalizes channel groups *within a single sample* (Wu & He
 //! 2018), which is why the paper adopts it for MBS (§3.1): sub-batch
-//! serialization leaves GN's arithmetic bit-for-bit unchanged.
+//! serialization leaves GN's arithmetic bit-for-bit unchanged. LRN
+//! (AlexNet's cross-channel normalization) is likewise per-sample and
+//! MBS-compatible; the IR models it as `NormKind::Local` and the lowering
+//! maps it onto [`LocalResponseNorm`].
 
 #![allow(clippy::needless_range_loop)] // indexed loops read several parallel buffers
 
 use mbs_tensor::Tensor;
 
-use crate::module::{Module, Param};
+use crate::module::{stash_mismatch, CacheEntry, CacheStash, Module, Param};
 
 const EPS: f32 = 1e-5;
 
@@ -132,6 +135,30 @@ impl Module for BatchNorm2d {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.gamma);
         f(&mut self.beta);
+    }
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        let (xhat, ivar) = match self.cache.take() {
+            Some(c) => (Some(c.xhat), Some(c.ivar)),
+            None => (None, None),
+        };
+        stash.push(CacheEntry::Tensor(xhat));
+        stash.push(CacheEntry::Stats(ivar));
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        let xhat = match stash.pop() {
+            CacheEntry::Tensor(t) => t,
+            other => stash_mismatch("bn xhat", &other),
+        };
+        let ivar = match stash.pop() {
+            CacheEntry::Stats(s) => s,
+            other => stash_mismatch("bn ivar", &other),
+        };
+        self.cache = match (xhat, ivar) {
+            (Some(xhat), Some(ivar)) => Some(BnCache { xhat, ivar }),
+            _ => None,
+        };
     }
 }
 
@@ -285,6 +312,211 @@ impl Module for GroupNorm {
         f(&mut self.gamma);
         f(&mut self.beta);
     }
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        let (xhat, ivar) = match self.cache.take() {
+            Some(c) => (Some(c.xhat), Some(c.ivar)),
+            None => (None, None),
+        };
+        stash.push(CacheEntry::Tensor(xhat));
+        stash.push(CacheEntry::Stats(ivar));
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        let xhat = match stash.pop() {
+            CacheEntry::Tensor(t) => t,
+            other => stash_mismatch("gn xhat", &other),
+        };
+        let ivar = match stash.pop() {
+            CacheEntry::Stats(s) => s,
+            other => stash_mismatch("gn ivar", &other),
+        };
+        self.cache = match (xhat, ivar) {
+            (Some(xhat), Some(ivar)) => Some(GnCache { xhat, ivar }),
+            _ => None,
+        };
+    }
+}
+
+/// Local response normalization (Krizhevsky et al. 2012): each activation
+/// is scaled by a power of the sum of squares of its cross-channel
+/// neighborhood,
+///
+/// ```text
+/// y[c] = x[c] · (k + α/n · Σ_{c' ∈ W(c)} x[c']²)^(-β)
+/// ```
+///
+/// with `W(c)` the `n`-wide channel window centered on `c` (clamped at the
+/// edges). Per-sample and parameterless, so — like GN — it is exactly
+/// invariant under MBS sub-batch serialization. Defaults are AlexNet's
+/// (`n = 5`, `α = 1e-4`, `β = 0.75`, `k = 2`); the IR's
+/// `NormKind::Local` lowers to exactly this configuration.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_train::norm::LocalResponseNorm;
+/// use mbs_train::module::Module;
+/// use mbs_tensor::Tensor;
+///
+/// let mut lrn = LocalResponseNorm::alexnet();
+/// let x = Tensor::full(&[2, 8, 4, 4], 1.0);
+/// let y = lrn.forward(&x, false);
+/// // Every output shrinks toward zero but keeps the input's sign.
+/// assert!(y.data().iter().all(|&v| v > 0.0 && v < 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalResponseNorm {
+    size: usize,
+    alpha: f32,
+    beta: f32,
+    k: f32,
+    /// (input, per-element scale denominator `k + α/n·Σx²`).
+    cache: Option<(Tensor, Tensor)>,
+}
+
+impl LocalResponseNorm {
+    /// LRN with an explicit window size and constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize, alpha: f32, beta: f32, k: f32) -> Self {
+        assert!(size > 0, "window size must be positive");
+        Self {
+            size,
+            alpha,
+            beta,
+            k,
+            cache: None,
+        }
+    }
+
+    /// The AlexNet configuration: `n = 5`, `α = 1e-4`, `β = 0.75`, `k = 2`.
+    pub fn alexnet() -> Self {
+        Self::new(5, 1e-4, 0.75, 2.0)
+    }
+
+    /// The per-element scale denominator `s = k + α/n · Σ_{W(c)} x²`.
+    fn scales(&self, x: &Tensor) -> Tensor {
+        let [n, c, h, w]: [usize; 4] = x.shape().try_into().expect("lrn expects 4-D");
+        let hw = h * w;
+        let half = self.size / 2;
+        let coef = self.alpha / self.size as f32;
+        let xd = x.data();
+        let mut s = Tensor::uninit(x.shape());
+        let sd = s.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let lo = ci.saturating_sub(half);
+                let hi = (ci + half + 1).min(c);
+                let base = (ni * c + ci) * hw;
+                for p in 0..hw {
+                    let mut sq = 0.0f32;
+                    for cj in lo..hi {
+                        let v = xd[(ni * c + cj) * hw + p];
+                        sq += v * v;
+                    }
+                    sd[base + p] = self.k + coef * sq;
+                }
+            }
+        }
+        s
+    }
+}
+
+impl Module for LocalResponseNorm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = self.scales(x);
+        let mut y = Tensor::uninit(x.shape());
+        let yd = y.data_mut();
+        for ((&xv, &sv), out) in x.data().iter().zip(s.data()).zip(yd.iter_mut()) {
+            *out = xv * sv.powf(-self.beta);
+        }
+        if train {
+            self.cache = Some((x.clone(), s));
+        }
+        y
+    }
+
+    fn forward_owned(&mut self, x: Tensor, train: bool) -> Tensor {
+        let s = self.scales(&x);
+        let mut y = Tensor::uninit(x.shape());
+        let yd = y.data_mut();
+        for ((&xv, &sv), out) in x.data().iter().zip(s.data()).zip(yd.iter_mut()) {
+            *out = xv * sv.powf(-self.beta);
+        }
+        if train {
+            // Move the input into the cache instead of cloning it.
+            self.cache = Some((x, s));
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (x, s) = self
+            .cache
+            .as_ref()
+            .expect("backward requires a training forward");
+        let [n, c, h, w]: [usize; 4] = dy.shape().try_into().expect("lrn expects 4-D");
+        let hw = h * w;
+        let half = self.size / 2;
+        let coef = 2.0 * self.alpha * self.beta / self.size as f32;
+        let xd = x.data();
+        let sd = s.data();
+        let dyd = dy.data();
+        // u[c] = dy[c]·x[c]·s[c]^(-β-1); the cross-channel term of dx[j]
+        // is a windowed sum of u (the window relation is symmetric).
+        let mut u = Tensor::uninit(dy.shape());
+        let ud = u.data_mut();
+        for i in 0..dy.len() {
+            ud[i] = dyd[i] * xd[i] * sd[i].powf(-self.beta - 1.0);
+        }
+        let mut dx = Tensor::uninit(dy.shape());
+        let dxd = dx.data_mut();
+        for ni in 0..n {
+            for cj in 0..c {
+                let lo = cj.saturating_sub(half);
+                let hi = (cj + half + 1).min(c);
+                let base = (ni * c + cj) * hw;
+                for p in 0..hw {
+                    let mut cross = 0.0f32;
+                    for ci in lo..hi {
+                        cross += ud[(ni * c + ci) * hw + p];
+                    }
+                    let i = base + p;
+                    dxd[i] = dyd[i] * sd[i].powf(-self.beta) - coef * xd[i] * cross;
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        let (x, s) = match self.cache.take() {
+            Some((x, s)) => (Some(x), Some(s)),
+            None => (None, None),
+        };
+        stash.push(CacheEntry::Tensor(x));
+        stash.push(CacheEntry::Tensor(s));
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        let x = match stash.pop() {
+            CacheEntry::Tensor(t) => t,
+            other => stash_mismatch("lrn input", &other),
+        };
+        let s = match stash.pop() {
+            CacheEntry::Tensor(t) => t,
+            other => stash_mismatch("lrn scale", &other),
+        };
+        self.cache = match (x, s) {
+            (Some(x), Some(s)) => Some((x, s)),
+            _ => None,
+        };
+    }
 }
 
 /// The normalization choice for a model (paper Fig. 6 compares all three).
@@ -305,6 +537,8 @@ pub enum Norm {
     Batch(BatchNorm2d),
     /// Group normalization.
     Group(GroupNorm),
+    /// Local response normalization (the IR's `NormKind::Local`).
+    Local(LocalResponseNorm),
     /// Identity.
     None,
 }
@@ -325,6 +559,7 @@ impl Module for Norm {
         match self {
             Norm::Batch(b) => b.forward(x, train),
             Norm::Group(g) => g.forward(x, train),
+            Norm::Local(l) => l.forward(x, train),
             Norm::None => x.clone(),
         }
     }
@@ -333,6 +568,7 @@ impl Module for Norm {
         match self {
             Norm::Batch(b) => b.forward(&x, train),
             Norm::Group(g) => g.forward(&x, train),
+            Norm::Local(l) => l.forward_owned(x, train),
             // The identity norm passes the owned activation straight
             // through — no clone, no allocation.
             Norm::None => x,
@@ -343,6 +579,7 @@ impl Module for Norm {
         match self {
             Norm::Batch(b) => b.backward(dy),
             Norm::Group(g) => g.backward(dy),
+            Norm::Local(l) => l.backward(dy),
             Norm::None => dy.clone(),
         }
     }
@@ -351,6 +588,25 @@ impl Module for Norm {
         match self {
             Norm::Batch(b) => b.visit_params(f),
             Norm::Group(g) => g.visit_params(f),
+            Norm::Local(l) => l.visit_params(f),
+            Norm::None => {}
+        }
+    }
+
+    fn stash_caches(&mut self, stash: &mut CacheStash) {
+        match self {
+            Norm::Batch(b) => b.stash_caches(stash),
+            Norm::Group(g) => g.stash_caches(stash),
+            Norm::Local(l) => l.stash_caches(stash),
+            Norm::None => {}
+        }
+    }
+
+    fn unstash_caches(&mut self, stash: &mut CacheStash) {
+        match self {
+            Norm::Batch(b) => b.unstash_caches(stash),
+            Norm::Group(g) => g.unstash_caches(stash),
+            Norm::Local(l) => l.unstash_caches(stash),
             Norm::None => {}
         }
     }
@@ -500,5 +756,43 @@ mod tests {
     #[should_panic(expected = "groups must divide")]
     fn gn_rejects_bad_groups() {
         let _ = GroupNorm::new(6, 4);
+    }
+
+    #[test]
+    fn lrn_gradient_matches_finite_difference() {
+        // Exaggerated constants so the cross-channel term is visible above
+        // the finite-difference tolerance.
+        let mut lrn = LocalResponseNorm::new(3, 0.5, 0.75, 2.0);
+        grad_check_norm(&mut lrn, &[2, 5, 3, 3]);
+    }
+
+    #[test]
+    fn lrn_is_subbatch_invariant() {
+        // Like GN: per-sample arithmetic, so sub-batch rows match exactly.
+        let x = seeded(&[4, 6, 3, 3], 7);
+        let first_two = slice_batch(&x, 0, 2);
+        let mut a = LocalResponseNorm::alexnet();
+        let full = a.forward(&x, false);
+        let mut b = LocalResponseNorm::alexnet();
+        let part = b.forward(&first_two, false);
+        assert_eq!(slice_batch(&full, 0, 2), part);
+    }
+
+    #[test]
+    fn lrn_stash_round_trip_preserves_backward() {
+        use crate::module::CacheStash;
+        let x = seeded(&[2, 5, 3, 3], 8);
+        let dy = seeded(&[2, 5, 3, 3], 9);
+        let mut a = LocalResponseNorm::alexnet();
+        let mut b = LocalResponseNorm::alexnet();
+        let _ = a.forward(&x, true);
+        let _ = b.forward(&x, true);
+        let mut stash = CacheStash::default();
+        b.stash_caches(&mut stash);
+        // A second forward overwrites b's live caches...
+        let _ = b.forward(&seeded(&[2, 5, 3, 3], 10), true);
+        b.unstash_caches(&mut stash);
+        // ...but the restored stash reproduces a's backward bitwise.
+        assert_eq!(a.backward(&dy), b.backward(&dy));
     }
 }

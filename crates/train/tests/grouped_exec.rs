@@ -1,9 +1,12 @@
-//! Pins the schedule-driven execution acceptance claims: for a GN model
-//! lowered from the IR, a [`GroupedExecutor`] running a multi-group
-//! schedule with *distinct* per-group sub-batch sizes produces parameter
-//! updates matching `train_step_full` within the same tolerance the
-//! uniform `train_step_mbs` already meets — whatever schedule the MBS
-//! scheduler (or a hand-built grouping) picks.
+//! Pins the schedule-driven execution acceptance claims: for a
+//! per-sample-normalized model lowered from the IR, a [`GroupedExecutor`]
+//! running a multi-group schedule with *distinct* per-group sub-batch
+//! sizes produces parameter updates matching `train_step_full` within the
+//! same tolerance the uniform `train_step_mbs` already meets — whatever
+//! schedule the MBS scheduler (or a hand-built grouping) picks, whether
+//! backward consumes **cache stashes** (the default) or **replays** chunk
+//! forwards (`MBS_STASH=0`), and across the lowering's whole structural
+//! range (residual, Inception-concat, and LRN+FC AlexNet-style toys).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -127,6 +130,126 @@ fn single_group_schedule_degenerates_to_uniform_mbs() {
     }
     let diff = max_param_diff(&mut uniform, &mut grouped);
     assert!(diff < 5e-4, "single-group grouped != uniform MBS: {diff}");
+}
+
+/// The full equivalence matrix over the newly lowerable network shapes:
+/// {InceptionV3 toy, AlexNet toy} × {hand-built, scheduler-chosen}
+/// schedules × {stash, replay} backward. Every cell must match
+/// `train_step_full` within the uniform executor's tolerance, and the two
+/// backward strategies must agree with *each other* bitwise.
+#[test]
+fn equivalence_matrix_inception_and_alexnet_toys() {
+    let nets = [toy::tiny_inception(8, 8), toy::tiny_alexnet(8, 8)];
+    for (ni, net) in nets.iter().enumerate() {
+        let nodes = net.nodes().len();
+        let hand = Schedule::new(
+            ExecConfig::Mbs1,
+            8,
+            vec![
+                Group::new(0, nodes / 2, 2, 8),
+                Group::new(nodes / 2, nodes, 4, 8),
+            ],
+            true,
+        );
+        // A small cache budget so the scheduler genuinely serializes the
+        // toy; the exact grouping is its choice.
+        let hw = HardwareConfig::cpu().with_global_buffer(2 * 1024);
+        let chosen = MbsScheduler::new(net, &hw, ExecConfig::Mbs1)
+            .with_batch(8)
+            .schedule();
+        assert!(
+            chosen.groups().iter().any(|g| g.iterations > 1),
+            "{}: budget must force serialization, got subs {:?}",
+            net.name(),
+            chosen.sub_batches()
+        );
+        let d = generate(8, 8, 0.3, 95 + ni as u64);
+        for (si, schedule) in [&hand, &chosen].into_iter().enumerate() {
+            let mut stash_params: Option<Vec<mbs_tensor::Tensor>> = None;
+            for stashing in [true, false] {
+                let (mut full, mut grouped) = lowered_pair(net, 31 + ni as u64);
+                let mut opt_a = Sgd::new(0.05, 0.9, 1e-4);
+                let mut opt_b = Sgd::new(0.05, 0.9, 1e-4);
+                let mut exec = GroupedExecutor::new(schedule, grouped.len());
+                exec.set_stashing(stashing);
+                for _ in 0..2 {
+                    let l_full = train_step_full(&mut full, &d.images, &d.labels, &mut opt_a);
+                    let l_grp = exec.train_step(&mut grouped, &d.images, &d.labels, &mut opt_b);
+                    assert!(
+                        (l_full - l_grp).abs() < 1e-4,
+                        "{} sched{si} stash={stashing}: losses {l_full} vs {l_grp}",
+                        net.name()
+                    );
+                }
+                let diff = max_param_diff(&mut full, &mut grouped);
+                assert!(
+                    diff < 5e-4,
+                    "{} sched{si} stash={stashing}: diverged from full batch by {diff}",
+                    net.name()
+                );
+                // Stash and replay must agree bitwise, not just in
+                // tolerance: replay recomputes exactly what stashing saved.
+                let mut params = Vec::new();
+                grouped.visit_params(&mut |p| params.push(p.value.clone()));
+                match &stash_params {
+                    None => stash_params = Some(params),
+                    Some(reference) => {
+                        for (i, (a, b)) in reference.iter().zip(&params).enumerate() {
+                            assert_eq!(a, b, "{} sched{si} param {i}: stash != replay", net.name());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Full-network acceptance: a scheduler-chosen grouped train step on the
+/// real `inception_v3()` (299×299, concat blocks, avg pools) and
+/// `alexnet()` (227×227, LRN, big FCs) matches the uniform serialized
+/// executor within tolerance. Full-size single-core compute — minutes in
+/// release, far longer in the debug profile `cargo test` uses — so it is
+/// opt-in:
+///
+/// ```sh
+/// cargo test --release -p mbs-train --test grouped_exec -- --ignored
+/// ```
+#[test]
+#[ignore = "full-size networks (minutes of compute): run with --release -- --ignored"]
+fn full_networks_complete_scheduler_chosen_grouped_steps() {
+    for (net, size) in [
+        (mbs_cnn::networks::alexnet(), 227usize),
+        (mbs_cnn::networks::inception_v3(), 299),
+    ] {
+        let hw = HardwareConfig::cpu();
+        let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1)
+            .with_batch(2)
+            .schedule();
+        let d = generate(2, size, 0.3, 99);
+        let (mut uniform, mut grouped) = lowered_pair(&net, 41);
+        let mut oa = Sgd::new(0.01, 0.9, 0.0);
+        let mut ob = Sgd::new(0.01, 0.9, 0.0);
+        let mut exec = GroupedExecutor::new(&schedule, grouped.len());
+        let lu = train_step_mbs(
+            &mut uniform,
+            &d.images,
+            &d.labels,
+            schedule.min_sub_batch(),
+            &mut oa,
+        );
+        let lg = exec.train_step(&mut grouped, &d.images, &d.labels, &mut ob);
+        assert!(
+            (lu - lg).abs() < 1e-3,
+            "{}: losses {lu} vs {lg}",
+            net.name()
+        );
+        let diff = max_param_diff(&mut uniform, &mut grouped);
+        assert!(
+            diff < 5e-4,
+            "{}: grouped step diverged from uniform by {diff}",
+            net.name()
+        );
+    }
 }
 
 /// Grouped training actually learns (loss falls over steps) on a network

@@ -1,9 +1,12 @@
 //! Pins the grouped executor's memory-planning claim: after a warm-up
 //! step, a schedule-driven grouped training step — boundary staging,
-//! backward replay, gradient re-slicing and all — runs with **zero arena
-//! misses**: every chunk slice, layer output, boundary buffer, and
-//! gradient stage is served from the pooled arena or from the executor's
-//! persistent staging tensors.
+//! **cache stashing**, gradient re-slicing and all — runs with **zero
+//! arena misses**: every chunk slice, layer output, boundary buffer,
+//! gradient stage, and stashed cache tensor is served from the pooled
+//! arena or from the executor's persistent staging buffers. Stashing
+//! moves cache tensors by ownership (their arena storage travels with
+//! them), so the stash path must be exactly as allocation-free as the
+//! `MBS_STASH=0` replay path — the test pins both.
 //!
 //! Like `steady_state_alloc.rs`, this lives in its own integration-test
 //! binary (with a single `#[test]`) because the arena's hit/miss counters
@@ -24,7 +27,8 @@ use mbs_train::Sgd;
 fn steady_state_grouped_training_is_arena_miss_free() {
     let net = toy::runtime_mix(8, 8);
     let nodes = net.nodes().len();
-    // Distinct per-group sub-batches so every boundary re-slices.
+    // Distinct per-group sub-batches so every boundary re-slices, and
+    // multi-iteration groups so the stash path genuinely engages.
     let schedule = Schedule::new(
         ExecConfig::Mbs1,
         8,
@@ -35,21 +39,29 @@ fn steady_state_grouped_training_is_arena_miss_free() {
         ],
         true,
     );
+    assert!(schedule.groups().iter().any(|g| g.iterations > 1));
     let d = generate(8, 8, 0.3, 78);
     let mut model = lower(&net, &mut StdRng::seed_from_u64(4)).expect("runtime_mix lowers");
     let mut opt = Sgd::new(0.05, 0.9, 1e-4);
     let mut exec = GroupedExecutor::new(&schedule, model.len());
 
-    // Warm the pool and the executor's persistent boundary buffers.
-    for _ in 0..2 {
+    for (label, stashing) in [("stash", true), ("replay", false)] {
+        exec.set_stashing(stashing);
+        // Warm the pool, the executor's persistent boundary buffers, and
+        // (in stash mode) the per-chunk stash slots.
+        for _ in 0..2 {
+            let _ = exec.train_step(&mut model, &d.images, &d.labels, &mut opt);
+        }
+        arena::reset_stats();
         let _ = exec.train_step(&mut model, &d.images, &d.labels, &mut opt);
+        let (hits, misses) = arena::stats();
+        assert!(
+            hits > 0,
+            "{label}: the grouped step must route through the arena"
+        );
+        assert_eq!(
+            misses, 0,
+            "{label}: steady-state grouped step allocated fresh buffers"
+        );
     }
-    arena::reset_stats();
-    let _ = exec.train_step(&mut model, &d.images, &d.labels, &mut opt);
-    let (hits, misses) = arena::stats();
-    assert!(hits > 0, "the grouped step must route through the arena");
-    assert_eq!(
-        misses, 0,
-        "steady-state grouped step allocated fresh buffers"
-    );
 }
