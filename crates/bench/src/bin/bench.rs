@@ -141,6 +141,31 @@ struct TrainReport {
     /// executor runs for the runtime nets, and the paper-default plans for
     /// the zoo networks.
     schedule: Vec<ScheduleInfo>,
+    /// Checkpoint durability costs per model: atomic save and validated
+    /// load latency, on-disk size, and the end-to-end grouped-training
+    /// overhead of checkpointing every step vs every 10 steps.
+    checkpoint: Vec<CheckpointBench>,
+}
+
+/// One model's checkpoint cost row in `BENCH_train.json`.
+#[derive(Debug, Clone, Serialize)]
+struct CheckpointBench {
+    /// Network name.
+    model: String,
+    /// On-disk checkpoint size (header + JSON payload).
+    file_bytes: u64,
+    /// Best-of-rounds latency of one atomic save (encode, tmp write,
+    /// fsync, rename, directory fsync, rotation).
+    save_best_ns: f64,
+    /// Best-of-rounds latency of one fully validated load (read, header
+    /// checks, checksum, JSON parse).
+    load_best_ns: f64,
+    /// Wall-clock overhead (percent, vs the same run without
+    /// checkpointing) of saving after **every** training step.
+    overhead_pct_every_1: f64,
+    /// Same, saving every 10th step (plus the epoch-boundary saves both
+    /// configurations share).
+    overhead_pct_every_10: f64,
 }
 
 /// One schedule group, as recorded in `BENCH_train.json`.
@@ -822,6 +847,115 @@ fn steady_state() -> SteadyState {
     }
 }
 
+/// Checkpoint cost per model: save/load latency and file size on a
+/// stepped model (live momentum buffers), plus the end-to-end overhead
+/// of `checkpoint_every` ∈ {1, 10} on a short grouped run.
+fn checkpoint_benches() -> Vec<CheckpointBench> {
+    use mbs_cnn::networks::toy;
+    use mbs_core::{ExecConfig, HardwareConfig, MbsScheduler};
+    use mbs_train::checkpoint::{self, TrainCheckpoint};
+    use mbs_train::lower::lower;
+    use mbs_train::module::StateDict;
+    use mbs_train::training::{train_grouped, TrainConfig};
+    use mbs_train::{CheckpointConfig, GroupedExecutor};
+    use std::time::Instant;
+
+    const ROUNDS: usize = 7;
+    let mut rows = Vec::new();
+    let cases = [
+        (toy::runtime_mix(8, 8), 8usize, 8usize),
+        (toy::tiny_inception(8, 8), 8, 8),
+    ];
+    for (net, img_size, batch) in cases {
+        let hw = HardwareConfig::cpu().with_global_buffer(3 * 1024);
+        let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1)
+            .with_batch(batch)
+            .schedule();
+        // A stepped model so the snapshot carries live momentum buffers.
+        let d = generate(batch, img_size, 0.3, 41);
+        let mut model = lower(&net, &mut StdRng::seed_from_u64(9)).expect("net lowers");
+        let mut exec = GroupedExecutor::new(&schedule, model.len());
+        let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+        let _ = exec.train_step(&mut model, &d.images, &d.labels, &mut opt);
+        let mut dict = StateDict::default();
+        model.export_state(&mut dict);
+        let mut vdict = StateDict::default();
+        opt.export_state(&mut vdict);
+        let ckpt = TrainCheckpoint {
+            fingerprint: schedule.fingerprint(&net),
+            net: net.name().to_string(),
+            epoch: 1,
+            step_in_epoch: 0,
+            loss_sum: 0.0,
+            steps: 0,
+            rng: vec![1, 2, 3, 4],
+            model: dict.into_entries(),
+            velocities: vdict.into_entries(),
+            curve: Vec::new(),
+        };
+
+        let dir = std::env::temp_dir().join(format!("mbsbench-ckpt-{}", std::process::id()));
+        let mut save_best = f64::INFINITY;
+        for _ in 0..ROUNDS {
+            let t0 = Instant::now();
+            criterion::black_box(checkpoint::save(&dir, 0, &ckpt, 2).expect("save"));
+            save_best = save_best.min(t0.elapsed().as_nanos() as f64);
+        }
+        let path = dir.join(checkpoint::file_name(0));
+        let file_bytes = std::fs::metadata(&path).expect("saved file").len();
+        let mut load_best = f64::INFINITY;
+        for _ in 0..ROUNDS {
+            let t0 = Instant::now();
+            criterion::black_box(checkpoint::load_file(&path).expect("load"));
+            load_best = load_best.min(t0.elapsed().as_nanos() as f64);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // End-to-end overhead: the same short run with and without
+        // per-step checkpointing, best-of-rounds each.
+        let data = generate(batch * 4, img_size, 0.3, 42);
+        let val = generate(batch, img_size, 0.3, 43);
+        let timed_run = |every: Option<usize>| -> f64 {
+            let mut cfg = TrainConfig {
+                epochs: 2,
+                batch,
+                lr_milestones: vec![1],
+                ..TrainConfig::default()
+            };
+            let ckdir = std::env::temp_dir().join(format!("mbsbench-ovh-{}", std::process::id()));
+            if let Some(every) = every {
+                let mut ck = CheckpointConfig::new(&ckdir);
+                ck.every_steps = every;
+                ck.resume = false;
+                cfg.checkpoint = Some(ck);
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let _ = std::fs::remove_dir_all(&ckdir);
+                let t0 = Instant::now();
+                criterion::black_box(
+                    train_grouped(&net, &schedule, &data, &val, &cfg).expect("bench run"),
+                );
+                best = best.min(t0.elapsed().as_nanos() as f64);
+            }
+            let _ = std::fs::remove_dir_all(&ckdir);
+            best
+        };
+        let base_ns = timed_run(None);
+        let every1_ns = timed_run(Some(1));
+        let every10_ns = timed_run(Some(10));
+        rows.push(CheckpointBench {
+            model: net.name().to_string(),
+            file_bytes,
+            save_best_ns: save_best,
+            load_best_ns: load_best,
+            overhead_pct_every_1: (every1_ns - base_ns) / base_ns * 100.0,
+            overhead_pct_every_10: (every10_ns - base_ns) / base_ns * 100.0,
+        });
+    }
+    rows
+}
+
 fn main() {
     let out_dir = std::env::args()
         .nth(1)
@@ -843,6 +977,8 @@ fn main() {
     let layer_fused = layer_fused();
     println!("== grouped vs uniform serialized step (lowered IR) ==");
     let grouped = grouped_steps();
+    println!("== checkpoint save/load + training overhead ==");
+    let checkpoint = checkpoint_benches();
     let schedule = schedule_section();
     let aa_noise_ratio = aa_noise();
     let steady = steady_state();
@@ -930,6 +1066,17 @@ fn main() {
             s.stash_bytes as f64 / 1024.0
         );
     }
+    for cb in &checkpoint {
+        println!(
+            "checkpoint {:>13} {:>8} B  save {:>10.0} ns  load {:>10.0} ns  overhead every1 {:>5.1}%  every10 {:>5.1}%",
+            cb.model,
+            cb.file_bytes,
+            cb.save_best_ns,
+            cb.load_best_ns,
+            cb.overhead_pct_every_1,
+            cb.overhead_pct_every_10
+        );
+    }
     println!("A/A step-harness noise ratio: {aa_noise_ratio:.3} (1.0 = noise-free)");
     println!(
         "steady-state arena: {} hits, {} misses",
@@ -960,6 +1107,7 @@ fn main() {
         steady_state: steady,
         grouped,
         schedule,
+        checkpoint,
     };
     match mbs_bench::write_json(&out_dir, "BENCH_train", &train_report) {
         Ok(()) => println!("wrote {}", out_dir.join("BENCH_train.json").display()),

@@ -1,0 +1,33 @@
+//! Child process for the crash/resume integration test (and a manual
+//! demo of the train → kill → resume walkthrough in the README).
+//!
+//! Usage: `crash_resume <checkpoint-dir>` — trains the shared
+//! [`mbs_bench::crash`] scenario with per-step checkpointing into the
+//! given directory, resuming from whatever the directory already holds,
+//! and prints the final epoch curve as JSON. The integration test
+//! SIGKILLs this process mid-epoch and asserts a resumed run reproduces
+//! the uninterrupted curve.
+
+use std::path::PathBuf;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            eprintln!("usage: crash_resume <checkpoint-dir>");
+            std::process::exit(2);
+        });
+    match mbs_bench::crash::run(Some(&dir)) {
+        Ok(curve) => {
+            println!(
+                "{}",
+                serde_json::to_string(&curve).expect("curve serializes")
+            );
+        }
+        Err(e) => {
+            eprintln!("crash_resume failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The shared crash/resume scenario behind the `crash_resume` binary and
+//! the SIGKILL integration test: one fixed (network, schedule, data,
+//! config) tuple, so the killed child process, the in-process resume,
+//! and the uninterrupted baseline all train exactly the same job.
+
+use std::path::Path;
+
+use mbs_cnn::networks::toy;
+use mbs_cnn::Network;
+use mbs_core::{ExecConfig, HardwareConfig, MbsScheduler, Schedule};
+use mbs_train::data::{generate, Dataset};
+use mbs_train::training::{train_grouped, TrainConfig, TrainError};
+use mbs_train::{CheckpointConfig, EpochStats};
+
+/// The fixed crash-test job: TinyInception on 8×8 synthetic data, six
+/// epochs of six steps each, under a genuinely multi-group schedule.
+pub fn scenario() -> (Network, Schedule, Dataset, Dataset, TrainConfig) {
+    let net = toy::tiny_inception(8, 8);
+    let hw = HardwareConfig::cpu().with_global_buffer(3 * 1024);
+    let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1)
+        .with_batch(8)
+        .schedule();
+    let train_set = generate(48, 8, 0.3, 91);
+    let val_set = generate(16, 8, 0.3, 92);
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch: 8,
+        lr_milestones: vec![4],
+        ..TrainConfig::default()
+    };
+    (net, schedule, train_set, val_set, cfg)
+}
+
+/// Runs the scenario, checkpointing every step into `ckpt_dir` when one
+/// is given (resume enabled, so a directory with prior checkpoints
+/// continues from the newest), and returns the epoch curve.
+///
+/// # Errors
+///
+/// Propagates [`TrainError`] from the training run.
+pub fn run(ckpt_dir: Option<&Path>) -> Result<Vec<EpochStats>, TrainError> {
+    let (net, schedule, train_set, val_set, mut cfg) = scenario();
+    if let Some(dir) = ckpt_dir {
+        let mut ck = CheckpointConfig::new(dir);
+        ck.every_steps = 1;
+        ck.keep = 4;
+        cfg.checkpoint = Some(ck);
+    }
+    train_grouped(&net, &schedule, &train_set, &val_set, &cfg)
+}

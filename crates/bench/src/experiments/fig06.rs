@@ -96,6 +96,7 @@ pub fn run(scale: Scale) -> Fig06 {
         weight_decay: 1e-4,
         blocks_per_stage: 1,
         seed: 1234,
+        ..TrainConfig::default()
     };
 
     let bn = train(NormChoice::Batch, &train_set, &val_set, &cfg(None));

@@ -6,6 +6,7 @@
 //! prints the same rows/series the paper reports; `all_experiments` runs
 //! the whole suite and writes JSON reports.
 
+pub mod crash;
 pub mod experiments;
 pub mod suites;
 pub mod table;

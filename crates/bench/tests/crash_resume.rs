@@ -1,0 +1,78 @@
+//! Real-crash integration test: spawn the `crash_resume` binary, SIGKILL
+//! it mid-epoch once checkpoints start landing, then resume in-process
+//! and require the epoch curve to match an uninterrupted baseline
+//! exactly. This is the un-faked version of the in-crate fault tests —
+//! the process genuinely dies with no destructors, exactly like a
+//! preempted or OOM-killed training job.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mbscrash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn finished_checkpoints(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| {
+                    e.file_name()
+                        .to_str()
+                        .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".mbsckpt"))
+                })
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// Kills the child once at least `want` checkpoints exist; returns true
+/// if it was killed, false if it finished first (fast machine).
+fn kill_once_checkpointed(child: &mut Child, dir: &Path, want: usize) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Some(_status) = child.try_wait().expect("try_wait") {
+            return false;
+        }
+        if finished_checkpoints(dir) >= want {
+            // SIGKILL on unix: no cleanup, no atexit — a real crash.
+            child.kill().expect("kill child");
+            let _ = child.wait();
+            return true;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child produced no checkpoints within the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn sigkilled_training_resumes_to_the_baseline_curve() {
+    let baseline = mbs_bench::crash::run(None).expect("baseline run");
+
+    let dir = scratch();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_crash_resume"))
+        .arg(&dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn crash_resume");
+    let killed = kill_once_checkpointed(&mut child, &dir, 2);
+
+    // Whether the child died mid-run or beat us to the finish line, a
+    // resume from its directory must land on the baseline curve.
+    let resumed = mbs_bench::crash::run(Some(&dir)).expect("resume after SIGKILL");
+    assert_eq!(
+        resumed,
+        baseline,
+        "resume after {} must reproduce the uninterrupted curve",
+        if killed { "SIGKILL" } else { "completion" }
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,6 +1,7 @@
 //! Execution configurations (paper Tab. 3) and hardware/memory
 //! configurations (paper Tab. 4 and §4.2).
 
+use mbs_tensor::env::parse_byte_size;
 use serde::{Deserialize, Serialize};
 
 /// The six execution configurations evaluated in the paper (Tab. 3).
@@ -279,34 +280,15 @@ impl Default for HardwareConfig {
 
 /// The CPU cache budget in bytes: the `MBS_CACHE_BUDGET` override when
 /// set and parseable, else the detected last-level cache size, else 8 MiB.
+/// Malformed or zero values warn and fall back to detection (the shared
+/// `MBS_*` knob discipline, `mbs_tensor::env`).
 pub fn cache_budget_bytes() -> usize {
-    if let Ok(raw) = std::env::var("MBS_CACHE_BUDGET") {
-        match parse_byte_size(&raw) {
-            Some(bytes) if bytes > 0 => return bytes,
-            _ => eprintln!(
-                "warning: MBS_CACHE_BUDGET={raw:?} is not a byte size \
-                 (expected e.g. 8388608, 8192K, or 8M); falling back to detection"
-            ),
-        }
-    }
-    detect_llc_bytes().unwrap_or(8 * 1024 * 1024)
-}
-
-/// Parses `"8388608"`, `"8192K"`, `"8M"`, `"1G"` (suffixes are
-/// case-insensitive, powers of 1024) into bytes.
-fn parse_byte_size(s: &str) -> Option<usize> {
-    let t = s.trim();
-    let (digits, shift) = match t.chars().last()? {
-        'k' | 'K' => (&t[..t.len() - 1], 10),
-        'm' | 'M' => (&t[..t.len() - 1], 20),
-        'g' | 'G' => (&t[..t.len() - 1], 30),
-        _ => (t, 0),
-    };
-    let n: usize = digits.trim().parse().ok()?;
-    // checked_mul (not checked_shl) so a value whose suffixed product
-    // overflows usize maps to None — shifts only guard the shift amount,
-    // not shifted-out bits.
-    n.checked_mul(1usize << shift)
+    mbs_tensor::env::knob(
+        "MBS_CACHE_BUDGET",
+        "a positive byte size (e.g. 8388608, 8192K, or 8M)",
+        |s| parse_byte_size(s).filter(|&b| b > 0),
+    )
+    .unwrap_or_else(|| detect_llc_bytes().unwrap_or(8 * 1024 * 1024))
 }
 
 /// Largest cache reported by sysfs for cpu0 (the LLC) on Linux; `None`

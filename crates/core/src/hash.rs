@@ -1,0 +1,47 @@
+//! FNV-1a 64-bit hashing for fingerprints and content checksums.
+//!
+//! Durable-state files (checkpoints, future tuning caches) need a hash
+//! that is stable across platforms, releases, and processes — `std`'s
+//! `DefaultHasher` guarantees none of that. FNV-1a is tiny, has no
+//! dependency, and is well distributed for the short structured inputs we
+//! feed it. It is **not** cryptographic: it detects corruption and
+//! mismatch, not adversaries.
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a 64-bit state.
+pub fn fnv1a64_step(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_step(FNV_OFFSET, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn step_composes() {
+        let whole = fnv1a64(b"hello world");
+        let split = fnv1a64_step(fnv1a64_step(FNV_OFFSET, b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+}

@@ -38,11 +38,13 @@
 
 pub mod config;
 pub mod footprint;
+pub mod hash;
 pub mod schedule;
 pub mod scheduler;
 pub mod traffic;
 
 pub use config::{ExecConfig, HardwareConfig, MemoryConfig, MemoryKind};
+pub use hash::fnv1a64;
 pub use schedule::{Group, Schedule};
 pub use scheduler::MbsScheduler;
 pub use traffic::{analyze, LayerTraffic, TrafficBreakdown, TrafficReport};

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use mbs_cnn::Network;
 
 use crate::config::ExecConfig;
+use crate::hash::{fnv1a64_step, FNV_OFFSET};
 
 /// A contiguous range of network nodes processed with one sub-batch size.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -178,6 +179,39 @@ impl Schedule {
             .sum()
     }
 
+    /// A stable 64-bit fingerprint of this schedule applied to `net`:
+    /// FNV-1a over the network identity (name, node count, per-node names,
+    /// total parameter elements) and the execution plan (config label,
+    /// batch, and every group's `start`/`end`/`sub_batch`/`iterations`).
+    ///
+    /// Durable state (checkpoints, tuning caches) records this value so a
+    /// load against a *different* network or plan is refused instead of
+    /// silently mapping weights onto the wrong layers. Renaming a node,
+    /// resizing a layer, or re-planning the groups all change the
+    /// fingerprint; it is independent of weights, RNG state, and progress
+    /// counters.
+    pub fn fingerprint(&self, net: &Network) -> u64 {
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            h = fnv1a64_step(h, bytes);
+            h = fnv1a64_step(h, &[0xff]); // field separator
+        };
+        eat(net.name().as_bytes());
+        eat(&(net.nodes().len() as u64).to_le_bytes());
+        for node in net.nodes() {
+            eat(node.name().as_bytes());
+        }
+        eat(&(net.param_elems() as u64).to_le_bytes());
+        eat(self.config.label().as_bytes());
+        eat(&(self.batch as u64).to_le_bytes());
+        for g in &self.groups {
+            for v in [g.start, g.end, g.sub_batch, g.iterations] {
+                eat(&(v as u64).to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// The group containing node `i`.
     ///
     /// # Panics
@@ -253,6 +287,25 @@ mod tests {
         let g = Group::new(0, 1, 100, 32);
         assert_eq!(g.sub_batch, 32);
         assert_eq!(g.iterations, 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_net_and_plan_changes() {
+        let net = mbs_cnn::networks::toy::runtime_mix(8, 8);
+        let other_net = mbs_cnn::networks::toy::tiny_resnet(1, 8);
+        let n = net.nodes().len();
+        let plan =
+            |sub: usize| Schedule::new(ExecConfig::Mbs1, 8, vec![Group::new(0, n, sub, 8)], true);
+        let base = plan(2).fingerprint(&net);
+        // Stable across calls.
+        assert_eq!(base, plan(2).fingerprint(&net));
+        // A different plan over the same net differs.
+        assert_ne!(base, plan(4).fingerprint(&net));
+        // The same plan over a different net differs.
+        assert_ne!(base, plan(2).fingerprint(&other_net));
+        // A different config label differs.
+        let re = Schedule::new(ExecConfig::Mbs2, 8, vec![Group::new(0, n, 2, 8)], true);
+        assert_ne!(base, re.fingerprint(&net));
     }
 
     #[test]

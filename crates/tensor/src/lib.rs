@@ -20,6 +20,7 @@
 //! ```
 
 pub mod arena;
+pub mod env;
 pub mod init;
 pub mod ops;
 pub mod tensor;

@@ -85,34 +85,26 @@ pub enum Epilogue<'a> {
 }
 
 /// Whether fused epilogues are enabled: the `MBS_FUSE` environment knob,
-/// read once per process. Unset or any value other than `0`/`false`/`off`
-/// means fused; `MBS_FUSE=0` keeps the separate bias/ReLU passes for A/B
+/// read once per process. Unset (or malformed, after a warning) means
+/// fused; `MBS_FUSE=0` keeps the separate bias/ReLU passes for A/B
 /// comparisons and parity tests (results are bitwise identical either
 /// way).
 pub fn fuse_enabled() -> bool {
     static FUSE: OnceLock<bool> = OnceLock::new();
-    *FUSE.get_or_init(|| {
-        !std::env::var("MBS_FUSE").is_ok_and(|v| {
-            let v = v.trim();
-            v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off")
-        })
-    })
+    *FUSE.get_or_init(|| crate::env::flag_knob("MBS_FUSE", true))
 }
 
 /// Number of GEMM worker threads: `MBS_THREADS` if set and positive, else
-/// the machine's available parallelism. Read once per process.
+/// the machine's available parallelism (malformed values warn and fall
+/// back). Read once per process.
 pub fn configured_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
-        std::env::var("MBS_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
+        crate::env::positive_usize_knob("MBS_THREADS").unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     })
 }
 

@@ -1,0 +1,662 @@
+//! Crash-safe checkpointing for [`train_grouped`](crate::training::train_grouped).
+//!
+//! A checkpoint is everything needed to resume an interrupted grouped
+//! training run **bitwise identically**: model parameters and
+//! normalization running statistics ([`Module::export_state`]), SGD
+//! momentum buffers, the shuffle RNG state, the epoch/step cursor, and
+//! the per-epoch curve recorded so far. A [`Schedule::fingerprint`]
+//! guards identity — a checkpoint saved for one (network, schedule) pair
+//! refuses to load into another.
+//!
+//! # On-disk format
+//!
+//! Each checkpoint is one file named `ckpt-{seq:08}.mbsckpt` containing a
+//! single ASCII header line followed by a JSON payload:
+//!
+//! ```text
+//! MBSCKPT <version> <payload-bytes> <fnv1a64-hex>\n
+//! {"fingerprint":...,"model":[...],...}
+//! ```
+//!
+//! The header pins the format version, the exact payload length
+//! (detects truncation), and an FNV-1a 64 checksum of the payload
+//! (detects bit flips). Loading validates magic → version → length →
+//! checksum → JSON → fingerprint, in that order, so every torn or
+//! corrupted file is rejected with a descriptive error instead of
+//! producing a silently wrong resume.
+//!
+//! # Durability
+//!
+//! [`save`] is atomic: the bytes are written to `<name>.tmp`, fsynced,
+//! renamed over the final name, and the directory is fsynced so the
+//! rename itself survives a crash. A crash mid-save therefore leaves
+//! either the previous set of checkpoints intact or the new file fully
+//! present — never a half-written `*.mbsckpt`. Rotation keeps the newest
+//! `keep` files; [`load_latest`] scans newest → oldest and falls back
+//! past corrupt files (with a warning on stderr), so a torn latest
+//! checkpoint degrades to the previous good one rather than a panic.
+//!
+//! [`Module::export_state`]: crate::module::Module::export_state
+//! [`Schedule::fingerprint`]: mbs_core::Schedule::fingerprint
+
+use std::fmt;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use mbs_core::fnv1a64;
+
+use crate::module::StateEntry;
+use crate::training::EpochStats;
+
+/// Current checkpoint format version (the second header field).
+pub const CKPT_VERSION: u64 = 1;
+
+/// Header magic (the first header field).
+pub const CKPT_MAGIC: &str = "MBSCKPT";
+
+/// File extension of finished checkpoints (`.tmp` is appended while a
+/// save is in flight; loaders ignore `.tmp` files).
+pub const CKPT_EXT: &str = "mbsckpt";
+
+/// Everything [`train_grouped`](crate::training::train_grouped) needs to
+/// resume a run bitwise identically.
+///
+/// The cursor convention: `rng` is the shuffle RNG state **at the start
+/// of `epoch`** (before that epoch's shuffle), and `step_in_epoch`
+/// batches of that epoch are already complete with `loss_sum` the sum of
+/// their losses over `steps` steps. An end-of-epoch checkpoint stores
+/// the *next* epoch with `step_in_epoch == 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// [`Schedule::fingerprint`](mbs_core::Schedule::fingerprint) of the
+    /// (network, schedule) pair this state belongs to.
+    pub fingerprint: u64,
+    /// Network name, for error messages only (identity is `fingerprint`).
+    pub net: String,
+    /// Epoch the resumed run continues in (0-based).
+    pub epoch: usize,
+    /// Batches of `epoch` already completed.
+    pub step_in_epoch: usize,
+    /// Sum of training losses over the completed steps of `epoch`.
+    pub loss_sum: f32,
+    /// Completed steps of `epoch` (equals `step_in_epoch`; kept separate
+    /// so the loss average stays self-describing).
+    pub steps: usize,
+    /// xoshiro256++ shuffle-RNG state at the start of `epoch` (4 words).
+    pub rng: Vec<u64>,
+    /// Model state in [`Module::export_state`] order
+    /// (parameters plus normalization running statistics).
+    ///
+    /// [`Module::export_state`]: crate::module::Module::export_state
+    pub model: Vec<StateEntry>,
+    /// SGD momentum buffers in `visit_params` order.
+    pub velocities: Vec<StateEntry>,
+    /// Per-epoch curve recorded so far (epochs `0..epoch`).
+    pub curve: Vec<EpochStats>,
+}
+
+/// Why a checkpoint could not be saved or loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file exists but is not a valid checkpoint (bad magic, torn
+    /// write, checksum mismatch, unparseable payload, ...).
+    Format(String),
+    /// The file has a newer format version than this build understands.
+    Version(u64),
+    /// The checkpoint belongs to a different (network, schedule) pair.
+    FingerprintMismatch {
+        /// Fingerprint of the run trying to resume.
+        expected: u64,
+        /// Fingerprint stored in the checkpoint (network named in the
+        /// error message).
+        found: u64,
+        /// Network name stored in the checkpoint.
+        net: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            Self::Format(msg) => write!(f, "invalid checkpoint: {msg}"),
+            Self::Version(v) => write!(
+                f,
+                "checkpoint format version {v} is newer than this build (max {CKPT_VERSION})"
+            ),
+            Self::FingerprintMismatch {
+                expected,
+                found,
+                net,
+            } => write!(
+                f,
+                "checkpoint was saved for a different network/schedule \
+                 (stored {found:#018x} for net {net:?}, this run is {expected:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Encodes a checkpoint to its on-disk bytes (header line + JSON payload).
+pub fn encode(ckpt: &TrainCheckpoint) -> Vec<u8> {
+    let payload = serde_json::to_string(ckpt).expect("checkpoint structs always serialize");
+    let mut bytes = format!(
+        "{CKPT_MAGIC} {CKPT_VERSION} {} {:016x}\n",
+        payload.len(),
+        fnv1a64(payload.as_bytes())
+    )
+    .into_bytes();
+    bytes.extend_from_slice(payload.as_bytes());
+    bytes
+}
+
+/// Decodes and fully validates on-disk checkpoint bytes.
+///
+/// # Errors
+///
+/// [`CheckpointError::Format`] on bad magic, malformed header, length
+/// mismatch (truncation), checksum mismatch (corruption), or an
+/// unparseable payload; [`CheckpointError::Version`] when the header
+/// declares a version newer than [`CKPT_VERSION`].
+pub fn decode(bytes: &[u8]) -> Result<TrainCheckpoint, CheckpointError> {
+    let bad = |msg: String| CheckpointError::Format(msg);
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| bad("missing header line".into()))?;
+    let header =
+        std::str::from_utf8(&bytes[..nl]).map_err(|_| bad("header is not valid UTF-8".into()))?;
+    let mut fields = header.split_ascii_whitespace();
+    let magic = fields.next().unwrap_or("");
+    if magic != CKPT_MAGIC {
+        return Err(bad(format!("bad magic {magic:?} (want {CKPT_MAGIC:?})")));
+    }
+    let version: u64 = fields
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("header version field is not an integer".into()))?;
+    if version > CKPT_VERSION {
+        return Err(CheckpointError::Version(version));
+    }
+    let declared_len: usize = fields
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("header length field is not an integer".into()))?;
+    let checksum = fields
+        .next()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| bad("header checksum field is not hex".into()))?;
+    if fields.next().is_some() {
+        return Err(bad("trailing header fields".into()));
+    }
+    let payload = &bytes[nl + 1..];
+    if payload.len() != declared_len {
+        return Err(bad(format!(
+            "payload is {} bytes but the header declares {declared_len} (truncated write?)",
+            payload.len()
+        )));
+    }
+    let actual = fnv1a64(payload);
+    if actual != checksum {
+        return Err(bad(format!(
+            "payload checksum {actual:016x} does not match header {checksum:016x} (corrupt file?)"
+        )));
+    }
+    let payload =
+        std::str::from_utf8(payload).map_err(|_| bad("payload is not valid UTF-8".into()))?;
+    serde_json::from_str(payload).map_err(|e| bad(format!("payload does not parse: {e}")))
+}
+
+/// File name of checkpoint number `seq` (`ckpt-00000042.mbsckpt`).
+pub fn file_name(seq: usize) -> String {
+    format!("ckpt-{seq:08}.{CKPT_EXT}")
+}
+
+/// Atomically writes checkpoint `seq` into `dir` and rotates old files,
+/// keeping the newest `keep` (`keep == 0` is treated as 1).
+///
+/// The bytes land in `<name>.tmp` first, are fsynced, renamed over the
+/// final name, and the directory is fsynced — a crash at any point
+/// leaves either the old checkpoint set or the new file complete, never
+/// a torn `*.mbsckpt`.
+///
+/// # Errors
+///
+/// Propagates filesystem failures as [`CheckpointError::Io`].
+pub fn save(
+    dir: &Path,
+    seq: usize,
+    ckpt: &TrainCheckpoint,
+    keep: usize,
+) -> Result<PathBuf, CheckpointError> {
+    let path = write_atomic(dir, seq, &encode(ckpt))?;
+    rotate(dir, keep.max(1))?;
+    Ok(path)
+}
+
+/// The atomic tmp-write/fsync/rename/dir-fsync sequence behind [`save`],
+/// taking raw bytes so fault-injection tests can write corrupted images
+/// through the same code path.
+fn write_atomic(dir: &Path, seq: usize, bytes: &[u8]) -> Result<PathBuf, CheckpointError> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(file_name(seq));
+    let tmp = dir.join(format!("{}.tmp", file_name(seq)));
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, &path)?;
+    sync_dir(dir);
+    Ok(path)
+}
+
+/// Fsyncs the directory so a just-renamed file survives a crash. Best
+/// effort: some platforms cannot fsync directories, and losing *this*
+/// sync only risks the rename, never a torn file.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Deletes all but the newest `keep` finished checkpoints in `dir`.
+fn rotate(dir: &Path, keep: usize) -> Result<(), CheckpointError> {
+    let mut found = list(dir)?;
+    if found.len() > keep {
+        let cut = found.len() - keep;
+        for (_, path) in found.drain(..cut) {
+            let _ = fs::remove_file(path);
+        }
+    }
+    Ok(())
+}
+
+/// Finished checkpoints in `dir` as `(seq, path)`, oldest first. In-flight
+/// `*.tmp` files and unrelated names are ignored; a missing directory is
+/// an empty list.
+pub fn list(dir: &Path) -> Result<Vec<(usize, PathBuf)>, CheckpointError> {
+    let mut found = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(found),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        let seq = name
+            .strip_prefix("ckpt-")
+            .and_then(|rest| rest.strip_suffix(&format!(".{CKPT_EXT}")))
+            .and_then(|digits| digits.parse::<usize>().ok());
+        if let Some(seq) = seq {
+            found.push((seq, path));
+        }
+    }
+    found.sort_unstable_by_key(|&(seq, _)| seq);
+    Ok(found)
+}
+
+/// Loads and validates one checkpoint file.
+///
+/// # Errors
+///
+/// See [`decode`]; I/O failures surface as [`CheckpointError::Io`].
+pub fn load_file(path: &Path) -> Result<TrainCheckpoint, CheckpointError> {
+    decode(&fs::read(path)?)
+}
+
+/// Loads the newest checkpoint in `dir` that matches `fingerprint`.
+///
+/// Scans newest → oldest. Corrupt or torn files are skipped with a
+/// warning on stderr (the durable-write protocol makes them possible
+/// only via external damage, but damaged files must degrade, not crash).
+/// Returns `Ok(None)` when the directory holds no loadable checkpoint —
+/// the caller starts cold.
+///
+/// # Errors
+///
+/// A checkpoint that *decodes* but carries a different fingerprint is a
+/// **hard** [`CheckpointError::FingerprintMismatch`]: resuming a
+/// different network/schedule silently would corrupt the run, so the
+/// caller must choose a fresh directory instead.
+pub fn load_latest(
+    dir: &Path,
+    fingerprint: u64,
+) -> Result<Option<(usize, TrainCheckpoint)>, CheckpointError> {
+    for (seq, path) in list(dir)?.into_iter().rev() {
+        match load_file(&path) {
+            Ok(ckpt) if ckpt.fingerprint == fingerprint => return Ok(Some((seq, ckpt))),
+            Ok(ckpt) => {
+                return Err(CheckpointError::FingerprintMismatch {
+                    expected: fingerprint,
+                    found: ckpt.fingerprint,
+                    net: ckpt.net,
+                })
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: skipping unreadable checkpoint {}: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Where, how often, and how durably
+/// [`train_grouped`](crate::training::train_grouped) checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Directory the `ckpt-*.mbsckpt` files live in (created on demand).
+    pub dir: PathBuf,
+    /// Save every `every_steps` training steps; `0` saves only at epoch
+    /// boundaries. Epoch boundaries always save regardless.
+    pub every_steps: usize,
+    /// How many finished checkpoints rotation keeps (minimum 1).
+    pub keep: usize,
+    /// Whether to resume from the newest matching checkpoint in `dir`
+    /// (`false` trains cold but still saves).
+    pub resume: bool,
+}
+
+impl CheckpointConfig {
+    /// Checkpointing into `dir` with the defaults: epoch-boundary saves
+    /// only, keep 3, resume enabled.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every_steps: 0,
+            keep: 3,
+            resume: true,
+        }
+    }
+
+    /// Builds a config from the `MBS_CKPT_DIR` / `MBS_CKPT_EVERY`
+    /// environment knobs, or `None` when `MBS_CKPT_DIR` is unset.
+    /// Malformed values warn and fall back (an unparseable `MBS_CKPT_DIR`
+    /// cannot exist — any string is a path; a malformed `MBS_CKPT_EVERY`
+    /// falls back to epoch-boundary saves).
+    pub fn from_env() -> Option<Self> {
+        let dir = std::env::var_os("MBS_CKPT_DIR")?;
+        let mut cfg = Self::new(PathBuf::from(dir));
+        if let Some(every) = mbs_tensor::env::knob(
+            "MBS_CKPT_EVERY",
+            "a non-negative step count (0 = epoch boundaries only)",
+            |s| s.parse::<usize>().ok(),
+        ) {
+            cfg.every_steps = every;
+        }
+        Some(cfg)
+    }
+}
+
+/// One way a [`FaultPlan`] damages a save (test-only harness; the
+/// training loop itself never corrupts files).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The process "dies" after writing the `.tmp` file but before the
+    /// rename: the finished checkpoint never appears, the torn `.tmp`
+    /// must be ignored by loaders.
+    KillMidWrite,
+    /// The file appears but its last `n` bytes are missing (header
+    /// length check must reject it).
+    Truncate(usize),
+    /// The file appears with byte `i` (mod length) bit-flipped
+    /// (checksum must reject it).
+    FlipByte(usize),
+}
+
+/// Deterministic fault-injection plan for checkpoint saves.
+///
+/// `train_grouped` threads each save through
+/// [`FaultPlan::apply`]; tests attach faults to specific save indices
+/// and a kill point, making "crashed mid-write at save 2, then died
+/// after save 3" a reproducible scenario instead of a race.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `(save_index, fault)` pairs: the `i`-th save (0-based, counted
+    /// across the whole run) suffers `fault`.
+    pub faults: Vec<(usize, Fault)>,
+    /// Deterministically "kill" the run (return
+    /// [`TrainError::Killed`](crate::training::TrainError::Killed))
+    /// after this many saves have completed.
+    pub kill_after_saves: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan that kills the run after `n` saves, damaging none of them.
+    pub fn kill_after(n: usize) -> Self {
+        Self {
+            faults: Vec::new(),
+            kill_after_saves: Some(n),
+        }
+    }
+
+    /// A plan that applies `fault` to save `index` and never kills.
+    pub fn fault_at(index: usize, fault: Fault) -> Self {
+        Self {
+            faults: vec![(index, fault)],
+            kill_after_saves: None,
+        }
+    }
+
+    /// Performs save number `index` (0-based) of checkpoint `seq` into
+    /// `dir`, injecting this plan's fault for that index if any.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`save`]; injected damage is not an error (the point is
+    /// that *loading* detects it).
+    pub fn apply(
+        &self,
+        index: usize,
+        dir: &Path,
+        seq: usize,
+        ckpt: &TrainCheckpoint,
+        keep: usize,
+    ) -> Result<(), CheckpointError> {
+        let fault = self
+            .faults
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|&(_, f)| f);
+        match fault {
+            None => {
+                save(dir, seq, ckpt, keep)?;
+            }
+            Some(Fault::KillMidWrite) => {
+                // Write and fsync the tmp file, then "die": no rename.
+                fs::create_dir_all(dir)?;
+                let tmp = dir.join(format!("{}.tmp", file_name(seq)));
+                let mut f = File::create(&tmp)?;
+                f.write_all(&encode(ckpt))?;
+                f.sync_all()?;
+            }
+            Some(Fault::Truncate(n)) => {
+                let bytes = encode(ckpt);
+                let cut = bytes.len().saturating_sub(n.max(1));
+                write_atomic(dir, seq, &bytes[..cut])?;
+                rotate(dir, keep.max(1))?;
+            }
+            Some(Fault::FlipByte(i)) => {
+                let mut bytes = encode(ckpt);
+                let at = i % bytes.len();
+                bytes[at] ^= 0x40;
+                write_atomic(dir, seq, &bytes)?;
+                rotate(dir, keep.max(1))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the run should die now, having completed `saves` saves.
+    pub fn should_kill(&self, saves: usize) -> bool {
+        self.kill_after_saves.is_some_and(|n| saves >= n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mbsckpt-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample(fingerprint: u64) -> TrainCheckpoint {
+        TrainCheckpoint {
+            fingerprint,
+            net: "TestNet".into(),
+            epoch: 3,
+            step_in_epoch: 2,
+            loss_sum: 1.25,
+            steps: 2,
+            rng: vec![1, 2, 3, 4],
+            model: vec![StateEntry {
+                shape: vec![2, 2],
+                data: vec![0.5, -0.25, f32::MIN_POSITIVE, 1.0e10],
+            }],
+            velocities: vec![StateEntry {
+                shape: vec![4],
+                data: vec![0.0, -0.0, 0.125, 3.0],
+            }],
+            curve: vec![EpochStats {
+                epoch: 0,
+                train_loss: 1.5,
+                val_error_pct: 42.0,
+                preact_first: 0.25,
+                preact_last: -0.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bitwise() {
+        let ckpt = sample(0xdead_beef);
+        let decoded = decode(&encode(&ckpt)).unwrap();
+        assert_eq!(decoded, ckpt);
+        // PartialEq on f32 treats -0.0 == 0.0; check the sign survived.
+        assert_eq!(decoded.velocities[0].data[1].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn decode_rejects_damage_with_descriptive_errors() {
+        let good = encode(&sample(7));
+        // Truncation: header length no longer matches.
+        let torn = &good[..good.len() - 5];
+        assert!(
+            matches!(decode(torn), Err(CheckpointError::Format(msg)) if msg.contains("truncated"))
+        );
+        // Bit flip in the payload: checksum mismatch.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(
+            matches!(decode(&flipped), Err(CheckpointError::Format(msg)) if msg.contains("checksum"))
+        );
+        // Wrong magic.
+        let mut magic = good.clone();
+        magic[0] = b'X';
+        assert!(
+            matches!(decode(&magic), Err(CheckpointError::Format(msg)) if msg.contains("magic"))
+        );
+        // Future version.
+        let text = String::from_utf8(good).unwrap();
+        let bumped = text.replacen(&format!("{CKPT_MAGIC} 1 "), &format!("{CKPT_MAGIC} 99 "), 1);
+        assert!(matches!(
+            decode(bumped.as_bytes()),
+            Err(CheckpointError::Version(99))
+        ));
+    }
+
+    #[test]
+    fn save_rotates_and_load_latest_picks_newest() {
+        let dir = scratch("rotate");
+        for seq in 0..5 {
+            let mut ckpt = sample(11);
+            ckpt.epoch = seq;
+            save(&dir, seq, &ckpt, 3).unwrap();
+        }
+        let kept: Vec<usize> = list(&dir).unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        let (seq, ckpt) = load_latest(&dir, 11).unwrap().unwrap();
+        assert_eq!((seq, ckpt.epoch), (4, 4));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_latest_falls_back_past_corrupt_newest() {
+        let dir = scratch("fallback");
+        save(&dir, 0, &sample(5), 3).unwrap();
+        // Newest is damaged two different ways; both must be skipped.
+        FaultPlan::fault_at(0, Fault::Truncate(10))
+            .apply(0, &dir, 1, &sample(5), 3)
+            .unwrap();
+        FaultPlan::fault_at(0, Fault::FlipByte(40))
+            .apply(0, &dir, 2, &sample(5), 3)
+            .unwrap();
+        let (seq, _) = load_latest(&dir, 5).unwrap().unwrap();
+        assert_eq!(seq, 0, "must fall back to the oldest intact file");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tmp_files_are_invisible() {
+        let dir = scratch("torn");
+        FaultPlan::fault_at(0, Fault::KillMidWrite)
+            .apply(0, &dir, 0, &sample(9), 3)
+            .unwrap();
+        assert!(dir.join("ckpt-00000000.mbsckpt.tmp").exists());
+        assert!(list(&dir).unwrap().is_empty());
+        assert!(load_latest(&dir, 9).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_a_hard_error() {
+        let dir = scratch("fpr");
+        save(&dir, 0, &sample(1), 3).unwrap();
+        let err = load_latest(&dir, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::FingerprintMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_a_cold_start() {
+        let dir = scratch("missing");
+        assert!(load_latest(&dir, 0).unwrap().is_none());
+    }
+}

@@ -51,19 +51,14 @@ use crate::module::{slice_batch_into, slice_batch_owned, CacheStash, Module};
 use crate::optim::Sgd;
 
 /// Whether grouped backward uses cache stashing: the `MBS_STASH`
-/// environment knob, read once per process. Unset or any value other than
-/// `0`/`false`/`off` means stashing; `MBS_STASH=0` restores the backward
-/// **replay** strategy (boundary checkpointing) for A/B comparisons and
+/// environment knob, read once per process. Unset (or malformed, with a
+/// warning) means stashing; `MBS_STASH=0` restores the backward **replay**
+/// strategy (boundary checkpointing) for A/B comparisons and
 /// memory-constrained runs. Training results are bitwise identical either
 /// way; only the time/memory trade-off moves.
 pub fn stash_enabled() -> bool {
     static STASH: OnceLock<bool> = OnceLock::new();
-    *STASH.get_or_init(|| {
-        !std::env::var("MBS_STASH").is_ok_and(|v| {
-            let v = v.trim();
-            v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off")
-        })
-    })
+    *STASH.get_or_init(|| mbs_tensor::env::flag_knob("MBS_STASH", true))
 }
 
 /// Executes training steps group-wise according to an MBS [`Schedule`].

@@ -24,6 +24,13 @@
 //! [`training::train_grouped`] drives the full epoch loop (shuffling,
 //! evaluation, stepped LR) through that executor.
 //!
+//! Grouped training is **crash-safe**: [`checkpoint`] provides durable,
+//! atomically written, checksummed checkpoints (model state, momentum,
+//! shuffle-RNG position, epoch/step cursor) guarded by a
+//! schedule fingerprint, and `train_grouped` resumes from the newest
+//! valid one — a killed-and-resumed run reproduces the unkilled epoch
+//! curve bitwise. See `docs/ARCHITECTURE.md` § Durable state.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,6 +52,7 @@
 //! assert!((loss_full - loss_mbs).abs() < 1e-4); // MBS does not change training
 //! ```
 
+pub mod checkpoint;
 pub mod data;
 pub mod executor;
 pub mod grouped;
@@ -56,11 +64,12 @@ pub mod norm;
 pub mod optim;
 pub mod training;
 
+pub use checkpoint::{CheckpointConfig, CheckpointError, Fault, FaultPlan, TrainCheckpoint};
 pub use executor::{evaluate, train_step_full, train_step_mbs};
 pub use grouped::{stash_enabled, GroupedExecutor};
 pub use lower::{lower, LowerError, LoweredNet};
 pub use model::MiniResNet;
-pub use module::{CacheStash, Module, Param};
+pub use module::{CacheStash, Module, Param, StateDict, StateEntry, StateError};
 pub use norm::{Norm, NormChoice};
 pub use optim::Sgd;
-pub use training::{train, train_grouped, EpochStats, TrainConfig};
+pub use training::{train, train_grouped, EpochStats, TrainConfig, TrainError};

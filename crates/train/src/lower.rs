@@ -32,7 +32,7 @@ use mbs_tensor::ops::{concat_channels, slice_channels, Conv2dCfg};
 use mbs_tensor::Tensor;
 
 use crate::layers::{AvgPool2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d, Relu};
-use crate::module::{stash_mismatch, CacheEntry, CacheStash, Module, Param};
+use crate::module::{stash_mismatch, CacheEntry, CacheStash, Module, Param, StateDict, StateError};
 use crate::norm::{LocalResponseNorm, Norm, NormChoice};
 
 /// Error raised when a network uses an IR construct the training runtime
@@ -174,6 +174,32 @@ impl Module for LayerModule {
             }
         }
     }
+
+    fn export_state(&mut self, dict: &mut StateDict) {
+        // Dispatch (rather than the visit_params default) so norm layers
+        // carrying non-parameter state export it.
+        match self {
+            LayerModule::Conv(m) => m.export_state(dict),
+            LayerModule::Norm(m) => m.export_state(dict),
+            LayerModule::Relu(m) => m.export_state(dict),
+            LayerModule::MaxPool(m) => m.export_state(dict),
+            LayerModule::AvgPool(m) => m.export_state(dict),
+            LayerModule::GlobalAvgPool(m) => m.export_state(dict),
+            LayerModule::Fc { linear, .. } => linear.export_state(dict),
+        }
+    }
+
+    fn import_state(&mut self, dict: &mut StateDict) -> Result<(), StateError> {
+        match self {
+            LayerModule::Conv(m) => m.import_state(dict),
+            LayerModule::Norm(m) => m.import_state(dict),
+            LayerModule::Relu(m) => m.import_state(dict),
+            LayerModule::MaxPool(m) => m.import_state(dict),
+            LayerModule::AvgPool(m) => m.import_state(dict),
+            LayerModule::GlobalAvgPool(m) => m.import_state(dict),
+            LayerModule::Fc { linear, .. } => linear.import_state(dict),
+        }
+    }
 }
 
 /// A lowered two-branch residual block: main chain, shortcut chain (empty
@@ -264,6 +290,29 @@ impl Module for LoweredBlock {
             m.unstash_caches(stash);
         }
     }
+
+    fn export_state(&mut self, dict: &mut StateDict) {
+        for m in self
+            .main
+            .iter_mut()
+            .chain(&mut self.shortcut)
+            .chain(&mut self.post)
+        {
+            m.export_state(dict);
+        }
+    }
+
+    fn import_state(&mut self, dict: &mut StateDict) -> Result<(), StateError> {
+        for m in self
+            .main
+            .iter_mut()
+            .chain(&mut self.shortcut)
+            .chain(&mut self.post)
+        {
+            m.import_state(dict)?;
+        }
+        Ok(())
+    }
 }
 
 /// A lowered N-branch Inception-style block: every branch runs from the
@@ -350,6 +399,19 @@ impl Module for LoweredConcat {
             m.unstash_caches(stash);
         }
     }
+
+    fn export_state(&mut self, dict: &mut StateDict) {
+        for m in self.branches.iter_mut().flatten().chain(&mut self.post) {
+            m.export_state(dict);
+        }
+    }
+
+    fn import_state(&mut self, dict: &mut StateDict) -> Result<(), StateError> {
+        for m in self.branches.iter_mut().flatten().chain(&mut self.post) {
+            m.import_state(dict)?;
+        }
+        Ok(())
+    }
 }
 
 /// One lowered scheduling unit: the runtime mirror of [`mbs_cnn::Node`].
@@ -415,6 +477,22 @@ impl Module for NodeModule {
             NodeBody::Single(m) => m.unstash_caches(stash),
             NodeBody::Block(b) => b.unstash_caches(stash),
             NodeBody::Concat(b) => b.unstash_caches(stash),
+        }
+    }
+
+    fn export_state(&mut self, dict: &mut StateDict) {
+        match &mut self.body {
+            NodeBody::Single(m) => m.export_state(dict),
+            NodeBody::Block(b) => b.export_state(dict),
+            NodeBody::Concat(b) => b.export_state(dict),
+        }
+    }
+
+    fn import_state(&mut self, dict: &mut StateDict) -> Result<(), StateError> {
+        match &mut self.body {
+            NodeBody::Single(m) => m.import_state(dict),
+            NodeBody::Block(b) => b.import_state(dict),
+            NodeBody::Concat(b) => b.import_state(dict),
         }
     }
 }
@@ -560,6 +638,19 @@ impl Module for LoweredNet {
     fn unstash_caches(&mut self, stash: &mut CacheStash) {
         let len = self.len();
         self.unstash_range(0..len, stash);
+    }
+
+    fn export_state(&mut self, dict: &mut StateDict) {
+        for node in &mut self.nodes {
+            node.export_state(dict);
+        }
+    }
+
+    fn import_state(&mut self, dict: &mut StateDict) -> Result<(), StateError> {
+        for node in &mut self.nodes {
+            node.import_state(dict)?;
+        }
+        Ok(())
     }
 }
 

@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use mbs_tensor::Tensor;
 
 use crate::layers::{Conv2d, GlobalAvgPool, Linear, Relu};
-use crate::module::{Module, Param};
+use crate::module::{Module, Param, StateDict, StateError};
 use crate::norm::{Norm, NormChoice};
 
 /// A two-conv residual block with optional projection shortcut.
@@ -116,6 +116,29 @@ impl Module for ResidualBlock {
             conv.visit_params(f);
             norm.visit_params(f);
         }
+    }
+
+    fn export_state(&mut self, dict: &mut StateDict) {
+        self.conv1.export_state(dict);
+        self.norm1.export_state(dict);
+        self.conv2.export_state(dict);
+        self.norm2.export_state(dict);
+        if let Some((conv, norm)) = &mut self.shortcut {
+            conv.export_state(dict);
+            norm.export_state(dict);
+        }
+    }
+
+    fn import_state(&mut self, dict: &mut StateDict) -> Result<(), StateError> {
+        self.conv1.import_state(dict)?;
+        self.norm1.import_state(dict)?;
+        self.conv2.import_state(dict)?;
+        self.norm2.import_state(dict)?;
+        if let Some((conv, norm)) = &mut self.shortcut {
+            conv.import_state(dict)?;
+            norm.import_state(dict)?;
+        }
+        Ok(())
     }
 }
 
@@ -233,6 +256,24 @@ impl Module for MiniResNet {
         }
         self.head.visit_params(f);
     }
+
+    fn export_state(&mut self, dict: &mut StateDict) {
+        self.stem_conv.export_state(dict);
+        self.stem_norm.export_state(dict);
+        for b in &mut self.blocks {
+            b.export_state(dict);
+        }
+        self.head.export_state(dict);
+    }
+
+    fn import_state(&mut self, dict: &mut StateDict) -> Result<(), StateError> {
+        self.stem_conv.import_state(dict)?;
+        self.stem_norm.import_state(dict)?;
+        for b in &mut self.blocks {
+            b.import_state(dict)?;
+        }
+        self.head.import_state(dict)
+    }
 }
 
 /// A norm-free conv–bias–ReLU stack (stem → `depth` same-width conv
@@ -305,6 +346,20 @@ impl Module for ConvNet {
             c.visit_params(f);
         }
         self.head.visit_params(f);
+    }
+
+    fn export_state(&mut self, dict: &mut StateDict) {
+        for c in &mut self.convs {
+            c.export_state(dict);
+        }
+        self.head.export_state(dict);
+    }
+
+    fn import_state(&mut self, dict: &mut StateDict) -> Result<(), StateError> {
+        for c in &mut self.convs {
+            c.import_state(dict)?;
+        }
+        self.head.import_state(dict)
     }
 }
 

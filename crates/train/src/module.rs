@@ -1,6 +1,9 @@
 //! The layer/module abstraction for the CPU training substrate.
 
 use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
 
 use mbs_tensor::ops::BitMask;
 use mbs_tensor::Tensor;
@@ -127,6 +130,172 @@ pub(crate) fn stash_mismatch(wanted: &str, got: &CacheEntry) -> ! {
     panic!("cache stash mismatch: expected {wanted} entry, found {got:?}")
 }
 
+/// One serialized piece of a module's durable state: a shaped f32 blob
+/// (a parameter tensor, or auxiliary state like batch-norm running
+/// statistics). The JSON encoding round-trips every finite f32 bitwise
+/// (`serde_json` prints shortest-round-trip floats).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateEntry {
+    /// Tensor shape (auxiliary vectors use a rank-1 shape).
+    pub shape: Vec<usize>,
+    /// Row-major values, `shape.iter().product()` of them.
+    pub data: Vec<f32>,
+}
+
+impl StateEntry {
+    /// Captures a tensor's shape and values.
+    pub fn from_tensor(t: &Tensor) -> Self {
+        Self {
+            shape: t.shape().to_vec(),
+            data: t.data().to_vec(),
+        }
+    }
+
+    /// Captures a flat f32 vector as a rank-1 entry.
+    pub fn from_slice(v: &[f32]) -> Self {
+        Self {
+            shape: vec![v.len()],
+            data: v.to_vec(),
+        }
+    }
+}
+
+/// Error raised when a [`StateDict`] does not match the module tree it is
+/// imported into — wrong entry count or wrong shapes. The schedule
+/// fingerprint check normally rejects such checkpoints before import; this
+/// is the defense in depth behind it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The dict ran out of entries before the module tree was satisfied.
+    Missing {
+        /// Entries the tree consumed before running dry.
+        consumed: usize,
+    },
+    /// An entry's shape does not match the slot it would be restored into.
+    ShapeMismatch {
+        /// Shape the module expects.
+        expected: Vec<usize>,
+        /// Shape found in the dict.
+        found: Vec<usize>,
+    },
+    /// Entries were left over after the module tree was fully restored.
+    Leftover {
+        /// Number of unconsumed entries.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::Missing { consumed } => write!(
+                f,
+                "state dict exhausted after {consumed} entries — it belongs to a smaller model"
+            ),
+            StateError::ShapeMismatch { expected, found } => write!(
+                f,
+                "state entry shape {found:?} does not match the module's {expected:?}"
+            ),
+            StateError::Leftover { remaining } => write!(
+                f,
+                "state dict has {remaining} unconsumed entries — it belongs to a larger model"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// An ordered bag of [`StateEntry`] values: the durable state of a module
+/// tree, flattened in the tree's stable walk order (the same order
+/// [`Module::visit_params`] uses, with auxiliary state interleaved where
+/// its owning module sits in the walk).
+///
+/// Export pushes ([`Module::export_state`]); import pops in the identical
+/// order ([`Module::import_state`]). Matching is positional, not named:
+/// the checkpoint layer guards identity with the schedule fingerprint, so
+/// the dict never crosses model architectures, and [`StateError`] catches
+/// drift if it somehow does.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct StateDict {
+    entries: VecDeque<StateEntry>,
+}
+
+impl StateDict {
+    /// Appends one entry (modules call this from
+    /// [`Module::export_state`]).
+    pub fn push(&mut self, entry: StateEntry) {
+        self.entries.push_back(entry);
+    }
+
+    /// Appends a tensor's shape and values.
+    pub fn push_tensor(&mut self, t: &Tensor) {
+        self.push(StateEntry::from_tensor(t));
+    }
+
+    /// Appends a flat f32 vector as a rank-1 entry.
+    pub fn push_slice(&mut self, v: &[f32]) {
+        self.push(StateEntry::from_slice(v));
+    }
+
+    /// Removes and returns the oldest entry; `consumed` is how many the
+    /// caller already popped (for the error message).
+    pub fn pop(&mut self, consumed: usize) -> Result<StateEntry, StateError> {
+        self.entries
+            .pop_front()
+            .ok_or(StateError::Missing { consumed })
+    }
+
+    /// Pops the oldest entry into `t`, requiring an exact shape match.
+    pub fn pop_into_tensor(&mut self, t: &mut Tensor) -> Result<(), StateError> {
+        let e = self.pop(0)?;
+        if e.shape != t.shape() || e.data.len() != t.len() {
+            return Err(StateError::ShapeMismatch {
+                expected: t.shape().to_vec(),
+                found: e.shape,
+            });
+        }
+        t.data_mut().copy_from_slice(&e.data);
+        Ok(())
+    }
+
+    /// Pops the oldest entry into `v`, requiring a rank-1 length match.
+    pub fn pop_into_slice(&mut self, v: &mut [f32]) -> Result<(), StateError> {
+        let e = self.pop(0)?;
+        if e.shape != [v.len()] || e.data.len() != v.len() {
+            return Err(StateError::ShapeMismatch {
+                expected: vec![v.len()],
+                found: e.shape,
+            });
+        }
+        v.copy_from_slice(&e.data);
+        Ok(())
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dict holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consumes the dict into its entries, in walk order.
+    pub fn into_entries(self) -> Vec<StateEntry> {
+        self.entries.into()
+    }
+
+    /// Rebuilds a dict from entries produced by
+    /// [`StateDict::into_entries`] (or deserialized from a checkpoint).
+    pub fn from_entries(entries: Vec<StateEntry>) -> Self {
+        Self {
+            entries: entries.into(),
+        }
+    }
+}
+
 /// A differentiable module.
 pub trait Module {
     /// Forward pass. `train` selects training behavior (batch-norm batch
@@ -180,6 +349,53 @@ pub trait Module {
     /// Clears all accumulated gradients.
     fn zero_grad(&mut self) {
         self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Appends this module's durable state to `dict` — everything a
+    /// checkpoint must capture to reproduce the module's future behavior:
+    /// parameter values plus non-parameter state (batch-norm running
+    /// statistics). Gradients and backward caches are *not* state —
+    /// checkpoints are taken at step boundaries where both are dead.
+    ///
+    /// The default exports every parameter in [`Module::visit_params`]
+    /// order, which is complete for leaf modules whose only state is
+    /// their parameters. **Composite modules must override this to
+    /// recurse into children** (not rely on the default), so children
+    /// carrying auxiliary state get their own hook called; leaves with
+    /// extra state (e.g. `BatchNorm2d`) override it to append that state
+    /// after their parameters.
+    fn export_state(&mut self, dict: &mut StateDict) {
+        self.visit_params(&mut |p| dict.push_tensor(&p.value));
+    }
+
+    /// Restores state previously appended by [`Module::export_state`],
+    /// consuming the same entries in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] if the dict runs dry or an entry's shape
+    /// does not match — the dict belongs to a different model. The module
+    /// may be left partially restored in that case; callers treat the
+    /// error as fatal for the load, not something to resume from.
+    fn import_state(&mut self, dict: &mut StateDict) -> Result<(), StateError> {
+        let mut err = None;
+        let mut consumed = 0usize;
+        self.visit_params(&mut |p| {
+            if err.is_some() {
+                return;
+            }
+            match dict.pop_into_tensor(&mut p.value) {
+                Ok(()) => consumed += 1,
+                Err(StateError::Missing { .. }) => {
+                    err = Some(StateError::Missing { consumed });
+                }
+                Err(e) => err = Some(e),
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 

@@ -13,7 +13,7 @@
 
 use mbs_tensor::Tensor;
 
-use crate::module::{stash_mismatch, CacheEntry, CacheStash, Module, Param};
+use crate::module::{stash_mismatch, CacheEntry, CacheStash, Module, Param, StateDict, StateError};
 
 const EPS: f32 = 1e-5;
 
@@ -159,6 +159,22 @@ impl Module for BatchNorm2d {
             (Some(xhat), Some(ivar)) => Some(BnCache { xhat, ivar }),
             _ => None,
         };
+    }
+
+    fn export_state(&mut self, dict: &mut StateDict) {
+        // Scale/shift parameters, then the running statistics — the
+        // inference-time state `visit_params` cannot see.
+        dict.push_tensor(&self.gamma.value);
+        dict.push_tensor(&self.beta.value);
+        dict.push_slice(&self.running_mean);
+        dict.push_slice(&self.running_var);
+    }
+
+    fn import_state(&mut self, dict: &mut StateDict) -> Result<(), StateError> {
+        dict.pop_into_tensor(&mut self.gamma.value)?;
+        dict.pop_into_tensor(&mut self.beta.value)?;
+        dict.pop_into_slice(&mut self.running_mean)?;
+        dict.pop_into_slice(&mut self.running_var)
     }
 }
 
@@ -608,6 +624,27 @@ impl Module for Norm {
             Norm::Group(g) => g.unstash_caches(stash),
             Norm::Local(l) => l.unstash_caches(stash),
             Norm::None => {}
+        }
+    }
+
+    fn export_state(&mut self, dict: &mut StateDict) {
+        // Dispatch so `BatchNorm2d`'s running-statistics override is
+        // reached (the trait default would walk `visit_params` and skip
+        // them).
+        match self {
+            Norm::Batch(b) => b.export_state(dict),
+            Norm::Group(g) => g.export_state(dict),
+            Norm::Local(l) => l.export_state(dict),
+            Norm::None => {}
+        }
+    }
+
+    fn import_state(&mut self, dict: &mut StateDict) -> Result<(), StateError> {
+        match self {
+            Norm::Batch(b) => b.import_state(dict),
+            Norm::Group(g) => g.import_state(dict),
+            Norm::Local(l) => l.import_state(dict),
+            Norm::None => Ok(()),
         }
     }
 }

@@ -3,7 +3,7 @@
 
 use mbs_tensor::Tensor;
 
-use crate::module::Module;
+use crate::module::{Module, StateDict, StateEntry, StateError};
 
 /// Stochastic gradient descent with classical momentum.
 #[derive(Debug, Clone)]
@@ -56,6 +56,29 @@ impl Sgd {
             }
             i += 1;
         });
+    }
+
+    /// Exports the momentum buffers in the same stable order `step` fills
+    /// them. An optimizer that has not stepped yet exports an empty dict.
+    pub fn export_state(&self, dict: &mut StateDict) {
+        for v in &self.velocities {
+            dict.push(StateEntry::from_tensor(v));
+        }
+    }
+
+    /// Restores momentum buffers exported by [`Sgd::export_state`].
+    ///
+    /// The buffers are adopted as-is; shape agreement with the model being
+    /// optimized is guaranteed by the checkpoint fingerprint, and `step`
+    /// re-derives buffer/parameter pairing from visit order.
+    pub fn import_state(&mut self, dict: &mut StateDict) -> Result<(), StateError> {
+        let mut velocities = Vec::with_capacity(dict.len());
+        while !dict.is_empty() {
+            let entry = dict.pop(velocities.len())?;
+            velocities.push(Tensor::from_vec(&entry.shape, entry.data));
+        }
+        self.velocities = velocities;
+        Ok(())
     }
 }
 

@@ -6,19 +6,23 @@
 //! a [`GroupedExecutor`] running an `mbs_core` [`Schedule`] over a lowered
 //! IR network.
 
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use mbs_cnn::Network;
 use mbs_core::Schedule;
 
+use crate::checkpoint::{self, CheckpointConfig, CheckpointError, FaultPlan, TrainCheckpoint};
 use crate::data::Dataset;
 use crate::executor::{evaluate, train_step_full, train_step_mbs};
 use crate::grouped::GroupedExecutor;
-use crate::lower::{lower, LowerError};
+use crate::lower::{lower, LowerError, LoweredNet};
 use crate::model::MiniResNet;
-use crate::module::slice_batch;
+use crate::module::{slice_batch, Module, StateDict, StateError};
 use crate::norm::NormChoice;
 use crate::optim::{step_lr, Sgd};
 
@@ -44,6 +48,18 @@ pub struct TrainConfig {
     pub blocks_per_stage: usize,
     /// RNG seed for init and shuffling.
     pub seed: u64,
+    /// Crash-safe checkpointing for [`train_grouped`] (`None` = no
+    /// checkpoints). Unset callers inherit the `MBS_CKPT_DIR` /
+    /// `MBS_CKPT_EVERY` environment knobs via
+    /// [`CheckpointConfig::from_env`] — pass `Some` to override.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Per-run override of the grouped backward strategy: `Some(true)`
+    /// forces cache stashing, `Some(false)` forces replay, `None` uses
+    /// the process-wide `MBS_STASH` knob. Ignored by [`train`].
+    pub stashing: Option<bool>,
+    /// Test-only fault-injection plan for checkpoint saves (`None` in
+    /// real runs). See [`FaultPlan`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for TrainConfig {
@@ -58,12 +74,15 @@ impl Default for TrainConfig {
             weight_decay: 1e-4,
             blocks_per_stage: 1,
             seed: 1234,
+            checkpoint: None,
+            stashing: None,
+            fault_plan: None,
         }
     }
 }
 
 /// Per-epoch statistics.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -75,6 +94,130 @@ pub struct EpochStats {
     pub preact_first: f32,
     /// Mean output of the last normalization layer.
     pub preact_last: f32,
+}
+
+/// Why [`train_grouped`] could not run (or finish) a training job.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Lowering rejected the network geometry.
+    Lower(LowerError),
+    /// A dataset split's images do not match the network input shape.
+    DatasetMismatch {
+        /// Network name.
+        net: String,
+        /// Which split mismatched (`"train"` or `"validation"`).
+        split: &'static str,
+        /// Per-sample shape the network expects (channels, height, width).
+        expected: [usize; 3],
+        /// Image tensor shape the split actually carries.
+        found: Vec<usize>,
+    },
+    /// A dataset split has a different number of images and labels.
+    LabelMismatch {
+        /// Which split mismatched (`"train"` or `"validation"`).
+        split: &'static str,
+        /// Number of images in the split.
+        images: usize,
+        /// Number of labels in the split.
+        labels: usize,
+    },
+    /// The schedule covers a different node count than the network.
+    ScheduleMismatch {
+        /// Network name.
+        net: String,
+        /// Nodes the schedule's groups cover.
+        schedule_nodes: usize,
+        /// Nodes the network actually has.
+        net_nodes: usize,
+        /// Name of the first network node the schedule leaves uncovered
+        /// (`None` when the schedule covers *too many* nodes).
+        first_uncovered: Option<String>,
+    },
+    /// Saving or loading a checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// A resumed checkpoint's state did not fit the lowered model —
+    /// format drift the fingerprint could not catch.
+    State(StateError),
+    /// The run was deterministically killed by the configured
+    /// [`FaultPlan`] after completing this many checkpoint saves
+    /// (test harness only; real crashes do not produce an error value).
+    Killed {
+        /// Checkpoint saves completed before the kill.
+        saves: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lower(e) => write!(f, "lowering failed: {e}"),
+            Self::DatasetMismatch {
+                net,
+                split,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{split} images have shape {found:?} but net {net:?} expects \
+                 [N, {}, {}, {}]",
+                expected[0], expected[1], expected[2]
+            ),
+            Self::LabelMismatch {
+                split,
+                images,
+                labels,
+            } => write!(f, "{split} split has {images} images but {labels} labels"),
+            Self::ScheduleMismatch {
+                net,
+                schedule_nodes,
+                net_nodes,
+                first_uncovered,
+            } => {
+                write!(
+                    f,
+                    "schedule covers {schedule_nodes} nodes but net {net:?} has {net_nodes}"
+                )?;
+                if let Some(name) = first_uncovered {
+                    write!(f, " (first uncovered node: {name:?})")?;
+                }
+                Ok(())
+            }
+            Self::Checkpoint(e) => write!(f, "checkpointing failed: {e}"),
+            Self::State(e) => write!(f, "resumed state does not fit the model: {e}"),
+            Self::Killed { saves } => {
+                write!(f, "run killed by fault plan after {saves} checkpoint saves")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Lower(e) => Some(e),
+            Self::Checkpoint(e) => Some(e),
+            Self::State(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LowerError> for TrainError {
+    fn from(e: LowerError) -> Self {
+        Self::Lower(e)
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+impl From<StateError> for TrainError {
+    fn from(e: StateError) -> Self {
+        Self::State(e)
+    }
 }
 
 /// Trains a [`MiniResNet`] with the given normalization and returns the
@@ -95,7 +238,7 @@ pub fn train(
 
     for epoch in 0..cfg.epochs {
         opt.lr = step_lr(cfg.base_lr, 0.1, &cfg.lr_milestones, epoch);
-        order.shuffle(&mut rng);
+        reshuffle(&mut order, &mut rng);
         let mut loss_sum = 0.0f32;
         let mut steps = 0usize;
         let mut start = 0;
@@ -137,13 +280,25 @@ pub fn train(
 /// (`0.0` if the network has none) — the lowered-net analogue of the
 /// Fig. 6 diagnostic.
 ///
+/// # Crash safety
+///
+/// With `cfg.checkpoint` set (or `MBS_CKPT_DIR` in the environment), the
+/// run saves durable checkpoints — always at epoch boundaries, plus
+/// every [`CheckpointConfig::every_steps`] steps — and resumes from the
+/// newest valid one on restart. **Guarantee:** a run killed at any point
+/// and resumed from its checkpoint directory produces the same epoch
+/// curve as the unkilled run — bitwise, because the checkpoint restores
+/// the exact shuffle-RNG state alongside parameters, running statistics,
+/// and momentum. The equivalence is pinned by the kill/resume matrix in
+/// `tests/checkpoint_resume.rs` across both backward strategies.
+///
 /// # Errors
 ///
-/// Returns a [`LowerError`] if `net` uses a geometry the runtime rejects.
-///
-/// # Panics
-///
-/// Panics if the schedule does not cover `net`'s node count.
+/// Returns a structured [`TrainError`] when the inputs disagree before
+/// any training happens — dataset shape or label-count mismatches,
+/// a schedule whose groups do not cover the network (naming the first
+/// uncovered node), or a geometry lowering rejects — and when
+/// checkpointing fails or a resumed checkpoint does not fit.
 ///
 /// # Examples
 ///
@@ -151,16 +306,19 @@ pub fn train(
 /// use mbs_cnn::networks::toy;
 /// use mbs_core::{ExecConfig, HardwareConfig, MbsScheduler};
 /// use mbs_train::data::generate;
-/// use mbs_train::training::{train_grouped, TrainConfig};
+/// use mbs_train::training::{train_grouped, TrainConfig, TrainError};
 ///
-/// let net = toy::runtime_mix(8, 8);
-/// let hw = HardwareConfig::cpu().with_global_buffer(3 * 1024);
-/// let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1).schedule();
-/// let train_set = generate(16, 8, 0.3, 1);
-/// let val_set = generate(8, 8, 0.3, 2);
-/// let cfg = TrainConfig { epochs: 1, batch: 8, ..TrainConfig::default() };
-/// let curve = train_grouped(&net, &schedule, &train_set, &val_set, &cfg).unwrap();
-/// assert_eq!(curve.len(), 1);
+/// fn main() -> Result<(), TrainError> {
+///     let net = toy::runtime_mix(8, 8);
+///     let hw = HardwareConfig::cpu().with_global_buffer(3 * 1024);
+///     let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1).schedule();
+///     let train_set = generate(16, 8, 0.3, 1);
+///     let val_set = generate(8, 8, 0.3, 2);
+///     let cfg = TrainConfig { epochs: 1, batch: 8, ..TrainConfig::default() };
+///     let curve = train_grouped(&net, &schedule, &train_set, &val_set, &cfg)?;
+///     assert_eq!(curve.len(), 1);
+///     Ok(())
+/// }
 /// ```
 pub fn train_grouped(
     net: &Network,
@@ -168,28 +326,85 @@ pub fn train_grouped(
     train_set: &Dataset,
     val_set: &Dataset,
     cfg: &TrainConfig,
-) -> Result<Vec<EpochStats>, LowerError> {
+) -> Result<Vec<EpochStats>, TrainError> {
+    validate_inputs(net, schedule, train_set, val_set)?;
+    let ckpt_cfg = cfg.checkpoint.clone().or_else(CheckpointConfig::from_env);
+    let fingerprint = schedule.fingerprint(net);
+
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut model = lower(net, &mut rng)?;
     let mut exec = GroupedExecutor::new(schedule, model.len());
+    if let Some(stashing) = cfg.stashing {
+        exec.set_stashing(stashing);
+    }
     let mut opt = Sgd::new(cfg.base_lr, cfg.momentum, cfg.weight_decay);
     let n = train_set.len();
     let probe = slice_batch(&train_set.images, 0, train_set.len().min(8));
     let mut order: Vec<usize> = (0..n).collect();
     let mut curve = Vec::with_capacity(cfg.epochs);
 
-    for epoch in 0..cfg.epochs {
+    // Resume bookkeeping: where to continue, how much of the first epoch
+    // is already done, and the next checkpoint sequence number (always
+    // past every file already in the directory, even corrupt ones).
+    let mut start_epoch = 0usize;
+    let mut resumed_steps = 0usize;
+    let mut resumed_loss_sum = 0.0f32;
+    let mut seq = 0usize;
+    let mut saves = 0usize;
+    if let Some(ck) = &ckpt_cfg {
+        seq = checkpoint::list(&ck.dir)?.last().map_or(0, |&(s, _)| s + 1);
+        if ck.resume {
+            if let Some((_, loaded)) = checkpoint::load_latest(&ck.dir, fingerprint)? {
+                restore(&loaded, &mut model, &mut opt, &mut rng)?;
+                start_epoch = loaded.epoch;
+                resumed_steps = loaded.step_in_epoch;
+                resumed_loss_sum = loaded.loss_sum;
+                curve = loaded.curve;
+            }
+        }
+    }
+
+    for epoch in start_epoch..cfg.epochs {
+        // Shuffle-RNG state at the top of the epoch: a mid-epoch
+        // checkpoint stores it so the resumed run replays the same
+        // permutation and skips the completed prefix.
+        let epoch_rng = rng.state();
         opt.lr = step_lr(cfg.base_lr, 0.1, &cfg.lr_milestones, epoch);
-        order.shuffle(&mut rng);
-        let mut loss_sum = 0.0f32;
-        let mut steps = 0usize;
-        let mut start = 0;
+        reshuffle(&mut order, &mut rng);
+        let skip = if epoch == start_epoch {
+            resumed_steps
+        } else {
+            0
+        };
+        let mut loss_sum = if epoch == start_epoch {
+            resumed_loss_sum
+        } else {
+            0.0
+        };
+        let mut steps = skip;
+        let mut start = skip * cfg.batch;
         while start < n {
             let end = (start + cfg.batch).min(n);
             let (xs, ls) = gather(train_set, &order[start..end]);
             loss_sum += exec.train_step(&mut model, &xs, &ls, &mut opt);
             steps += 1;
             start = end;
+            if let Some(ck) = &ckpt_cfg {
+                if ck.every_steps > 0 && steps % ck.every_steps == 0 && start < n {
+                    let snapshot = snapshot(
+                        fingerprint,
+                        net.name(),
+                        epoch,
+                        steps,
+                        loss_sum,
+                        epoch_rng,
+                        &mut model,
+                        &opt,
+                        &curve,
+                    );
+                    persist(ck, cfg.fault_plan.as_ref(), &mut seq, &mut saves, &snapshot)?;
+                }
+            }
         }
         let (_, err) = evaluate(&mut model, &val_set.images, &val_set.labels, cfg.batch);
         let (first, last) = model.preactivation_means(&probe);
@@ -200,8 +415,157 @@ pub fn train_grouped(
             preact_first: first,
             preact_last: last,
         });
+        if let Some(ck) = &ckpt_cfg {
+            // Epoch-boundary save: cursor at the top of the next epoch.
+            let snapshot = snapshot(
+                fingerprint,
+                net.name(),
+                epoch + 1,
+                0,
+                0.0,
+                rng.state(),
+                &mut model,
+                &opt,
+                &curve,
+            );
+            persist(ck, cfg.fault_plan.as_ref(), &mut seq, &mut saves, &snapshot)?;
+        }
     }
     Ok(curve)
+}
+
+/// Rejects input disagreements up front with named-network errors, so the
+/// executor's internal panics never fire on user mistakes.
+fn validate_inputs(
+    net: &Network,
+    schedule: &Schedule,
+    train_set: &Dataset,
+    val_set: &Dataset,
+) -> Result<(), TrainError> {
+    let covered = schedule.node_count();
+    let nodes = net.nodes().len();
+    if covered != nodes {
+        return Err(TrainError::ScheduleMismatch {
+            net: net.name().to_string(),
+            schedule_nodes: covered,
+            net_nodes: nodes,
+            first_uncovered: net.nodes().get(covered).map(|n| n.name().to_string()),
+        });
+    }
+    let input = net.input();
+    let expected = [input.channels, input.height, input.width];
+    for (split, set) in [("train", train_set), ("validation", val_set)] {
+        let shape = set.images.shape();
+        if shape.len() != 4 || shape[1..] != expected {
+            return Err(TrainError::DatasetMismatch {
+                net: net.name().to_string(),
+                split,
+                expected,
+                found: shape.to_vec(),
+            });
+        }
+        if set.labels.len() != shape[0] {
+            return Err(TrainError::LabelMismatch {
+                split,
+                images: shape[0],
+                labels: set.labels.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Captures the full resumable state as a [`TrainCheckpoint`].
+#[allow(clippy::too_many_arguments)]
+fn snapshot(
+    fingerprint: u64,
+    net: &str,
+    epoch: usize,
+    step_in_epoch: usize,
+    loss_sum: f32,
+    rng_state: [u64; 4],
+    model: &mut LoweredNet,
+    opt: &Sgd,
+    curve: &[EpochStats],
+) -> TrainCheckpoint {
+    let mut dict = StateDict::default();
+    model.export_state(&mut dict);
+    let mut vdict = StateDict::default();
+    opt.export_state(&mut vdict);
+    TrainCheckpoint {
+        fingerprint,
+        net: net.to_string(),
+        epoch,
+        step_in_epoch,
+        loss_sum,
+        steps: step_in_epoch,
+        rng: rng_state.to_vec(),
+        model: dict.into_entries(),
+        velocities: vdict.into_entries(),
+        curve: curve.to_vec(),
+    }
+}
+
+/// Saves `ckpt` (through the fault plan when one is configured) and
+/// enforces the plan's deterministic kill point.
+fn persist(
+    ck: &CheckpointConfig,
+    plan: Option<&FaultPlan>,
+    seq: &mut usize,
+    saves: &mut usize,
+    ckpt: &TrainCheckpoint,
+) -> Result<(), TrainError> {
+    match plan {
+        Some(plan) => plan.apply(*saves, &ck.dir, *seq, ckpt, ck.keep)?,
+        None => {
+            checkpoint::save(&ck.dir, *seq, ckpt, ck.keep)?;
+        }
+    }
+    *seq += 1;
+    *saves += 1;
+    if plan.is_some_and(|p| p.should_kill(*saves)) {
+        return Err(TrainError::Killed { saves: *saves });
+    }
+    Ok(())
+}
+
+/// Imports a loaded checkpoint into the freshly lowered model, the
+/// optimizer, and the shuffle RNG.
+fn restore(
+    loaded: &TrainCheckpoint,
+    model: &mut LoweredNet,
+    opt: &mut Sgd,
+    rng: &mut StdRng,
+) -> Result<(), TrainError> {
+    let mut dict = StateDict::from_entries(loaded.model.clone());
+    model.import_state(&mut dict)?;
+    if !dict.is_empty() {
+        return Err(TrainError::State(StateError::Leftover {
+            remaining: dict.len(),
+        }));
+    }
+    let mut vdict = StateDict::from_entries(loaded.velocities.clone());
+    opt.import_state(&mut vdict)?;
+    let words: [u64; 4] = loaded.rng.as_slice().try_into().map_err(|_| {
+        TrainError::Checkpoint(CheckpointError::Format(format!(
+            "RNG state has {} words (want 4)",
+            loaded.rng.len()
+        )))
+    })?;
+    *rng = StdRng::from_state(words);
+    Ok(())
+}
+
+/// Re-deals the identity permutation and shuffles it. Starting from the
+/// identity every epoch (instead of shuffling the previous epoch's order
+/// in place) makes an epoch's batch composition a function of the RNG
+/// state at its start alone — the property checkpoint resume relies on
+/// to skip completed epochs without replaying their shuffles.
+fn reshuffle(order: &mut [usize], rng: &mut StdRng) {
+    for (i, slot) in order.iter_mut().enumerate() {
+        *slot = i;
+    }
+    order.shuffle(rng);
 }
 
 fn gather(set: &Dataset, idx: &[usize]) -> (mbs_tensor::Tensor, Vec<usize>) {

@@ -1,0 +1,191 @@
+//! Checkpoint format pinning: property-based round-trips (every finite
+//! f32 bit pattern must survive encode → decode bitwise) and a golden
+//! file committed to the repo so accidental format drift breaks CI
+//! instead of silently orphaning users' saved checkpoints.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use mbs_train::checkpoint::{decode, encode};
+use mbs_train::{EpochStats, StateEntry, TrainCheckpoint};
+
+/// A finite f32 drawn uniformly from the *bit* space (subnormals,
+/// negative zero, huge and tiny magnitudes included) — the values JSON
+/// round-tripping is most likely to mangle.
+fn finite_f32(rng: &mut StdRng) -> f32 {
+    loop {
+        let v = f32::from_bits(rng.next_u32());
+        if v.is_finite() {
+            return v;
+        }
+    }
+}
+
+fn arbitrary_checkpoint(seed: u64, entries: usize, elems: usize) -> TrainCheckpoint {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tensor = |rng: &mut StdRng| StateEntry {
+        shape: vec![elems.max(1)],
+        data: (0..elems.max(1)).map(|_| finite_f32(rng)).collect(),
+    };
+    TrainCheckpoint {
+        fingerprint: rng.next_u64(),
+        net: format!("Net{seed}"),
+        epoch: rng.gen_range(0usize..100),
+        step_in_epoch: rng.gen_range(0usize..50),
+        loss_sum: finite_f32(&mut rng),
+        steps: rng.gen_range(0usize..50),
+        rng: (0..4).map(|_| rng.next_u64()).collect(),
+        model: (0..entries).map(|_| tensor(&mut rng)).collect(),
+        velocities: (0..entries).map(|_| tensor(&mut rng)).collect(),
+        curve: (0..rng.gen_range(0usize..4))
+            .map(|epoch| EpochStats {
+                epoch,
+                train_loss: finite_f32(&mut rng),
+                val_error_pct: (rng.next_u64() % 10_000) as f64 / 100.0,
+                preact_first: finite_f32(&mut rng),
+                preact_last: finite_f32(&mut rng),
+            })
+            .collect(),
+    }
+}
+
+fn assert_bitwise_eq(a: &TrainCheckpoint, b: &TrainCheckpoint) {
+    // PartialEq is not enough: -0.0 == 0.0 under f32 comparison. Compare
+    // every float through its bit pattern.
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.net, b.net);
+    assert_eq!(a.epoch, b.epoch);
+    assert_eq!(a.step_in_epoch, b.step_in_epoch);
+    assert_eq!(a.loss_sum.to_bits(), b.loss_sum.to_bits());
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.rng, b.rng);
+    for (x, y) in [(&a.model, &b.model), (&a.velocities, &b.velocities)] {
+        assert_eq!(x.len(), y.len());
+        for (ea, eb) in x.iter().zip(y) {
+            assert_eq!(ea.shape, eb.shape);
+            assert_eq!(ea.data.len(), eb.data.len());
+            for (va, vb) in ea.data.iter().zip(&eb.data) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "tensor value drifted");
+            }
+        }
+    }
+    assert_eq!(a.curve.len(), b.curve.len());
+    for (ca, cb) in a.curve.iter().zip(&b.curve) {
+        assert_eq!(ca.epoch, cb.epoch);
+        assert_eq!(ca.train_loss.to_bits(), cb.train_loss.to_bits());
+        assert_eq!(ca.val_error_pct.to_bits(), cb.val_error_pct.to_bits());
+        assert_eq!(ca.preact_first.to_bits(), cb.preact_first.to_bits());
+        assert_eq!(ca.preact_last.to_bits(), cb.preact_last.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// encode → decode is the identity on every finite bit pattern.
+    #[test]
+    fn round_trip_is_bitwise(
+        seed in 0u64..10_000,
+        entries in 1usize..5,
+        elems in 1usize..40,
+    ) {
+        let ckpt = arbitrary_checkpoint(seed, entries, elems);
+        let decoded = decode(&encode(&ckpt)).expect("self-encoded bytes must decode");
+        assert_bitwise_eq(&ckpt, &decoded);
+    }
+
+    /// Encoding is deterministic: the same checkpoint always produces the
+    /// same bytes (rotation, checksums, and the golden test rely on it).
+    #[test]
+    fn encoding_is_deterministic(seed in 0u64..10_000) {
+        let ckpt = arbitrary_checkpoint(seed, 2, 8);
+        assert_eq!(encode(&ckpt), encode(&ckpt));
+    }
+}
+
+/// The fixed checkpoint pinned in `tests/data/golden-v1.mbsckpt`.
+fn golden_checkpoint() -> TrainCheckpoint {
+    TrainCheckpoint {
+        fingerprint: 0x0123_4567_89ab_cdef,
+        net: "GoldenNet".into(),
+        epoch: 2,
+        step_in_epoch: 3,
+        loss_sum: 1.5,
+        steps: 3,
+        rng: vec![
+            0x1111_1111_1111_1111,
+            0x2222_2222_2222_2222,
+            0x3333_3333_3333_3333,
+            0x4444_4444_4444_4444,
+        ],
+        model: vec![
+            StateEntry {
+                shape: vec![2, 3],
+                data: vec![1.0, -0.5, 0.25, f32::MIN_POSITIVE, -0.0, 3.0e10],
+            },
+            StateEntry {
+                shape: vec![2],
+                data: vec![0.1, -0.1],
+            },
+        ],
+        velocities: vec![StateEntry {
+            shape: vec![6],
+            data: vec![0.0; 6],
+        }],
+        curve: vec![
+            EpochStats {
+                epoch: 0,
+                train_loss: 2.0,
+                val_error_pct: 75.0,
+                preact_first: 0.5,
+                preact_last: -0.25,
+            },
+            EpochStats {
+                epoch: 1,
+                train_loss: 1.75,
+                val_error_pct: 60.0,
+                preact_first: 0.5,
+                preact_last: -0.25,
+            },
+        ],
+    }
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data")
+        .join("golden-v1.mbsckpt")
+}
+
+/// Format-drift tripwire: the committed golden file must still decode to
+/// the known checkpoint, and re-encoding that checkpoint must reproduce
+/// the committed bytes exactly. Either direction failing means the
+/// on-disk format changed — bump `CKPT_VERSION` and add a migration
+/// instead of editing the golden file in place.
+#[test]
+fn golden_file_pins_the_format() {
+    let bytes = std::fs::read(golden_path()).expect(
+        "golden checkpoint missing; run \
+         `cargo test -p mbs-train --test checkpoint_serde -- --ignored regenerate_golden`",
+    );
+    let decoded = decode(&bytes).expect("golden file must decode");
+    assert_bitwise_eq(&decoded, &golden_checkpoint());
+    assert_eq!(
+        encode(&golden_checkpoint()),
+        bytes,
+        "encoder output drifted from the committed v1 golden file"
+    );
+}
+
+/// Writes the golden file. Run explicitly (and review the diff!) only
+/// when the format version is intentionally bumped:
+/// `cargo test -p mbs-train --test checkpoint_serde -- --ignored regenerate_golden`
+#[test]
+#[ignore]
+fn regenerate_golden() {
+    let path = golden_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, encode(&golden_checkpoint())).unwrap();
+}
