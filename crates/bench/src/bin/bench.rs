@@ -3,15 +3,19 @@
 //! comparison and an `MBS_THREADS` scaling run — and writes
 //! `BENCH_tensor.json`, then sweeps the **serialized training step**
 //! (sub-batch size × fused/unfused epilogues, plus steady-state arena
-//! stats) into `BENCH_train.json`, so both the kernel-level and the
-//! executor-level perf trajectories are tracked from PR to PR.
+//! stats) into `BENCH_train.json`, and finally drives the dynamic-batching
+//! server through an open-loop load sweep (p50/p99 latency per offered
+//! rate, dispatched-batch histogram) into `BENCH_serve.json` — so the
+//! kernel-level, executor-level, and serving-level perf trajectories are
+//! all tracked from PR to PR.
 //!
 //! ```text
 //! cargo run --release -p mbs-bench --bin bench [-- <out_dir>]
 //! ```
 //!
-//! See `docs/ARCHITECTURE.md` ("BENCH_tensor.json schema" and
-//! "BENCH_train.json schema") for the full layout of the reports.
+//! See `docs/ARCHITECTURE.md` ("BENCH_tensor.json schema",
+//! "BENCH_train.json schema", and "BENCH_serve.json schema") for the full
+//! layout of the reports.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -21,9 +25,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
+use mbs_cnn::networks::toy;
+use mbs_serve::{ModelHandle, ServeConfig, Server};
 use mbs_tensor::arena;
 use mbs_tensor::ops::kernel::{self, MicroKernel};
 use mbs_tensor::ops::{gemm_with_kernel, Conv2dCfg, Im2colGeom, MatSrc};
+use mbs_tensor::Tensor;
 use mbs_train::data::generate;
 use mbs_train::executor::train_step_mbs;
 use mbs_train::model::{ConvNet, MiniResNet};
@@ -956,6 +963,121 @@ fn checkpoint_benches() -> Vec<CheckpointBench> {
     rows
 }
 
+/// The report written to `BENCH_serve.json`: dynamic-batching serving
+/// latency under synthetic open-loop load, one row per offered rate.
+#[derive(Debug, Clone, Serialize)]
+struct ServeReport {
+    /// GEMM worker threads the forwards ran with (the process default).
+    threads: usize,
+    /// The micro-kernel every forward used.
+    kernel: String,
+    /// Served network.
+    model: String,
+    /// Serving worker threads.
+    workers: usize,
+    /// Effective max batch (cache-budget capped).
+    max_batch: usize,
+    /// Batching deadline in microseconds.
+    max_wait_us: u64,
+    /// One row per offered open-loop load point.
+    load_points: Vec<ServeLoad>,
+}
+
+/// One offered-rate point of the serve sweep.
+#[derive(Debug, Clone, Serialize)]
+struct ServeLoad {
+    /// Offered request rate (open loop: requests are paced at this rate
+    /// regardless of completions).
+    offered_rps: u64,
+    /// Requests issued at this point.
+    requests: usize,
+    /// Median submit→response latency, microseconds.
+    p50_latency_us: f64,
+    /// 99th-percentile latency, microseconds.
+    p99_latency_us: f64,
+    /// Mean latency, microseconds.
+    mean_latency_us: f64,
+    /// Mean dispatched batch size.
+    mean_batch: f64,
+    /// `histogram[k]` = batches that carried exactly `k` requests.
+    batch_histogram: Vec<u64>,
+}
+
+/// Open-loop load sweep against the dynamic-batching server: a pacer
+/// submits single-sample requests at a fixed offered rate while a
+/// collector thread drains the responses in submission order and records
+/// per-request latency. A fresh server per load point keeps the batch
+/// histograms separable.
+fn serve_section() -> ServeReport {
+    use std::sync::mpsc;
+    use std::thread;
+    use std::time::{Duration, Instant};
+
+    let net = toy::runtime_mix(8, 8);
+    let model = ModelHandle::from_network(&net, 42).expect("freeze model");
+    let hw = mbs_core::HardwareConfig::new();
+    let base = ServeConfig::for_model(&model, &hw);
+    let config = ServeConfig {
+        workers: 2,
+        max_batch: base.max_batch.min(16),
+        max_wait_us: 1_000,
+        queue_depth: 64,
+    };
+    let shape = model.input();
+    let sample = Tensor::full(&[shape.channels, shape.height, shape.width], 0.25);
+
+    let mut load_points = Vec::new();
+    for offered_rps in [500u64, 2_000, 8_000] {
+        let requests = 300usize;
+        let server = Server::start(&model, config);
+        let client = server.client();
+        let (tx, rx) = mpsc::channel::<(Instant, mbs_serve::Pending)>();
+        let collector = thread::spawn(move || {
+            let mut latencies_us: Vec<f64> = Vec::with_capacity(requests);
+            while let Ok((t0, pending)) = rx.recv() {
+                let r = pending.wait().expect("serve bench response");
+                criterion::black_box(r);
+                latencies_us.push(t0.elapsed().as_nanos() as f64 / 1e3);
+            }
+            latencies_us
+        });
+        let interval = Duration::from_nanos(1_000_000_000 / offered_rps);
+        let start = Instant::now();
+        for i in 0..requests {
+            let due = start + interval * i as u32;
+            let now = Instant::now();
+            if due > now {
+                thread::sleep(due - now);
+            }
+            let pending = client.submit(&sample).expect("serve bench submit");
+            tx.send((Instant::now(), pending)).expect("collector alive");
+        }
+        drop(tx);
+        let mut latencies_us = collector.join().expect("collector panicked");
+        let stats = server.shutdown();
+        latencies_us.sort_by(f64::total_cmp);
+        let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
+        load_points.push(ServeLoad {
+            offered_rps,
+            requests,
+            p50_latency_us: pct(0.50),
+            p99_latency_us: pct(0.99),
+            mean_latency_us: latencies_us.iter().sum::<f64>() / latencies_us.len() as f64,
+            mean_batch: stats.requests as f64 / (stats.batches.max(1)) as f64,
+            batch_histogram: stats.histogram,
+        });
+    }
+    ServeReport {
+        threads: mbs_tensor::ops::configured_threads(),
+        kernel: kernel::selected().name.to_string(),
+        model: net.name().to_string(),
+        workers: config.workers,
+        max_batch: config.max_batch,
+        max_wait_us: config.max_wait_us,
+        load_points,
+    }
+}
+
 fn main() {
     let out_dir = std::env::args()
         .nth(1)
@@ -979,6 +1101,8 @@ fn main() {
     let grouped = grouped_steps();
     println!("== checkpoint save/load + training overhead ==");
     let checkpoint = checkpoint_benches();
+    println!("== serve (open-loop load sweep) ==");
+    let serve_report = serve_section();
     let schedule = schedule_section();
     let aa_noise_ratio = aa_noise();
     let steady = steady_state();
@@ -1077,6 +1201,12 @@ fn main() {
             cb.overhead_pct_every_10
         );
     }
+    for lp in &serve_report.load_points {
+        println!(
+            "serve {:>12} @{:>5} rps  p50 {:>8.0} us  p99 {:>8.0} us  mean batch {:>5.2}",
+            serve_report.model, lp.offered_rps, lp.p50_latency_us, lp.p99_latency_us, lp.mean_batch
+        );
+    }
     println!("A/A step-harness noise ratio: {aa_noise_ratio:.3} (1.0 = noise-free)");
     println!(
         "steady-state arena: {} hits, {} misses",
@@ -1113,6 +1243,13 @@ fn main() {
         Ok(()) => println!("wrote {}", out_dir.join("BENCH_train.json").display()),
         Err(e) => {
             eprintln!("error: could not write BENCH_train.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    match mbs_bench::write_json(&out_dir, "BENCH_serve", &serve_report) {
+        Ok(()) => println!("wrote {}", out_dir.join("BENCH_serve.json").display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_serve.json: {e}");
             std::process::exit(1);
         }
     }

@@ -1,0 +1,121 @@
+//! Dynamic-batch sizing policy.
+//!
+//! A batch dispatches when it is **full** (at the effective max batch) or
+//! when the **oldest waiting request hits the max-wait deadline** —
+//! whichever comes first. The effective max batch is the smaller of the
+//! configured limit and the cache-budget bound: the same per-sample
+//! footprint model the scheduler uses
+//! ([`mbs_core::footprint::max_sub_batch`]) applied to the serving
+//! [`HardwareConfig`](mbs_core::HardwareConfig) budget, so a dynamic batch
+//! never outgrows the on-chip buffer MBS sizes work against.
+//!
+//! The policy is pure — plain integers for sizes, microsecond timestamps
+//! (`u128`) for time — so the worker loop and the property-test simulation
+//! drive the exact same arithmetic, the former from [`std::time::Instant`]
+//! deltas and the latter from virtual clocks.
+
+use mbs_core::footprint;
+
+/// Ceiling on the budget-derived batch cap, so footprint-free models
+/// (`per_sample_bytes == 0`) still get a finite batch size.
+const MAX_BATCH_CEILING: usize = 1024;
+
+/// When a partially filled batch must stop waiting and dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest batch the policy ever assembles (already clamped to the
+    /// cache-budget bound by [`BatchPolicy::new`]).
+    pub max_batch: usize,
+    /// Longest time the oldest request in a forming batch may wait before
+    /// the batch dispatches, in microseconds.
+    pub max_wait_us: u128,
+}
+
+impl BatchPolicy {
+    /// Builds a policy from a configured batch limit, the per-sample
+    /// footprint of the served model, and the hardware cache budget. The
+    /// effective max batch is `min(limit, budget cap)`, never zero.
+    pub fn new(
+        limit: usize,
+        per_sample_bytes: usize,
+        buffer_bytes: usize,
+        max_wait_us: u128,
+    ) -> Self {
+        Self {
+            max_batch: limit
+                .max(1)
+                .min(Self::budget_batch_cap(per_sample_bytes, buffer_bytes)),
+            max_wait_us,
+        }
+    }
+
+    /// The cache-budget bound on batch size: how many samples fit the
+    /// on-chip buffer through the model's widest node, clamped to
+    /// `1..=1024`. A sample that does not fit at all still serves alone
+    /// (batch 1), exactly like the scheduler's spill fallback.
+    pub fn budget_batch_cap(per_sample_bytes: usize, buffer_bytes: usize) -> usize {
+        let (cap, _fits) = footprint::max_sub_batch(per_sample_bytes, buffer_bytes);
+        cap.clamp(1, MAX_BATCH_CEILING)
+    }
+
+    /// Whether a batch holding `filled` requests is at capacity.
+    pub fn full(&self, filled: usize) -> bool {
+        filled >= self.max_batch
+    }
+
+    /// Whether the oldest request (arrived at `oldest_us`) has waited out
+    /// the deadline at time `now_us`.
+    pub fn expired(&self, oldest_us: u128, now_us: u128) -> bool {
+        now_us.saturating_sub(oldest_us) >= self.max_wait_us
+    }
+
+    /// Whether a non-empty batch must dispatch *now*: it is full, or its
+    /// oldest request has hit the deadline. An empty batch never
+    /// dispatches.
+    pub fn must_dispatch(&self, filled: usize, oldest_us: u128, now_us: u128) -> bool {
+        filled > 0 && (self.full(filled) || self.expired(oldest_us, now_us))
+    }
+
+    /// Microseconds the batch may keep waiting for more requests before
+    /// the oldest one expires. Zero when already expired.
+    pub fn time_left_us(&self, oldest_us: u128, now_us: u128) -> u128 {
+        self.max_wait_us
+            .saturating_sub(now_us.saturating_sub(oldest_us))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_cap_mirrors_the_scheduler_footprint_model() {
+        // 10 KiB budget / 1 KiB per sample -> 10 samples.
+        assert_eq!(BatchPolicy::budget_batch_cap(1024, 10 * 1024), 10);
+        // Too big to fit -> serve alone, like the scheduler's fallback.
+        assert_eq!(BatchPolicy::budget_batch_cap(1 << 30, 1024), 1);
+        // No footprint -> finite ceiling, not usize::MAX.
+        assert_eq!(BatchPolicy::budget_batch_cap(0, 1024), MAX_BATCH_CEILING);
+    }
+
+    #[test]
+    fn new_clamps_the_limit_to_the_budget() {
+        let p = BatchPolicy::new(64, 1024, 8 * 1024, 500);
+        assert_eq!(p.max_batch, 8);
+        let p = BatchPolicy::new(4, 1024, 8 * 1024, 500);
+        assert_eq!(p.max_batch, 4);
+        let p = BatchPolicy::new(0, 1024, 8 * 1024, 500);
+        assert_eq!(p.max_batch, 1, "a zero limit still serves one at a time");
+    }
+
+    #[test]
+    fn dispatch_on_full_or_deadline_only() {
+        let p = BatchPolicy::new(4, 0, 0, 100);
+        assert!(!p.must_dispatch(0, 0, 1_000_000), "empty never dispatches");
+        assert!(p.must_dispatch(4, 0, 0), "full dispatches immediately");
+        assert!(!p.must_dispatch(2, 50, 149), "under deadline: keep waiting");
+        assert!(p.must_dispatch(2, 50, 150), "deadline reached: dispatch");
+        assert_eq!(p.time_left_us(50, 149), 1);
+        assert_eq!(p.time_left_us(50, 151), 0);
+    }
+}

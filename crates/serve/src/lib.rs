@@ -1,0 +1,37 @@
+//! `mbs-serve`: a dynamic-batching inference front-end over the lowered
+//! CNN runtime.
+//!
+//! The paper's central discipline — size work to the on-chip cache budget
+//! in [`HardwareConfig`](mbs_core::HardwareConfig) — applies to serving
+//! just as it does to training: requests arriving one sample at a time
+//! are coalesced into dynamic batches bounded by **both** a max-wait
+//! deadline and the cache-budget cap the scheduler's footprint model
+//! yields ([`BatchPolicy`]). The pieces:
+//!
+//! - [`ModelHandle`] ([`model`]): a frozen, `Send + Sync` model loaded
+//!   from a [`TrainCheckpoint`](mbs_train::TrainCheckpoint) through the
+//!   inference lowering path ([`mbs_train::lower_inference`]) — state
+//!   imported, batch norms folded into their convolutions, no training
+//!   caches.
+//! - [`BatchPolicy`] ([`batcher`]): the pure dispatch rule (full or
+//!   deadline-expired), shared verbatim by the worker loop and the
+//!   property tests.
+//! - [`Server`] / [`Client`] ([`server`]): thread-per-core workers behind
+//!   a bounded MPSC queue, responses fanned back over per-request oneshot
+//!   channels, graceful drain on shutdown.
+//!
+//! Batched serving is **bitwise-identical** to running the same samples
+//! one at a time through the same handle: every inference-mode operator
+//! is per-sample (or per-element), and the kernels reduce each output
+//! element in a batch-independent order. The `equivalence` test suite
+//! pins this for every toy net in the zoo.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod model;
+pub mod server;
+
+pub use batcher::BatchPolicy;
+pub use model::{ModelError, ModelHandle, ModelRunner, Prediction};
+pub use server::{Client, Pending, ServeConfig, ServeError, ServeStats, Server};

@@ -1,0 +1,362 @@
+//! The in-process request loop.
+//!
+//! [`Server::start`] spawns thread-per-core workers behind one bounded
+//! MPSC request queue. Each request carries its own oneshot response
+//! channel; a [`Client`] submits a single sample and gets a [`Pending`]
+//! handle to wait on. One worker at a time holds the queue receiver and
+//! collects a dynamic batch under the [`BatchPolicy`] (dispatch when full
+//! or when the first-collected request hits the max-wait deadline), then
+//! releases the receiver — so the next worker collects while the previous
+//! one runs inference. Each worker installs a
+//! [`LocalArena`](mbs_tensor::arena::LocalArena) so scratch-buffer reuse
+//! never contends across workers.
+//!
+//! Shutdown drops the server's queue sender; workers drain whatever is
+//! already queued (every accepted request still gets its response), then
+//! exit. Submissions after shutdown fail fast with
+//! [`ServeError::Rejected`] — no hangs.
+
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use mbs_cnn::FeatureShape;
+use mbs_core::HardwareConfig;
+use mbs_tensor::{arena, env, Tensor};
+
+use crate::batcher::BatchPolicy;
+use crate::model::{ModelHandle, ModelRunner, Prediction};
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server is shutting down (or already shut down) and accepts no
+    /// new work.
+    Rejected,
+    /// The request was accepted but its response channel closed before a
+    /// result arrived — the serving thread died.
+    Dropped,
+    /// The sample's shape does not match the served model's input.
+    Shape {
+        /// The `[c, h, w]` shape the model expects.
+        expected: Vec<usize>,
+        /// The shape that was submitted.
+        found: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Rejected => write!(f, "server is shut down; request rejected"),
+            Self::Dropped => write!(f, "response channel closed before a result arrived"),
+            Self::Shape { expected, found } => {
+                write!(
+                    f,
+                    "sample shape {found:?} does not match model input {expected:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Sizing for one [`Server`]. Build it by hand for exact control (tests
+/// pin batch sizes this way) or from the model + hardware budget via
+/// [`ServeConfig::for_model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads (each owns a private [`ModelRunner`]). Minimum 1.
+    pub workers: usize,
+    /// Largest dynamic batch a worker assembles. `for_model` clamps this
+    /// to the cache-budget bound; hand-built configs are taken as-is.
+    pub max_batch: usize,
+    /// Longest a collected request waits for batch-mates, in
+    /// microseconds.
+    pub max_wait_us: u64,
+    /// Bound of the shared request queue — full-queue submissions block,
+    /// which is the serving backpressure.
+    pub queue_depth: usize,
+}
+
+impl ServeConfig {
+    /// Derives a config from the served model and the hardware budget:
+    /// one worker per core, max batch = the cache-budget cap
+    /// ([`BatchPolicy::budget_batch_cap`]), a 2 ms max wait, and a queue
+    /// deep enough for every worker to have a full batch in flight.
+    ///
+    /// Environment knobs override each field (see
+    /// [`mbs_tensor::env`] for the grammar): `MBS_SERVE_WORKERS`,
+    /// `MBS_SERVE_MAX_BATCH` (still clamped to the budget cap),
+    /// `MBS_SERVE_MAX_WAIT_US`, `MBS_SERVE_QUEUE`.
+    pub fn for_model(model: &ModelHandle, hw: &HardwareConfig) -> Self {
+        let budget_cap =
+            BatchPolicy::budget_batch_cap(model.per_sample_bytes(), hw.global_buffer_bytes);
+        let workers = env::positive_usize_knob("MBS_SERVE_WORKERS").unwrap_or(hw.cores.max(1));
+        let max_batch = env::positive_usize_knob("MBS_SERVE_MAX_BATCH")
+            .unwrap_or(budget_cap)
+            .min(budget_cap);
+        let max_wait_us = env::positive_usize_knob("MBS_SERVE_MAX_WAIT_US").unwrap_or(2_000) as u64;
+        let queue_depth =
+            env::positive_usize_knob("MBS_SERVE_QUEUE").unwrap_or((workers * max_batch * 2).max(8));
+        Self {
+            workers,
+            max_batch,
+            max_wait_us,
+            queue_depth,
+        }
+    }
+}
+
+/// Counters a running server accumulates; snapshot via [`Server::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// `histogram[k]` = number of batches that held exactly `k` samples
+    /// (`histogram[0]` is always 0).
+    pub histogram: Vec<u64>,
+}
+
+impl ServeStats {
+    fn record_batch(&mut self, size: usize) {
+        if self.histogram.len() <= size {
+            self.histogram.resize(size + 1, 0);
+        }
+        self.histogram[size] += 1;
+        self.batches += 1;
+        self.requests += size as u64;
+    }
+}
+
+/// One queued request: the sample plus its oneshot response channel.
+struct Job {
+    sample: Tensor,
+    tx: SyncSender<Result<Prediction, ServeError>>,
+}
+
+struct Shared {
+    /// `Some` while accepting; `None` after shutdown begins. Dropping the
+    /// sender is what lets workers drain and exit.
+    sender: Mutex<Option<SyncSender<Job>>>,
+    stats: Mutex<ServeStats>,
+    input: FeatureShape,
+}
+
+/// A running dynamic-batching inference server. Dropping it (or calling
+/// [`Server::shutdown`]) stops intake, drains queued requests, and joins
+/// the workers.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawns `config.workers` threads serving `model` and starts
+    /// accepting requests.
+    pub fn start(model: &ModelHandle, config: ServeConfig) -> Self {
+        let policy = BatchPolicy {
+            max_batch: config.max_batch.max(1),
+            max_wait_us: u128::from(config.max_wait_us),
+        };
+        let (tx, rx) = sync_channel::<Job>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            sender: Mutex::new(Some(tx)),
+            stats: Mutex::new(ServeStats::default()),
+            input: model.input(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                let runner = model.runner();
+                thread::Builder::new()
+                    .name(format!("mbs-serve-{i}"))
+                    .spawn(move || worker_loop(runner, &rx, &shared, policy))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// A handle for submitting requests; clone one per producer thread.
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Snapshot of the counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.lock().expect("stats lock").clone()
+    }
+
+    /// Stops intake, waits for the workers to drain every queued request,
+    /// and returns the final counters. Requests submitted after this
+    /// starts get [`ServeError::Rejected`].
+    pub fn shutdown(mut self) -> ServeStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        self.shared.sender.lock().expect("sender lock").take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// Submits single-sample requests to a [`Server`]. Cheap to clone; safe
+/// to share across producer threads.
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl Client {
+    /// Submits one sample (shape `[c, h, w]` or `[1, c, h, w]`). Blocks
+    /// only while the request queue is full (backpressure), never after
+    /// shutdown — a closed server rejects immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shape`] for a sample that does not match the model
+    /// input, [`ServeError::Rejected`] when the server is shut down.
+    pub fn submit(&self, sample: &Tensor) -> Result<Pending, ServeError> {
+        let want = self.shared.input;
+        let expected = [want.channels, want.height, want.width];
+        let shape = sample.shape();
+        let ok = shape == expected || (shape.len() == 4 && shape[0] == 1 && shape[1..] == expected);
+        if !ok {
+            return Err(ServeError::Shape {
+                expected: expected.to_vec(),
+                found: shape.to_vec(),
+            });
+        }
+        // Clone the sender out of the lock so the (possibly blocking)
+        // queue send happens without holding it.
+        let sender = match self.shared.sender.lock().expect("sender lock").clone() {
+            Some(s) => s,
+            None => return Err(ServeError::Rejected),
+        };
+        let (tx, rx) = sync_channel(1);
+        sender
+            .send(Job {
+                sample: sample.clone(),
+                tx,
+            })
+            .map_err(|_| ServeError::Rejected)?;
+        Ok(Pending { rx })
+    }
+}
+
+/// The response side of one submitted request.
+pub struct Pending {
+    rx: Receiver<Result<Prediction, ServeError>>,
+}
+
+impl Pending {
+    /// Blocks until the prediction arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Dropped`] if the serving thread died before
+    /// answering; any error the server sent back.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Dropped))
+    }
+
+    /// Like [`Pending::wait`] but gives up after `timeout` — test
+    /// harnesses use this to fail instead of hanging.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Dropped`] on timeout or a dead serving thread.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Prediction, ServeError> {
+        self.rx
+            .recv_timeout(timeout)
+            .unwrap_or(Err(ServeError::Dropped))
+    }
+}
+
+/// Collect-dispatch loop for one worker. Holding the receiver lock marks
+/// this worker as the collector; the policy decides when its batch stops
+/// waiting. The deadline clock starts when the worker picks up the first
+/// request of a batch.
+fn worker_loop(
+    mut runner: ModelRunner,
+    rx: &Mutex<Receiver<Job>>,
+    shared: &Shared,
+    policy: BatchPolicy,
+) {
+    let _arena = arena::LocalArena::install();
+    loop {
+        let mut batch: Vec<Job> = Vec::with_capacity(policy.max_batch);
+        let mut disconnected = false;
+        {
+            let rx = rx.lock().expect("receiver lock");
+            match rx.recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => disconnected = true,
+            }
+            if !disconnected {
+                let start = Instant::now();
+                loop {
+                    let now_us = start.elapsed().as_micros();
+                    if policy.must_dispatch(batch.len(), 0, now_us) {
+                        break;
+                    }
+                    let left = policy.time_left_us(0, now_us);
+                    match rx.recv_timeout(Duration::from_micros(left as u64)) {
+                        Ok(job) => batch.push(job),
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            disconnected = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if !batch.is_empty() {
+            dispatch(&mut runner, batch, shared);
+        }
+        if disconnected {
+            return;
+        }
+    }
+}
+
+/// Stacks a batch into one `[k, c, h, w]` tensor, runs the inference
+/// forward, and fans the per-sample logits back to the oneshots. A
+/// requester that already gave up (dropped its [`Pending`]) is skipped
+/// silently.
+fn dispatch(runner: &mut ModelRunner, batch: Vec<Job>, shared: &Shared) {
+    let k = batch.len();
+    let shape = runner.input();
+    let mut data = Vec::with_capacity(k * shape.elems());
+    for job in &batch {
+        data.extend_from_slice(job.sample.data());
+    }
+    let x = Tensor::from_vec(&[k, shape.channels, shape.height, shape.width], data);
+    let y = runner.infer(x);
+    let classes = runner.classes();
+    let out = y.data();
+    for (i, job) in batch.into_iter().enumerate() {
+        let logits = out[i * classes..(i + 1) * classes].to_vec();
+        let _ = job.tx.send(Ok(Prediction::from_logits(logits)));
+    }
+    shared.stats.lock().expect("stats lock").record_batch(k);
+}

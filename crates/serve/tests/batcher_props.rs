@@ -1,0 +1,129 @@
+//! Property tests for the dispatch policy. The simulation below mirrors
+//! the worker collect loop exactly — same `BatchPolicy` arithmetic, but
+//! on a virtual microsecond clock — so the invariants it proves are the
+//! ones the server runs under:
+//!
+//! 1. no batch ever exceeds the configured max batch size,
+//! 2. no batch ever exceeds the cache-budget bound,
+//! 3. no request is held past the max-wait deadline once a collector has
+//!    picked it up, and
+//! 4. every request lands in exactly one batch.
+
+use proptest::prelude::*;
+
+use mbs_serve::BatchPolicy;
+
+/// One simulated dispatch: how many requests it carried and how long its
+/// oldest request waited (pickup → dispatch, virtual µs).
+struct SimBatch {
+    size: usize,
+    held_us: u128,
+}
+
+/// Replays the worker collect loop over arrival times on a virtual
+/// clock. The collector picks up the first pending request (no sooner
+/// than its arrival), then keeps taking requests until the policy says
+/// dispatch: full, or the pickup deadline passes (a timeout dispatches
+/// exactly at the deadline, like `recv_timeout`).
+fn simulate(policy: BatchPolicy, arrivals: &[u128]) -> Vec<SimBatch> {
+    let mut batches = Vec::new();
+    let mut now: u128 = 0;
+    let mut i = 0;
+    while i < arrivals.len() {
+        now = now.max(arrivals[i]);
+        let oldest = now;
+        let mut size = 1;
+        i += 1;
+        loop {
+            if policy.must_dispatch(size, oldest, now) {
+                break;
+            }
+            let deadline = oldest + policy.max_wait_us;
+            match arrivals.get(i) {
+                Some(&t) if t.max(now) < deadline => {
+                    now = t.max(now);
+                    size += 1;
+                    i += 1;
+                }
+                _ => {
+                    now = deadline;
+                    break;
+                }
+            }
+        }
+        batches.push(SimBatch {
+            size,
+            held_us: now - oldest,
+        });
+    }
+    batches
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn batches_respect_caps_deadlines_and_conservation(
+        limit in 1usize..24,
+        per_sample_bytes in 0usize..4096,
+        buffer_bytes in 0usize..65536,
+        max_wait_us in 0u64..5000,
+        gaps in proptest::collection::vec(0u64..2000, 1usize..80),
+    ) {
+        let policy = BatchPolicy::new(
+            limit,
+            per_sample_bytes,
+            buffer_bytes,
+            u128::from(max_wait_us),
+        );
+        // Arrival stream: cumulative jittered gaps (bursts when gap 0).
+        let mut t: u128 = 0;
+        let arrivals: Vec<u128> = gaps
+            .iter()
+            .map(|&g| {
+                t += u128::from(g);
+                t
+            })
+            .collect();
+        let batches = simulate(policy, &arrivals);
+        let budget_cap = BatchPolicy::budget_batch_cap(per_sample_bytes, buffer_bytes);
+        let mut total = 0usize;
+        for b in &batches {
+            prop_assert!(b.size >= 1, "empty batch dispatched");
+            prop_assert!(
+                b.size <= limit.max(1),
+                "batch of {} exceeds the configured limit {limit}",
+                b.size
+            );
+            prop_assert!(
+                b.size <= budget_cap,
+                "batch of {} exceeds the cache-budget bound {budget_cap}",
+                b.size
+            );
+            prop_assert!(
+                b.held_us <= u128::from(max_wait_us),
+                "oldest request held {}us past a {}us deadline",
+                b.held_us,
+                max_wait_us
+            );
+            total += b.size;
+        }
+        // Conservation: every arrival is in exactly one batch.
+        prop_assert_eq!(total, arrivals.len());
+    }
+
+    #[test]
+    fn zero_wait_policies_serve_immediately(
+        limit in 1usize..8,
+        gaps in proptest::collection::vec(0u64..50, 1usize..40),
+    ) {
+        // With no wait allowance every pickup dispatches at once.
+        let policy = BatchPolicy::new(limit, 0, 0, 0);
+        let mut t: u128 = 0;
+        let arrivals: Vec<u128> = gaps.iter().map(|&g| { t += u128::from(g); t }).collect();
+        for b in simulate(policy, &arrivals) {
+            prop_assert_eq!(b.size, 1);
+            prop_assert_eq!(b.held_us, 0u128);
+        }
+    }
+}

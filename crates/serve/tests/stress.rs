@@ -1,0 +1,149 @@
+//! Concurrency stress: many producers hammering one server with jittered
+//! arrivals. Every request must get exactly one response — none lost,
+//! none duplicated, all correct — and shutdown must drain the queue
+//! without deadlocking. Each scenario runs under a hard timeout so a hang
+//! fails the test instead of wedging the suite.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mbs_cnn::networks::toy;
+use mbs_cnn::FeatureShape;
+use mbs_serve::{ModelHandle, Prediction, ServeConfig, ServeError, Server};
+use mbs_tensor::Tensor;
+
+/// Runs `body` on a helper thread and panics if it does not finish within
+/// `secs` — the anti-deadlock harness for every scenario here.
+fn with_timeout(secs: u64, body: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    let worker = thread::spawn(move || {
+        body();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => worker.join().expect("stress body panicked"),
+        Err(_) => panic!("stress scenario deadlocked (exceeded {secs}s)"),
+    }
+}
+
+fn cheap_handle() -> ModelHandle {
+    let net = toy::conv_chain(&[4, 8], FeatureShape::new(3, 8, 8), 4);
+    ModelHandle::from_network(&net, 7).expect("freeze model")
+}
+
+fn sample(shape: FeatureShape, salt: usize) -> Tensor {
+    Tensor::from_vec(
+        &[shape.channels, shape.height, shape.width],
+        (0..shape.elems())
+            .map(|v| (((v * 13 + salt * 101) % 19) as f32 - 9.0) / 5.0)
+            .collect(),
+    )
+}
+
+#[test]
+fn every_request_gets_exactly_one_correct_response() {
+    with_timeout(120, || {
+        const PRODUCERS: usize = 4;
+        const REQUESTS: usize = 25;
+        let handle = Arc::new(cheap_handle());
+        let server = Server::start(
+            &handle,
+            ServeConfig {
+                workers: 2,
+                max_batch: 5,
+                max_wait_us: 300,
+                queue_depth: 16,
+            },
+        );
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let client = server.client();
+                let handle = Arc::clone(&handle);
+                thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(p as u64);
+                    let mut reference = handle.runner();
+                    let mut answered = 0usize;
+                    for j in 0..REQUESTS {
+                        let s = sample(handle.input(), p * REQUESTS + j);
+                        let expect = reference.infer_one(&s);
+                        let pending = client.submit(&s).expect("submit");
+                        // Randomized arrival jitter so batches form with
+                        // every size and worker interleaving.
+                        thread::sleep(Duration::from_micros(rng.gen_range(0u64..400)));
+                        let got: Prediction = pending
+                            .wait_timeout(Duration::from_secs(60))
+                            .expect("response");
+                        assert_eq!(expect, got, "producer {p} request {j}");
+                        answered += 1;
+                    }
+                    answered
+                })
+            })
+            .collect();
+        let answered: usize = producers
+            .into_iter()
+            .map(|p| p.join().expect("producer panicked"))
+            .sum();
+        assert_eq!(answered, PRODUCERS * REQUESTS);
+        let stats = server.shutdown();
+        // Exactly one response per request: the counters agree with the
+        // histogram, nothing lost, nothing duplicated.
+        assert_eq!(stats.requests, (PRODUCERS * REQUESTS) as u64);
+        let hist_total: u64 = stats
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(size, &count)| size as u64 * count)
+            .sum();
+        assert_eq!(hist_total, stats.requests);
+        assert_eq!(stats.histogram.iter().sum::<u64>(), stats.batches);
+    });
+}
+
+#[test]
+fn shutdown_drains_queued_requests() {
+    with_timeout(60, || {
+        // Not a multiple of max_batch, so the final partial batch only
+        // dispatches because shutdown's disconnect cuts the wait short.
+        const BURST: usize = 10;
+        let handle = cheap_handle();
+        let mut reference = handle.runner();
+        let server = Server::start(
+            &handle,
+            ServeConfig {
+                workers: 2,
+                max_batch: 4,
+                // A long deadline: shutdown must still answer everything
+                // promptly because disconnect cuts the wait short.
+                max_wait_us: 5_000_000,
+                queue_depth: BURST,
+            },
+        );
+        let client = server.client();
+        let samples: Vec<Tensor> = (0..BURST).map(|i| sample(handle.input(), i)).collect();
+        let pending: Vec<_> = samples
+            .iter()
+            .map(|s| client.submit(s).expect("submit"))
+            .collect();
+        // Shut down with the burst still in flight: every accepted
+        // request must be answered, not abandoned.
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, BURST as u64);
+        for (i, (p, s)) in pending.into_iter().zip(&samples).enumerate() {
+            let got = p
+                .wait_timeout(Duration::from_secs(30))
+                .unwrap_or_else(|e| panic!("request {i} lost in shutdown: {e}"));
+            assert_eq!(got, reference.infer_one(s), "request {i}");
+        }
+        // The server is gone: new submissions reject cleanly, no hang.
+        assert_eq!(
+            client.submit(&samples[0]).map(|_| ()),
+            Err(ServeError::Rejected)
+        );
+    });
+}

@@ -20,7 +20,20 @@
 //! The pool is process-global and thread-safe; GEMM worker threads check
 //! buffers in and out independently. [`stats`] exposes hit/miss counters so
 //! tests can pin the reuse behavior.
+//!
+//! Long-lived worker threads that must not contend on the global mutex —
+//! the `mbs-serve` inference workers, which each run a private model
+//! replica — can instead install a **thread-local** pool with
+//! [`LocalArena::install`]: while the guard lives, every `take` and every
+//! `Scratch` drop on that thread goes through the local free list (no
+//! lock, no cross-worker interference), and dropping the guard frees the
+//! local buffers. Threads without a guard keep the global-pool behavior
+//! unchanged, so the steady-state zero-miss pins on the training loop are
+//! unaffected. A buffer allocated under a local arena and dropped on
+//! another thread simply recycles into *that* thread's pool (local or
+//! global) — ownership is wherever the drop happens.
 
+use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -51,12 +64,94 @@ struct Pool {
     total: usize,
 }
 
+impl Pool {
+    /// Pops the smallest pooled buffer with capacity ≥ `len`, if any.
+    fn pop_best_fit(&mut self, len: usize) -> Option<Vec<f32>> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.bufs.iter().enumerate() {
+            if b.capacity() >= len && best.is_none_or(|(_, cap)| b.capacity() < cap) {
+                best = Some((i, b.capacity()));
+            }
+        }
+        best.map(|(i, cap)| {
+            self.total -= cap;
+            self.bufs.swap_remove(i)
+        })
+    }
+
+    /// Adopts `buf` if the count and byte caps allow; otherwise frees it.
+    fn adopt(&mut self, buf: Vec<f32>) {
+        if self.bufs.len() < MAX_POOLED && self.total + buf.capacity() <= MAX_POOLED_TOTAL {
+            self.total += buf.capacity();
+            self.bufs.push(buf);
+        }
+    }
+}
+
 static POOL: Mutex<Pool> = Mutex::new(Pool {
     bufs: Vec::new(),
     total: 0,
 });
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// The thread's private pool while a [`LocalArena`] guard is alive;
+    /// `None` routes to the global pool.
+    static LOCAL: RefCell<Option<Pool>> = const { RefCell::new(None) };
+}
+
+/// Guard installing a private, lock-free arena pool for the current
+/// thread. While it lives, [`take`]/[`take_zeroed`] and `Scratch` drops on
+/// this thread use the thread-local free list exclusively — a cold local
+/// pool allocates fresh rather than stealing from (and contending on) the
+/// global pool. Dropping the guard frees every locally pooled buffer and
+/// restores the global-pool behavior.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_tensor::arena;
+///
+/// let guard = arena::LocalArena::install();
+/// let a = arena::take(256);
+/// drop(a); // recycles into this thread's pool, no lock taken
+/// let b = arena::take(256); // local hit
+/// assert_eq!(b.len(), 256);
+/// drop(guard); // local buffers freed
+/// ```
+#[derive(Debug)]
+pub struct LocalArena {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl LocalArena {
+    /// Installs the thread-local pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this thread already has a live `LocalArena` guard.
+    pub fn install() -> Self {
+        LOCAL.with(|l| {
+            let mut slot = l.borrow_mut();
+            assert!(slot.is_none(), "thread already has a LocalArena installed");
+            *slot = Some(Pool {
+                bufs: Vec::new(),
+                total: 0,
+            });
+        });
+        Self {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for LocalArena {
+    fn drop(&mut self) {
+        // Ignore TLS teardown: the pool (and its buffers) die with it.
+        let _ = LOCAL.try_with(|l| l.borrow_mut().take());
+    }
+}
 
 /// A pooled `f32` buffer; returns to the arena on drop.
 #[derive(Debug)]
@@ -96,15 +191,27 @@ impl Drop for Scratch {
         if self.buf.capacity() == 0 || self.buf.capacity() > MAX_POOLED_LEN {
             return;
         }
-        let buf = std::mem::take(&mut self.buf);
+        let mut buf = Some(std::mem::take(&mut self.buf));
+        // A thread with a LocalArena recycles into its private pool — no
+        // lock. `try_with` covers TLS teardown, where the buffer is freed.
+        let routed_locally = LOCAL
+            .try_with(|l| match l.borrow_mut().as_mut() {
+                Some(pool) => {
+                    pool.adopt(buf.take().expect("buffer moved at most once"));
+                    true
+                }
+                None => false,
+            })
+            .unwrap_or(true);
+        if routed_locally {
+            return;
+        }
+        let buf = buf.expect("global route leaves the buffer in place");
         let mut pool = match POOL.lock() {
             Ok(pool) => pool,
             Err(poisoned) => poisoned.into_inner(),
         };
-        if pool.bufs.len() < MAX_POOLED && pool.total + buf.capacity() <= MAX_POOLED_TOTAL {
-            pool.total += buf.capacity();
-            pool.bufs.push(buf);
-        }
+        pool.adopt(buf);
     }
 }
 
@@ -154,23 +261,22 @@ pub fn take_zeroed(len: usize) -> Scratch {
 
 /// Pops the best-fit pooled buffer for a `len`-element request (smallest
 /// sufficient capacity, so a small request does not burn a large buffer)
-/// and bumps the hit/miss counters.
+/// and bumps the hit/miss counters. A thread with a [`LocalArena`] guard
+/// serves the request from its private pool only — a cold local pool is a
+/// miss (fresh allocation), never a locked steal from the global pool.
 fn reuse(len: usize) -> Option<Vec<f32>> {
-    let reused = {
-        let mut pool = match POOL.lock() {
-            Ok(pool) => pool,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        let mut best: Option<(usize, usize)> = None;
-        for (i, b) in pool.bufs.iter().enumerate() {
-            if b.capacity() >= len && best.is_none_or(|(_, cap)| b.capacity() < cap) {
-                best = Some((i, b.capacity()));
-            }
+    let local = LOCAL
+        .try_with(|l| l.borrow_mut().as_mut().map(|pool| pool.pop_best_fit(len)))
+        .unwrap_or(None);
+    let reused = match local {
+        Some(found) => found,
+        None => {
+            let mut pool = match POOL.lock() {
+                Ok(pool) => pool,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            pool.pop_best_fit(len)
         }
-        best.map(|(i, cap)| {
-            pool.total -= cap;
-            pool.bufs.swap_remove(i)
-        })
     };
     match &reused {
         Some(_) => HITS.fetch_add(1, Ordering::Relaxed),
@@ -227,6 +333,77 @@ mod tests {
     fn oversized_requests_still_work() {
         let s = take(10);
         assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn local_arena_isolates_a_thread_from_the_global_pool() {
+        std::thread::spawn(|| {
+            // Sentinel capacity no other test uses, so presence in the
+            // global pool is attributable to this thread alone.
+            const LEN: usize = 7_777_777;
+            let guard = LocalArena::install();
+            {
+                let mut a = take(LEN);
+                a[0] = 1.0;
+            } // recycled into the thread-local pool, not the global one
+            let in_global = {
+                let pool = POOL.lock().unwrap_or_else(|p| p.into_inner());
+                pool.bufs.iter().any(|b| b.capacity() == LEN)
+            };
+            assert!(!in_global, "local drop must not reach the global pool");
+            // The local pool holds the recycled buffer until the guard dies.
+            let held = LOCAL.with(|l| l.borrow().as_ref().map(|p| p.bufs.len()));
+            assert_eq!(held, Some(1));
+            drop(guard);
+            let held = LOCAL.with(|l| l.borrow().as_ref().map(|p| p.bufs.len()));
+            assert_eq!(held, None, "dropping the guard frees the local pool");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn local_arena_reuses_buffers_within_the_thread() {
+        std::thread::spawn(|| {
+            let _guard = LocalArena::install();
+            drop(take(4096));
+            let pooled = LOCAL.with(|l| l.borrow().as_ref().map(|p| p.bufs.len()));
+            assert_eq!(pooled, Some(1));
+            let s = take(4096); // must be served by the local free list
+            assert_eq!(s.len(), 4096);
+            let pooled = LOCAL.with(|l| l.borrow().as_ref().map(|p| p.bufs.len()));
+            assert_eq!(pooled, Some(0), "take must have consumed the local buffer");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn concurrent_local_arenas_do_not_interfere() {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let _guard = LocalArena::install();
+                    for round in 0..50 {
+                        let len = 128 + 64 * t + round;
+                        let mut s = take(len);
+                        s[0] = t as f32;
+                        s[len - 1] = round as f32;
+                        assert_eq!(s.len(), len);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a LocalArena")]
+    fn nested_local_arena_install_panics() {
+        let _a = LocalArena::install();
+        let _b = LocalArena::install();
     }
 
     #[test]

@@ -132,6 +132,48 @@ impl Conv2d {
         self.fused = fused;
     }
 
+    /// Folds a per-output-channel affine transform into the layer so that
+    /// the folded forward computes `scale[o]·conv(x)[o] + shift[o]` in one
+    /// pass — the norm-folding primitive inference lowering uses to erase
+    /// an eval-mode BatchNorm that follows this convolution. Scales each
+    /// output channel's weights and rewrites (installing if absent) the
+    /// bias as `b'[o] = scale[o]·b[o] + shift[o]`.
+    ///
+    /// A folded layer's parameter list may grow by the installed bias, so
+    /// fold only *after* any `import_state` and never export the result —
+    /// the state layout no longer matches the training-time module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale`/`shift` lengths differ from the output-channel
+    /// count.
+    pub fn fold_affine(&mut self, scale: &[f32], shift: &[f32]) {
+        let out_channels = self.weight.value.shape()[0];
+        assert_eq!(scale.len(), out_channels, "scale length");
+        assert_eq!(shift.len(), out_channels, "shift length");
+        let per_channel = self.weight.value.len() / out_channels;
+        let wd = self.weight.value.data_mut();
+        for (o, &s) in scale.iter().enumerate() {
+            for w in &mut wd[o * per_channel..(o + 1) * per_channel] {
+                *w *= s;
+            }
+        }
+        match &mut self.bias {
+            Some(bias) => {
+                let bd = bias.value.data_mut();
+                for o in 0..out_channels {
+                    bd[o] = bd[o] * scale[o] + shift[o];
+                }
+            }
+            None => {
+                self.bias = Some(Param::new(Tensor::from_vec(
+                    &[out_channels],
+                    shift.to_vec(),
+                )));
+            }
+        }
+    }
+
     /// Forward body shared by the borrowed and owned entry points. Only a
     /// training forward records the backward sign mask; inference applies
     /// a mask-free clamp instead of building bits nobody will read.

@@ -67,7 +67,7 @@ pub mod training;
 pub use checkpoint::{CheckpointConfig, CheckpointError, Fault, FaultPlan, TrainCheckpoint};
 pub use executor::{evaluate, train_step_full, train_step_mbs};
 pub use grouped::{stash_enabled, GroupedExecutor};
-pub use lower::{lower, LowerError, LoweredNet};
+pub use lower::{lower, lower_inference, InferenceLowerError, LowerError, LoweredNet};
 pub use model::MiniResNet;
 pub use module::{CacheStash, Module, Param, StateDict, StateEntry, StateError};
 pub use norm::{Norm, NormChoice};

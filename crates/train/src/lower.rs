@@ -65,6 +65,47 @@ impl fmt::Display for LowerError {
 
 impl std::error::Error for LowerError {}
 
+/// Error raised by [`lower_inference`]: the network either does not lower
+/// at all, or the supplied checkpoint state does not fit the lowered model.
+#[derive(Debug)]
+pub enum InferenceLowerError {
+    /// The network uses an IR construct the runtime does not implement.
+    Lower(LowerError),
+    /// The state entries do not match the model (wrong count or shapes —
+    /// typically a checkpoint from a different network).
+    State(StateError),
+}
+
+impl fmt::Display for InferenceLowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lower(e) => write!(f, "{e}"),
+            Self::State(e) => write!(f, "checkpoint state does not fit the model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InferenceLowerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Lower(e) => Some(e),
+            Self::State(e) => Some(e),
+        }
+    }
+}
+
+impl From<LowerError> for InferenceLowerError {
+    fn from(e: LowerError) -> Self {
+        Self::Lower(e)
+    }
+}
+
+impl From<StateError> for InferenceLowerError {
+    fn from(e: StateError) -> Self {
+        Self::State(e)
+    }
+}
+
 /// One lowered IR layer: a thin dispatch wrapper so a whole branch or node
 /// can be stored as `Vec<LayerModule>` without boxing.
 #[derive(Debug, Clone)]
@@ -607,6 +648,84 @@ impl LoweredNet {
         }
         (first.unwrap_or(0.0), last.unwrap_or(0.0))
     }
+
+    /// Folds every batch norm that directly follows a convolution into
+    /// that convolution's weights and bias, replacing the norm with an
+    /// identity. Returns the number of norms folded.
+    ///
+    /// This is an **inference-only** transform: eval-mode batch norm is
+    /// the affine `y = scale · x + shift` per channel (see
+    /// [`crate::norm::BatchNorm2d::eval_affine`]), which commutes into
+    /// the preceding conv. Group and local-response norms are per-sample
+    /// and data-dependent, so they are left in place (they already run
+    /// batch-invariantly in eval mode). Call this only after importing
+    /// trained state — folding bakes the *current* running statistics
+    /// into the weights — and never export state from a folded net.
+    ///
+    /// Covers conv→norm pairs inside block main/shortcut/post chains,
+    /// inside concat branches and post chains, and across adjacent
+    /// top-level single-layer nodes (the builders emit conv and norm as
+    /// separate nodes).
+    pub fn fold_batch_norms(&mut self) -> usize {
+        let mut folded = 0;
+        for node in &mut self.nodes {
+            match &mut node.body {
+                NodeBody::Single(_) => {}
+                NodeBody::Block(b) => {
+                    folded += fold_chain(&mut b.main);
+                    folded += fold_chain(&mut b.shortcut);
+                    folded += fold_chain(&mut b.post);
+                }
+                NodeBody::Concat(b) => {
+                    for branch in &mut b.branches {
+                        folded += fold_chain(branch);
+                    }
+                    folded += fold_chain(&mut b.post);
+                }
+            }
+        }
+        for i in 1..self.nodes.len() {
+            let (head, tail) = self.nodes.split_at_mut(i);
+            if let (NodeBody::Single(a), NodeBody::Single(b)) =
+                (&mut head[i - 1].body, &mut tail[0].body)
+            {
+                if fold_pair(a, b) {
+                    folded += 1;
+                }
+            }
+        }
+        folded
+    }
+}
+
+/// If `a` is a conv and `b` a batch norm, folds the norm into the conv
+/// and replaces it with [`Norm::None`]. Returns whether a fold happened.
+fn fold_pair(a: &mut LayerModule, b: &mut LayerModule) -> bool {
+    let LayerModule::Conv(conv) = a else {
+        return false;
+    };
+    let LayerModule::Norm(norm) = b else {
+        return false;
+    };
+    let Norm::Batch(bn) = &*norm else {
+        return false;
+    };
+    let (scale, shift) = bn.eval_affine();
+    conv.fold_affine(&scale, &shift);
+    *norm = Norm::None;
+    true
+}
+
+/// Folds every adjacent conv→batch-norm pair in a layer chain.
+fn fold_chain(layers: &mut [LayerModule]) -> usize {
+    let mut folded = 0;
+    for i in 1..layers.len() {
+        let (head, tail) = layers.split_at_mut(i);
+        if fold_pair(&mut head[i - 1], &mut tail[0]) {
+            folded += 1;
+        }
+    }
+    folded
 }
 
 impl Module for LoweredNet {
@@ -771,6 +890,53 @@ fn lower_layer(layer: &Layer, rng: &mut StdRng) -> Result<LayerModule, LowerErro
             "merge layers only occur inside blocks; a top-level merge has no second operand",
         )),
     }
+}
+
+/// Compiles `net` into an inference-ready [`LoweredNet`]: lowers the IR,
+/// imports the trained `state` (consuming it), verifies nothing is left
+/// over, and folds batch norms into their convolutions
+/// ([`LoweredNet::fold_batch_norms`]). The serving front-end loads models
+/// through this entry point.
+///
+/// `rng` only seeds the throwaway initial parameters that `state`
+/// immediately overwrites, so any seed yields the same model.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_train::lower::{lower, lower_inference};
+/// use mbs_train::{Module, StateDict};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let net = mbs_cnn::networks::toy::fig1_toy();
+/// let mut trained = lower(&net, &mut StdRng::seed_from_u64(1)).unwrap();
+/// let mut state = StateDict::default();
+/// trained.export_state(&mut state);
+/// let model = lower_inference(&net, &mut state, &mut StdRng::seed_from_u64(99)).unwrap();
+/// assert_eq!(model.len(), net.nodes().len());
+/// ```
+///
+/// # Errors
+///
+/// [`InferenceLowerError::Lower`] if the network does not lower, and
+/// [`InferenceLowerError::State`] if `state` has too few entries, a shape
+/// mismatch, or leftover entries — the symptoms of a checkpoint from a
+/// different architecture.
+pub fn lower_inference(
+    net: &Network,
+    state: &mut StateDict,
+    rng: &mut StdRng,
+) -> Result<LoweredNet, InferenceLowerError> {
+    let mut model = lower(net, rng)?;
+    model.import_state(state)?;
+    if !state.is_empty() {
+        return Err(StateError::Leftover {
+            remaining: state.len(),
+        }
+        .into());
+    }
+    model.fold_batch_norms();
+    Ok(model)
 }
 
 fn lower_chain(layers: &[Layer], rng: &mut StdRng) -> Result<Vec<LayerModule>, LowerError> {
@@ -1004,5 +1170,140 @@ mod tests {
         let dy = Tensor::full(ya.shape(), 0.5);
         // Restored caches must reproduce the original backward bitwise.
         assert_eq!(a.backward(&dy), b.backward(&dy));
+    }
+
+    /// A small conv→BN net with a second BN that does *not* follow a conv
+    /// (it follows a ReLU), so exactly one fold must happen.
+    fn bn_net() -> Network {
+        NetworkBuilder::new("bn_fold", FeatureShape::new(3, 8, 8), 4)
+            .conv("c1", 6, 3, 1, 1)
+            .unwrap()
+            .norm("n1", NormKind::Batch)
+            .relu("r1")
+            .norm("n2", NormKind::Batch)
+            .global_avg_pool("gap")
+            .fully_connected("fc", 5)
+            .build()
+    }
+
+    fn probe(shape: &[usize]) -> Tensor {
+        Tensor::from_vec(
+            shape,
+            (0..shape.iter().product::<usize>())
+                .map(|v| ((v % 11) as f32 - 5.0) / 3.0)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fold_batch_norms_matches_unfolded_eval() {
+        let net = bn_net();
+        let mut m = lower(&net, &mut rng()).unwrap();
+        // Move the running statistics off their init so the fold bakes in
+        // non-trivial means/vars.
+        for step in 0..4 {
+            let mut x = probe(&[4, 3, 8, 8]);
+            x.scale(1.0 + step as f32 * 0.3);
+            let _ = m.forward_owned(x, true);
+        }
+        let mut folded = m.clone();
+        // Only the conv→BN pair folds; the BN after the ReLU stays.
+        assert_eq!(folded.fold_batch_norms(), 1);
+        let x = probe(&[2, 3, 8, 8]);
+        let ye = m.forward(&x, false);
+        let yf = folded.forward(&x, false);
+        assert_eq!(ye.shape(), yf.shape());
+        for (a, b) in ye.data().iter().zip(yf.data()) {
+            assert!((a - b).abs() < 1e-4, "unfolded {a} vs folded {b}");
+        }
+        // Folding is idempotent: nothing left to fold.
+        assert_eq!(folded.fold_batch_norms(), 0);
+    }
+
+    #[test]
+    fn fold_batch_norms_reaches_inside_residual_blocks() {
+        let input = FeatureShape::new(4, 8, 8);
+        let main = vec![
+            Layer::conv("b_c1", input, 4, 3, 1, 1).unwrap(),
+            Layer::norm("b_n1", input, NormKind::Batch),
+            Layer::relu("b_r1", input),
+        ];
+        let block = Block::residual("res", input, main, vec![]).unwrap();
+        let net = NetworkBuilder::new("bn_block", input, 4)
+            .conv("stem", 4, 3, 1, 1)
+            .unwrap()
+            .norm("stem_n", NormKind::Batch)
+            .block(block)
+            .global_avg_pool("gap")
+            .fully_connected("fc", 3)
+            .build();
+        let mut m = lower(&net, &mut rng()).unwrap();
+        for _ in 0..3 {
+            let _ = m.forward_owned(probe(&[4, 4, 8, 8]), true);
+        }
+        let mut folded = m.clone();
+        // One fold inside the block chain, one across the top-level
+        // stem conv → stem norm node pair.
+        assert_eq!(folded.fold_batch_norms(), 2);
+        let x = probe(&[2, 4, 8, 8]);
+        let ye = m.forward(&x, false);
+        let yf = folded.forward(&x, false);
+        for (a, b) in ye.data().iter().zip(yf.data()) {
+            assert!((a - b).abs() < 1e-4, "unfolded {a} vs folded {b}");
+        }
+    }
+
+    #[test]
+    fn fold_leaves_group_and_local_norms_alone() {
+        // tiny_resnet is all group norms; tiny_alexnet has LRN. Neither
+        // folds, and both still evaluate identically afterwards.
+        for net in [toy::tiny_resnet(1, 4), toy::tiny_alexnet(8, 4)] {
+            let mut m = lower(&net, &mut rng()).unwrap();
+            let mut folded = m.clone();
+            assert_eq!(folded.fold_batch_norms(), 0, "{}", net.name());
+            let sh = net.input();
+            let x = probe(&[2, sh.channels, sh.height, sh.width]);
+            assert_eq!(m.forward(&x, false), folded.forward(&x, false));
+        }
+    }
+
+    #[test]
+    fn lower_inference_round_trips_state_and_rejects_mismatches() {
+        let net = bn_net();
+        let mut trained = lower(&net, &mut rng()).unwrap();
+        for _ in 0..3 {
+            let _ = trained.forward_owned(probe(&[4, 3, 8, 8]), true);
+        }
+        let mut state = StateDict::default();
+        trained.export_state(&mut state);
+        let entries = state.clone();
+        let mut served = lower_inference(&net, &mut state, &mut StdRng::seed_from_u64(99)).unwrap();
+        // The served model must agree with the trained model's eval path
+        // up to fold rounding (different init seed proves state wins).
+        let x = probe(&[2, 3, 8, 8]);
+        let ye = trained.forward(&x, false);
+        let yf = served.forward(&x, false);
+        for (a, b) in ye.data().iter().zip(yf.data()) {
+            assert!((a - b).abs() < 1e-4, "trained {a} vs served {b}");
+        }
+        // Leftover entries are an error (state from a bigger model)...
+        let mut extra = entries.clone();
+        extra.push_slice(&[1.0, 2.0]);
+        match lower_inference(&net, &mut extra, &mut rng()) {
+            Err(InferenceLowerError::State(StateError::Leftover { remaining: 1 })) => {}
+            other => panic!("expected leftover error, got {other:?}"),
+        }
+        // ...and so is running dry (state from a smaller model).
+        let mut short = StateDict::default();
+        let mut n = entries.len();
+        let mut full = entries;
+        while n > 1 {
+            short.push(full.pop(0).unwrap());
+            n -= 1;
+        }
+        match lower_inference(&net, &mut short, &mut rng()) {
+            Err(InferenceLowerError::State(StateError::Missing { .. })) => {}
+            other => panic!("expected missing error, got {other:?}"),
+        }
     }
 }

@@ -46,6 +46,26 @@ impl BatchNorm2d {
             cache: None,
         }
     }
+
+    /// The per-channel affine `(scale, shift)` an inference forward
+    /// applies: `y[c] = scale[c]·x[c] + shift[c]` with
+    /// `scale[c] = γ_c/√(var_c + ε)` and `shift[c] = β_c − mean_c·scale[c]`
+    /// over the **running** statistics. This is what norm folding bakes
+    /// into the preceding convolution's weights at model-load time (see
+    /// [`crate::lower::LoweredNet::fold_batch_norms`]) — eval-mode BN is a
+    /// fixed elementwise transform, unlike the data-dependent train mode.
+    pub fn eval_affine(&self) -> (Vec<f32>, Vec<f32>) {
+        let gd = self.gamma.value.data();
+        let bd = self.beta.value.data();
+        let mut scale = Vec::with_capacity(gd.len());
+        let mut shift = Vec::with_capacity(gd.len());
+        for c in 0..gd.len() {
+            let s = gd[c] / (self.running_var[c] + EPS).sqrt();
+            scale.push(s);
+            shift.push(bd[c] - self.running_mean[c] * s);
+        }
+        (scale, shift)
+    }
 }
 
 impl Module for BatchNorm2d {

@@ -1,0 +1,107 @@
+//! Train → checkpoint → serve: the full lifecycle on a tiny net.
+//!
+//! Trains `TinyResNet1` for one grouped epoch with crash-safe
+//! checkpointing, loads the newest checkpoint into a frozen
+//! [`ModelHandle`](mbs::serve::ModelHandle) (state imported, batch norms
+//! folded), starts the dynamic-batching server sized by the hardware
+//! cache budget, and fields a burst of single-sample requests.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use std::time::Instant;
+
+use mbs::cnn::networks::toy;
+use mbs::core::{ExecConfig, HardwareConfig, MbsScheduler};
+use mbs::serve::{ModelHandle, ServeConfig, Server};
+use mbs::train::data::generate;
+use mbs::train::module::slice_batch;
+use mbs::train::training::{train_grouped, TrainConfig};
+use mbs::train::CheckpointConfig;
+
+fn main() {
+    // 1. Train one grouped epoch with checkpoints, exactly like the
+    //    crash-resume path: the serving side only ever sees the files.
+    let hw = HardwareConfig::cpu().with_global_buffer(3 * 1024);
+    let net = toy::tiny_resnet(1, 8);
+    let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1)
+        .with_batch(8)
+        .schedule();
+    let dir = std::env::temp_dir().join(format!("mbs-serve-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let train_set = generate(16, 32, 0.3, 61);
+    let val_set = generate(8, 32, 0.3, 62);
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch: 8,
+        checkpoint: Some(CheckpointConfig {
+            dir: dir.clone(),
+            every_steps: 1,
+            keep: 2,
+            resume: false,
+        }),
+        ..TrainConfig::default()
+    };
+    let curve = train_grouped(&net, &schedule, &train_set, &val_set, &cfg).expect("training");
+    let last = curve.last().expect("one epoch");
+    println!(
+        "trained {}: loss {:.4}, val error {:.1}%",
+        net.name(),
+        last.train_loss,
+        last.val_error_pct
+    );
+
+    // 2. Freeze the newest checkpoint into a serving handle. The same
+    //    schedule fingerprint that guards resume guards serving.
+    let model = ModelHandle::load_latest(&net, &schedule, &dir).expect("load checkpoint");
+    println!(
+        "serving {}: input {:?}, {} classes, {} B/sample through the widest node",
+        model.name(),
+        model.input(),
+        model.classes(),
+        model.per_sample_bytes()
+    );
+
+    // 3. Serve: workers per core, batches capped by the cache budget.
+    let serve_hw = HardwareConfig::new();
+    let config = ServeConfig::for_model(&model, &serve_hw);
+    println!(
+        "server: {} workers, max batch {} (budget-capped), max wait {} us",
+        config.workers, config.max_batch, config.max_wait_us
+    );
+    let server = Server::start(&model, config);
+    let client = server.client();
+
+    // 4. Query: a burst of single-sample requests from the val set.
+    let t0 = Instant::now();
+    let pending: Vec<_> = (0..val_set.len())
+        .map(|i| {
+            let sample = slice_batch(&val_set.images, i, i + 1);
+            client.submit(&sample).expect("submit")
+        })
+        .collect();
+    let mut correct = 0;
+    for (i, p) in pending.into_iter().enumerate() {
+        let prediction = p.wait().expect("response");
+        if prediction.class == val_set.labels[i] {
+            correct += 1;
+        }
+    }
+    let elapsed = t0.elapsed();
+    let stats = server.shutdown();
+    println!(
+        "answered {} requests in {:.1} ms ({} batches); {}/{} match the labels",
+        stats.requests,
+        elapsed.as_secs_f64() * 1e3,
+        stats.batches,
+        correct,
+        val_set.len()
+    );
+    for (size, &count) in stats.histogram.iter().enumerate() {
+        if count > 0 {
+            println!("  batch size {size}: {count}x");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,7 +12,9 @@
 //! - [`core`] — the MBS scheduler and traffic model,
 //! - [`wavecore`] — the accelerator simulator (timing/energy/utilization),
 //! - [`tensor`] — dense f32 tensor ops (GEMM, im2col convolution),
-//! - [`train`] — the training substrate (BN/GN, MBS serialized executor).
+//! - [`train`] — the training substrate (BN/GN, MBS serialized executor),
+//! - [`serve`] — the dynamic-batching inference front-end (frozen model
+//!   handles, cache-budget batch sizing, thread-per-core request loop).
 //!
 //! # Quickstart
 //!
@@ -28,6 +30,7 @@
 
 pub use mbs_cnn as cnn;
 pub use mbs_core as core;
+pub use mbs_serve as serve;
 pub use mbs_tensor as tensor;
 pub use mbs_train as train;
 pub use mbs_wavecore as wavecore;
