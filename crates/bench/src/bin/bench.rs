@@ -981,6 +981,9 @@ struct ServeReport {
     max_wait_us: u64,
     /// One row per offered open-loop load point.
     load_points: Vec<ServeLoad>,
+    /// Behavior under sustained overload (non-blocking admission at 4×
+    /// the highest sweep rate against a small queue).
+    overload: ServeOverload,
 }
 
 /// One offered-rate point of the serve sweep.
@@ -1003,6 +1006,35 @@ struct ServeLoad {
     batch_histogram: Vec<u64>,
 }
 
+/// The overload point of the serve sweep: `try_submit` admission control
+/// at 4× the highest paced rate, small queue, mixed priorities.
+#[derive(Debug, Clone, Serialize)]
+struct ServeOverload {
+    /// Offered request rate (4× the top sweep point).
+    offered_rps: u64,
+    /// Requests offered.
+    offered: usize,
+    /// Requests admitted (answered with a prediction or a structured
+    /// error later).
+    accepted: usize,
+    /// Requests refused at admission with `ServeError::Overloaded`.
+    refused: usize,
+    /// Admitted requests answered with a prediction.
+    answered_ok: usize,
+    /// Requests shed from the queue to admit higher-priority work
+    /// (server counter).
+    shed: u64,
+    /// Requests answered `DeadlineExceeded` (server counter).
+    expired: u64,
+    /// Median submit→response latency of the *successful* requests,
+    /// microseconds — what admission control buys the requests it keeps.
+    p50_latency_us: f64,
+    /// 99th-percentile successful-request latency, microseconds.
+    p99_latency_us: f64,
+    /// Mean `retry_after_us` hint carried by the refusals.
+    mean_retry_after_us: f64,
+}
+
 /// Open-loop load sweep against the dynamic-batching server: a pacer
 /// submits single-sample requests at a fixed offered rate while a
 /// collector thread drains the responses in submission order and records
@@ -1022,6 +1054,7 @@ fn serve_section() -> ServeReport {
         max_batch: base.max_batch.min(16),
         max_wait_us: 1_000,
         queue_depth: 64,
+        ..ServeConfig::default()
     };
     let shape = model.input();
     let sample = Tensor::full(&[shape.channels, shape.height, shape.width], 0.25);
@@ -1067,6 +1100,84 @@ fn serve_section() -> ServeReport {
             batch_histogram: stats.histogram,
         });
     }
+    // Overload point: non-blocking admission at 4× the top sweep rate
+    // against a deliberately small queue, priorities cycling over the
+    // four levels, a 20 ms deadline on every request.
+    let overload = {
+        use mbs_serve::SubmitOptions;
+        let offered_rps = 32_000u64;
+        let offered = 1_200usize;
+        let server = Server::start(
+            &model,
+            ServeConfig {
+                queue_depth: 16,
+                ..config
+            },
+        );
+        let client = server.client();
+        let (tx, rx) = mpsc::channel::<(Instant, mbs_serve::Pending)>();
+        let collector = thread::spawn(move || {
+            let mut ok_latencies_us: Vec<f64> = Vec::new();
+            while let Ok((t0, pending)) = rx.recv() {
+                if let Ok(r) = pending.wait() {
+                    criterion::black_box(r);
+                    ok_latencies_us.push(t0.elapsed().as_nanos() as f64 / 1e3);
+                }
+            }
+            ok_latencies_us
+        });
+        let interval = Duration::from_nanos(1_000_000_000 / offered_rps);
+        let start = Instant::now();
+        let (mut accepted, mut refused) = (0usize, 0usize);
+        let mut retry_hints_us: Vec<f64> = Vec::new();
+        for i in 0..offered {
+            let due = start + interval * i as u32;
+            let now = Instant::now();
+            if due > now {
+                thread::sleep(due - now);
+            }
+            let opts = SubmitOptions::priority((i % 4) as u8).deadline(Duration::from_millis(20));
+            match client.try_submit(&sample, opts) {
+                Ok(pending) => {
+                    accepted += 1;
+                    tx.send((Instant::now(), pending)).expect("collector alive");
+                }
+                Err(mbs_serve::ServeError::Overloaded { retry_after_us }) => {
+                    refused += 1;
+                    retry_hints_us.push(retry_after_us as f64);
+                }
+                Err(e) => panic!("unexpected overload-bench error: {e}"),
+            }
+        }
+        drop(tx);
+        let mut ok_latencies_us = collector.join().expect("collector panicked");
+        let stats = server.shutdown();
+        ok_latencies_us.sort_by(f64::total_cmp);
+        let pct = |p: f64| {
+            if ok_latencies_us.is_empty() {
+                0.0
+            } else {
+                ok_latencies_us[((ok_latencies_us.len() - 1) as f64 * p) as usize]
+            }
+        };
+        ServeOverload {
+            offered_rps,
+            offered,
+            accepted,
+            refused,
+            answered_ok: ok_latencies_us.len(),
+            shed: stats.shed,
+            expired: stats.expired,
+            p50_latency_us: pct(0.50),
+            p99_latency_us: pct(0.99),
+            mean_retry_after_us: if retry_hints_us.is_empty() {
+                0.0
+            } else {
+                retry_hints_us.iter().sum::<f64>() / retry_hints_us.len() as f64
+            },
+        }
+    };
+
     ServeReport {
         threads: mbs_tensor::ops::configured_threads(),
         kernel: kernel::selected().name.to_string(),
@@ -1075,6 +1186,7 @@ fn serve_section() -> ServeReport {
         max_batch: config.max_batch,
         max_wait_us: config.max_wait_us,
         load_points,
+        overload,
     }
 }
 

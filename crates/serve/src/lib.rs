@@ -1,5 +1,5 @@
-//! `mbs-serve`: a dynamic-batching inference front-end over the lowered
-//! CNN runtime.
+//! `mbs-serve`: an overload-safe dynamic-batching inference front-end
+//! over the lowered CNN runtime.
 //!
 //! The paper's central discipline — size work to the on-chip cache budget
 //! in [`HardwareConfig`](mbs_core::HardwareConfig) — applies to serving
@@ -13,25 +13,40 @@
 //!   inference lowering path ([`mbs_train::lower_inference`]) — state
 //!   imported, batch norms folded into their convolutions, no training
 //!   caches.
-//! - [`BatchPolicy`] ([`batcher`]): the pure dispatch rule (full or
-//!   deadline-expired), shared verbatim by the worker loop and the
+//! - [`BatchPolicy`] / [`ShedQueue`] ([`batcher`]): the pure dispatch
+//!   rule (full or deadline-expired) and the bounded priority queue with
+//!   shed-on-full admission, shared verbatim by the worker loop and the
 //!   property tests.
 //! - [`Server`] / [`Client`] ([`server`]): thread-per-core workers behind
-//!   a bounded MPSC queue, responses fanned back over per-request oneshot
-//!   channels, graceful drain on shutdown.
+//!   the shed queue, responses fanned back over per-request oneshot
+//!   slots, graceful drain on shutdown — plus the robustness layer:
+//!   deadline shedding ([`ServeError::DeadlineExceeded`]), admission
+//!   control with measured-backoff refusals ([`ServeError::Overloaded`]),
+//!   panic supervision with a respawn circuit breaker
+//!   ([`ServeError::WorkerFailed`]), and validated hot model swap with
+//!   automatic rollback ([`Server::swap`]).
+//! - [`ServeFaultPlan`] ([`faults`]): deterministic worker panics and
+//!   stalls, the serving counterpart of the checkpoint
+//!   [`FaultPlan`](mbs_train::FaultPlan), driving the chaos tests.
 //!
 //! Batched serving is **bitwise-identical** to running the same samples
 //! one at a time through the same handle: every inference-mode operator
 //! is per-sample (or per-element), and the kernels reduce each output
 //! element in a batch-independent order. The `equivalence` test suite
-//! pins this for every toy net in the zoo.
+//! pins this for every toy net in the zoo, and the swap tests extend it
+//! across model versions: every response is bitwise attributable to
+//! exactly one served model.
 
 #![warn(missing_docs)]
 
 pub mod batcher;
+pub mod faults;
 pub mod model;
 pub mod server;
 
-pub use batcher::BatchPolicy;
+pub use batcher::{BatchPolicy, Offer, QueuedMeta, ShedQueue};
+pub use faults::ServeFaultPlan;
 pub use model::{ModelError, ModelHandle, ModelRunner, Prediction};
-pub use server::{Client, Pending, ServeConfig, ServeError, ServeStats, Server};
+pub use server::{
+    Client, Pending, ServeConfig, ServeError, ServeStats, Server, SubmitOptions, SwapError,
+};

@@ -17,7 +17,7 @@ use rand::SeedableRng;
 use mbs_cnn::{FeatureShape, Network};
 use mbs_core::{footprint, Schedule};
 use mbs_tensor::Tensor;
-use mbs_train::checkpoint::{self, CheckpointError, TrainCheckpoint};
+use mbs_train::checkpoint::{self, CheckpointError, LoadReport, TrainCheckpoint};
 use mbs_train::lower::{lower, lower_inference, InferenceLowerError, LowerError};
 use mbs_train::{LoweredNet, Module, StateDict, StateError};
 
@@ -206,9 +206,27 @@ impl ModelHandle {
     /// one belongs to a different `(net, schedule)` fingerprint, plus
     /// everything `from_checkpoint` reports.
     pub fn load_latest(net: &Network, schedule: &Schedule, dir: &Path) -> Result<Self, ModelError> {
+        Self::load_latest_with_report(net, schedule, dir).map(|(handle, _)| handle)
+    }
+
+    /// Like [`ModelHandle::load_latest`], but also returns the
+    /// [`LoadReport`] naming every corrupt file the scan had to skip —
+    /// the hot-swap path surfaces this so operators learn that the
+    /// "latest" model they just swapped in is older than the newest file
+    /// on disk.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModelHandle::load_latest`].
+    pub fn load_latest_with_report(
+        net: &Network,
+        schedule: &Schedule,
+        dir: &Path,
+    ) -> Result<(Self, LoadReport), ModelError> {
         let fingerprint = schedule.fingerprint(net);
-        match checkpoint::load_latest(dir, fingerprint)? {
-            Some((_, ckpt)) => Self::from_checkpoint(net, &ckpt),
+        let (found, report) = checkpoint::load_latest(dir, fingerprint)?;
+        match found {
+            Some((_, ckpt)) => Ok((Self::from_checkpoint(net, &ckpt)?, report)),
             None => Err(ModelError::NoCheckpoint),
         }
     }

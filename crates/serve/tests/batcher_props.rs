@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 
-use mbs_serve::BatchPolicy;
+use mbs_serve::{BatchPolicy, Offer, ShedQueue};
 
 /// One simulated dispatch: how many requests it carried and how long its
 /// oldest request waited (pickup → dispatch, virtual µs).
@@ -125,5 +125,76 @@ proptest! {
             prop_assert_eq!(b.size, 1);
             prop_assert_eq!(b.held_us, 0u128);
         }
+    }
+
+    /// Replays a random admit/serve interleaving through a [`ShedQueue`]
+    /// on a virtual clock and checks the shedding invariants the server
+    /// relies on:
+    ///
+    /// 1. an expired request never enters a batch (`pop` skips it),
+    /// 2. shedding only ever evicts expired or strictly-lower-priority
+    ///    work — an unexpired request is never displaced by an equal or
+    ///    lower priority arrival, and
+    /// 3. every request is accounted for exactly once (admitted and
+    ///    served, shed, refused, expired, or still queued at the end).
+    #[test]
+    fn shed_queue_preserves_priority_and_conservation(
+        capacity in 1usize..12,
+        ops in proptest::collection::vec(
+            // (advance clock by, priority, deadline offset: 0 = none, pop instead of offer)
+            (0u64..40, 0u8..4, 0u64..60, proptest::bool::ANY),
+            1usize..120,
+        ),
+    ) {
+        let mut q: ShedQueue<usize> = ShedQueue::new(capacity);
+        let mut now: u128 = 0;
+        let mut offered = 0usize;
+        let mut served = 0usize;
+        let mut shed = 0usize;
+        let mut refused = 0usize;
+        let mut expired_count = 0usize;
+        for (advance, priority, deadline_offset, is_pop) in ops {
+            let (advance, deadline_offset) = (u128::from(advance), u128::from(deadline_offset));
+            now += advance;
+            // The collector's pre-pop harvest: expired entries leave the
+            // queue through the deadline path, never through a batch.
+            expired_count += q.take_expired(now).len();
+            if is_pop {
+                if let Some((meta, _)) = q.pop(now) {
+                    prop_assert!(
+                        !meta.expired(now),
+                        "pop returned an expired request (deadline {:?} at t={now})",
+                        meta.deadline_us
+                    );
+                    served += 1;
+                }
+                continue;
+            }
+            let deadline = (deadline_offset > 0).then(|| now + deadline_offset);
+            let id = offered;
+            offered += 1;
+            match q.offer(priority, deadline, now, id) {
+                Offer::Admitted => {}
+                Offer::Shed { victim: (meta, _), expired } => {
+                    prop_assert!(
+                        expired == meta.expired(now),
+                        "shed mislabeled its victim"
+                    );
+                    prop_assert!(
+                        expired || meta.priority < priority,
+                        "unexpired priority-{} victim shed for a priority-{priority} arrival",
+                        meta.priority
+                    );
+                    if expired { expired_count += 1; } else { shed += 1; }
+                }
+                Offer::Full(_) => refused += 1,
+            }
+        }
+        let leftover = q.drain_all().len();
+        prop_assert_eq!(
+            served + shed + refused + expired_count + leftover,
+            offered,
+            "requests lost or duplicated across admit/serve/shed paths"
+        );
     }
 }

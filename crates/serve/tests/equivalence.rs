@@ -52,6 +52,7 @@ fn check_net(net: &Network) {
                     max_batch,
                     max_wait_us: 20_000,
                     queue_depth: count.max(8),
+                    ..ServeConfig::default()
                 },
             );
             let client = server.client();

@@ -160,6 +160,7 @@ fn requests_after_shutdown_reject_cleanly() {
             max_batch: 2,
             max_wait_us: 100,
             queue_depth: 4,
+            ..ServeConfig::default()
         },
     );
     let client = server.client();

@@ -58,6 +58,7 @@ fn every_request_gets_exactly_one_correct_response() {
                 max_batch: 5,
                 max_wait_us: 300,
                 queue_depth: 16,
+                ..ServeConfig::default()
             },
         );
         let producers: Vec<_> = (0..PRODUCERS)
@@ -122,6 +123,7 @@ fn shutdown_drains_queued_requests() {
                 // promptly because disconnect cuts the wait short.
                 max_wait_us: 5_000_000,
                 queue_depth: BURST,
+                ..ServeConfig::default()
             },
         );
         let client = server.client();

@@ -33,7 +33,8 @@
 //! either the previous set of checkpoints intact or the new file fully
 //! present — never a half-written `*.mbsckpt`. Rotation keeps the newest
 //! `keep` files; [`load_latest`] scans newest → oldest and falls back
-//! past corrupt files (with a warning on stderr), so a torn latest
+//! past corrupt files — each one recorded in the returned [`LoadReport`]
+//! so callers can count and surface the damage — so a torn latest
 //! checkpoint degrades to the previous good one rather than a panic.
 //!
 //! [`Module::export_state`]: crate::module::Module::export_state
@@ -328,13 +329,54 @@ pub fn load_file(path: &Path) -> Result<TrainCheckpoint, CheckpointError> {
     decode(&fs::read(path)?)
 }
 
+/// Which files [`load_latest`] had to skip on its way to a loadable
+/// checkpoint, and why.
+///
+/// The durable-write protocol makes corrupt finished checkpoints possible
+/// only via external damage, but damaged files must *degrade visibly*,
+/// not crash — and not vanish into a stderr warning either. Callers (the
+/// resume path in `train_grouped`, the serving hot-swap path) inspect the
+/// report to count and surface corruption instead of silently serving an
+/// older model than they thought.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// `(path, reason)` for every file that looked like a checkpoint but
+    /// failed to load, newest first (the scan order).
+    pub skipped: Vec<(PathBuf, String)>,
+}
+
+impl LoadReport {
+    /// `true` when no file had to be skipped.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.skipped.is_empty() {
+            return write!(f, "no checkpoints skipped");
+        }
+        write!(
+            f,
+            "skipped {} unreadable checkpoint(s):",
+            self.skipped.len()
+        )?;
+        for (path, reason) in &self.skipped {
+            write!(f, "\n  {}: {reason}", path.display())?;
+        }
+        Ok(())
+    }
+}
+
 /// Loads the newest checkpoint in `dir` that matches `fingerprint`.
 ///
-/// Scans newest → oldest. Corrupt or torn files are skipped with a
-/// warning on stderr (the durable-write protocol makes them possible
-/// only via external damage, but damaged files must degrade, not crash).
-/// Returns `Ok(None)` when the directory holds no loadable checkpoint —
-/// the caller starts cold.
+/// Scans newest → oldest. Corrupt or torn files are skipped — recorded in
+/// the returned [`LoadReport`] (and warned on stderr) — so a torn latest
+/// checkpoint degrades to the previous good one rather than a panic.
+/// Returns `Ok((None, report))` when the directory holds no loadable
+/// checkpoint — the caller starts cold, with the report saying whether
+/// that is an empty directory or a directory full of damage.
 ///
 /// # Errors
 ///
@@ -345,10 +387,11 @@ pub fn load_file(path: &Path) -> Result<TrainCheckpoint, CheckpointError> {
 pub fn load_latest(
     dir: &Path,
     fingerprint: u64,
-) -> Result<Option<(usize, TrainCheckpoint)>, CheckpointError> {
+) -> Result<(Option<(usize, TrainCheckpoint)>, LoadReport), CheckpointError> {
+    let mut report = LoadReport::default();
     for (seq, path) in list(dir)?.into_iter().rev() {
         match load_file(&path) {
-            Ok(ckpt) if ckpt.fingerprint == fingerprint => return Ok(Some((seq, ckpt))),
+            Ok(ckpt) if ckpt.fingerprint == fingerprint => return Ok((Some((seq, ckpt)), report)),
             Ok(ckpt) => {
                 return Err(CheckpointError::FingerprintMismatch {
                     expected: fingerprint,
@@ -361,10 +404,11 @@ pub fn load_latest(
                     "warning: skipping unreadable checkpoint {}: {e}",
                     path.display()
                 );
+                report.skipped.push((path, e.to_string()));
             }
         }
     }
-    Ok(None)
+    Ok((None, report))
 }
 
 /// Where, how often, and how durably
@@ -605,8 +649,10 @@ mod tests {
         }
         let kept: Vec<usize> = list(&dir).unwrap().into_iter().map(|(s, _)| s).collect();
         assert_eq!(kept, vec![2, 3, 4]);
-        let (seq, ckpt) = load_latest(&dir, 11).unwrap().unwrap();
+        let (found, report) = load_latest(&dir, 11).unwrap();
+        let (seq, ckpt) = found.unwrap();
         assert_eq!((seq, ckpt.epoch), (4, 4));
+        assert!(report.is_clean());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -621,8 +667,16 @@ mod tests {
         FaultPlan::fault_at(0, Fault::FlipByte(40))
             .apply(0, &dir, 2, &sample(5), 3)
             .unwrap();
-        let (seq, _) = load_latest(&dir, 5).unwrap().unwrap();
+        let (found, report) = load_latest(&dir, 5).unwrap();
+        let (seq, _) = found.unwrap();
         assert_eq!(seq, 0, "must fall back to the oldest intact file");
+        // Both damaged files are surfaced, newest first, with reasons.
+        assert_eq!(report.skipped.len(), 2);
+        assert!(report.skipped[0].0.ends_with("ckpt-00000002.mbsckpt"));
+        assert!(report.skipped[0].1.contains("checksum"));
+        assert!(report.skipped[1].0.ends_with("ckpt-00000001.mbsckpt"));
+        assert!(report.skipped[1].1.contains("truncated"));
+        assert!(report.to_string().contains("skipped 2"));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -634,7 +688,9 @@ mod tests {
             .unwrap();
         assert!(dir.join("ckpt-00000000.mbsckpt.tmp").exists());
         assert!(list(&dir).unwrap().is_empty());
-        assert!(load_latest(&dir, 9).unwrap().is_none());
+        let (found, report) = load_latest(&dir, 9).unwrap();
+        assert!(found.is_none());
+        assert!(report.is_clean(), "tmp files are not skipped checkpoints");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -657,6 +713,8 @@ mod tests {
     #[test]
     fn missing_dir_is_a_cold_start() {
         let dir = scratch("missing");
-        assert!(load_latest(&dir, 0).unwrap().is_none());
+        let (found, report) = load_latest(&dir, 0).unwrap();
+        assert!(found.is_none());
+        assert!(report.is_clean());
     }
 }

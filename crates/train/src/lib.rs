@@ -64,7 +64,9 @@ pub mod norm;
 pub mod optim;
 pub mod training;
 
-pub use checkpoint::{CheckpointConfig, CheckpointError, Fault, FaultPlan, TrainCheckpoint};
+pub use checkpoint::{
+    CheckpointConfig, CheckpointError, Fault, FaultPlan, LoadReport, TrainCheckpoint,
+};
 pub use executor::{evaluate, train_step_full, train_step_mbs};
 pub use grouped::{stash_enabled, GroupedExecutor};
 pub use lower::{lower, lower_inference, InferenceLowerError, LowerError, LoweredNet};

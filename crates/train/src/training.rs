@@ -354,7 +354,11 @@ pub fn train_grouped(
     if let Some(ck) = &ckpt_cfg {
         seq = checkpoint::list(&ck.dir)?.last().map_or(0, |&(s, _)| s + 1);
         if ck.resume {
-            if let Some((_, loaded)) = checkpoint::load_latest(&ck.dir, fingerprint)? {
+            let (found, report) = checkpoint::load_latest(&ck.dir, fingerprint)?;
+            if !report.is_clean() {
+                eprintln!("warning: resume in {}: {report}", ck.dir.display());
+            }
+            if let Some((_, loaded)) = found {
                 restore(&loaded, &mut model, &mut opt, &mut rng)?;
                 start_epoch = loaded.epoch;
                 resumed_steps = loaded.step_in_epoch;

@@ -14,7 +14,9 @@
 //! - [`tensor`] — dense f32 tensor ops (GEMM, im2col convolution),
 //! - [`train`] — the training substrate (BN/GN, MBS serialized executor),
 //! - [`serve`] — the dynamic-batching inference front-end (frozen model
-//!   handles, cache-budget batch sizing, thread-per-core request loop).
+//!   handles, cache-budget batch sizing, thread-per-core request loop,
+//!   priority admission control with deadline shedding, panic-supervised
+//!   workers, and validated hot model swap).
 //!
 //! # Quickstart
 //!
