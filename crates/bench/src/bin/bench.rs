@@ -29,7 +29,8 @@ use mbs_cnn::networks::toy;
 use mbs_serve::{ModelHandle, ServeConfig, Server};
 use mbs_tensor::arena;
 use mbs_tensor::ops::kernel::{self, MicroKernel};
-use mbs_tensor::ops::{gemm_with_kernel, Conv2dCfg, Im2colGeom, MatSrc};
+use mbs_tensor::ops::{gemm_fused_prec, gemm_with_kernel, Conv2dCfg, Epilogue, Im2colGeom, MatSrc};
+use mbs_tensor::prec::Precision;
 use mbs_tensor::Tensor;
 use mbs_train::data::generate;
 use mbs_train::executor::train_step_mbs;
@@ -55,6 +56,10 @@ struct Report {
     /// Multi-thread GEMM core at `MBS_THREADS ∈ {1, 2, 4, max}` (deduped),
     /// with bitwise-identity checks against the 1-thread result.
     thread_scaling: Vec<ThreadScale>,
+    /// f32 vs bf16 packed operands on the same fused GEMM core (the
+    /// `MBS_PREC` knob, swept in-process via the explicit-precision entry
+    /// point).
+    precision: Vec<PrecisionGemmBench>,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -101,6 +106,26 @@ struct ThreadScale {
     /// Whether the output matched the 1-thread run bit-for-bit (the
     /// shared-B-panel determinism guarantee).
     bitwise_equal_to_1_thread: bool,
+}
+
+/// One precision leg of the packed-operand GEMM comparison
+/// (`BENCH_tensor.json` `precision` section).
+#[derive(Debug, Clone, Serialize)]
+struct PrecisionGemmBench {
+    /// Precision the A/B panels were packed at (`f32` / `bf16`).
+    precision: String,
+    /// Best-of-rounds ns for the 256×256×256 fused GEMM core, 1 thread,
+    /// on the selected kernel.
+    matmul_256_best_ns: f64,
+    /// `best(f32) / best(this)` — >1 means the half-width panels win.
+    /// The win is packed-panel memory *traffic* (arithmetic still
+    /// accumulates in f32), so it needs bandwidth-bound shapes and
+    /// hardware; on a cache-resident 256³ toy the per-element encode
+    /// cost can put this below 1.
+    speedup_vs_f32: f64,
+    /// Max |bf16 − f32| over the 256×256 output (0 for the f32 row): the
+    /// cost of one round-to-nearest-even per packed operand element.
+    max_abs_err_vs_f32: f64,
 }
 
 /// The report written to `BENCH_train.json`: the serialized training step
@@ -152,6 +177,44 @@ struct TrainReport {
     /// load latency, on-disk size, and the end-to-end grouped-training
     /// overhead of checkpointing every step vs every 10 steps.
     checkpoint: Vec<CheckpointBench>,
+    /// f32 vs bf16 *storage* precision on the grouped executor (stash
+    /// entries + boundary buffers), per network: measured resident bytes
+    /// and step-time delta. GEMM operand precision stays process-wide
+    /// (`MBS_PREC`), so the kernel-level f32-vs-bf16 timing lives in
+    /// `BENCH_tensor.json`'s `precision` section instead.
+    precision: Vec<TrainPrecisionBench>,
+}
+
+/// One network's f32-vs-bf16 storage-precision row in `BENCH_train.json`.
+#[derive(Debug, Clone, Serialize)]
+struct TrainPrecisionBench {
+    /// Network name.
+    network: String,
+    /// Mini-batch size of the measured step.
+    batch: usize,
+    /// [`mbs_core::Schedule::stash_bytes_at`] at f32: the scheduler's
+    /// modeled per-sample stash footprint.
+    f32_stash_model_bytes: usize,
+    /// Same at bf16 — exactly half the f32 figure (pinned by tests).
+    bf16_stash_model_bytes: usize,
+    /// Measured resident bytes of the interior boundary-stage buffers
+    /// after a training forward, f32 executor.
+    f32_boundary_bytes: usize,
+    /// Same on the bf16-storage executor — exactly half.
+    bf16_boundary_bytes: usize,
+    /// Measured resident bytes of tensor-valued stash entries after a
+    /// training forward (before backward drains them), f32 executor.
+    f32_stash_tensor_bytes: usize,
+    /// Same on the bf16-storage executor — exactly half.
+    bf16_stash_tensor_bytes: usize,
+    /// Best-of-rounds grouped `train_step` ns, f32 storage.
+    f32_step_best_ns: f64,
+    /// Same with bf16 storage: the encode/decode cost of compressing
+    /// stashes and boundaries rides on top of the identical GEMM work.
+    bf16_step_best_ns: f64,
+    /// `f32 / bf16` step ratio — <1 quantifies the compression overhead
+    /// paid for the halved footprint at these (cache-resident) toy sizes.
+    speedup_bf16_storage: f64,
 }
 
 /// One model's checkpoint cost row in `BENCH_train.json`.
@@ -347,6 +410,86 @@ fn kernel_comparison(c: &mut Criterion) -> Vec<KernelBench> {
             }
         })
         .collect()
+}
+
+/// f32 vs bf16 packed operands on the same fused GEMM core, interleaved
+/// so both precisions see the same machine state. Uses
+/// [`gemm_fused_prec`]'s explicit precision so the sweep runs in one
+/// process regardless of `MBS_PREC`.
+fn precision_gemm() -> Vec<PrecisionGemmBench> {
+    const DIM: usize = 256;
+    const ROUNDS: usize = 6;
+    // Thirds are not bf16-representable (unlike `filled`'s quarters), so
+    // the error column actually exercises the per-element rounding.
+    let third = |len: usize, salt: usize| -> Vec<f32> {
+        (0..len)
+            .map(|v| (((v * 7 + salt) % 17) as f32 - 8.0) / 3.0)
+            .collect()
+    };
+    let a = third(DIM * DIM, 10);
+    let b = third(DIM * DIM, 11);
+    let asrc = MatSrc::RowMajor {
+        data: &a,
+        stride: DIM,
+    };
+    let bsrc = MatSrc::RowMajor {
+        data: &b,
+        stride: DIM,
+    };
+    let kern = kernel::selected();
+    let mut out32 = vec![0.0f32; DIM * DIM];
+    let mut out16 = vec![0.0f32; DIM * DIM];
+    let gemm_at = |out: &mut [f32], prec: Precision| {
+        gemm_fused_prec(
+            &asrc,
+            &bsrc,
+            out,
+            DIM,
+            DIM,
+            DIM,
+            1,
+            kern,
+            &Epilogue::None,
+            prec,
+        );
+    };
+    gemm_at(&mut out32, Precision::F32);
+    gemm_at(&mut out16, Precision::Bf16);
+    let max_err = out32
+        .iter()
+        .zip(&out16)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max);
+    let mut scratch = vec![0.0f32; DIM * DIM];
+    let best = interleaved_best_n::<2>(ROUNDS, 8, &mut |slot| {
+        let prec = if slot == 0 {
+            Precision::F32
+        } else {
+            Precision::Bf16
+        };
+        gemm_at(criterion::black_box(&mut scratch), prec);
+    });
+    println!(
+        "precision matmul_256: f32 {:.0} ns, bf16 {:.0} ns ({:.2}x), max |Δ| {:.3e}",
+        best[0],
+        best[1],
+        best[0] / best[1],
+        max_err
+    );
+    vec![
+        PrecisionGemmBench {
+            precision: Precision::F32.name().to_string(),
+            matmul_256_best_ns: best[0],
+            speedup_vs_f32: 1.0,
+            max_abs_err_vs_f32: 0.0,
+        },
+        PrecisionGemmBench {
+            precision: Precision::Bf16.name().to_string(),
+            matmul_256_best_ns: best[1],
+            speedup_vs_f32: best[0] / best[1],
+            max_abs_err_vs_f32: max_err as f64,
+        },
+    ]
 }
 
 /// One workload of the thread-scaling sweep: a named GEMM-core shape run
@@ -836,6 +979,95 @@ fn grouped_steps() -> Vec<GroupedBench> {
     rows
 }
 
+/// f32 vs bf16 storage precision on the grouped executor: same schedule,
+/// same identically-seeded model, one executor per storage precision,
+/// steps interleaved. Also records the modeled stash footprint at both
+/// precisions and the *measured* resident boundary/stash bytes after a
+/// training forward — the bf16 columns must come out at exactly half.
+fn precision_steps() -> Vec<TrainPrecisionBench> {
+    use mbs_cnn::networks::toy;
+    use mbs_core::{ExecConfig, HardwareConfig, MbsScheduler};
+    use mbs_train::grouped::GroupedExecutor;
+    use mbs_train::lower::lower;
+
+    const ROUNDS: usize = 6;
+    let mut rows = Vec::new();
+    let cases = [
+        (toy::runtime_mix(16, 16), 16usize * 1024, 16usize, 16usize),
+        (toy::tiny_resnet(1, 8), 128 * 1024, 32, 8),
+    ];
+    for (net, buffer, img_size, batch) in cases {
+        let hw = HardwareConfig::cpu().with_global_buffer(buffer);
+        let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1)
+            .with_batch(batch)
+            .schedule();
+        let d = generate(batch, img_size, 0.3, 58);
+        let mut model32 = lower(&net, &mut StdRng::seed_from_u64(3)).expect("net lowers");
+        let mut model16 = lower(&net, &mut StdRng::seed_from_u64(3)).expect("net lowers");
+        let mut exec32 = GroupedExecutor::new(&schedule, model32.len());
+        exec32.set_precision(Precision::F32);
+        let mut exec16 = GroupedExecutor::new(&schedule, model16.len());
+        exec16.set_precision(Precision::Bf16);
+        let mut opt32 = Sgd::new(0.05, 0.9, 1e-4);
+        let mut opt16 = Sgd::new(0.05, 0.9, 1e-4);
+        let mut run = |slot: usize| {
+            if slot == 0 {
+                criterion::black_box(exec32.train_step(
+                    &mut model32,
+                    &d.images,
+                    &d.labels,
+                    &mut opt32,
+                ));
+            } else {
+                criterion::black_box(exec16.train_step(
+                    &mut model16,
+                    &d.images,
+                    &d.labels,
+                    &mut opt16,
+                ));
+            }
+        };
+        let warm0 = std::time::Instant::now();
+        for slot in 0..2 {
+            run(slot);
+        }
+        let approx_step_ns = warm0.elapsed().as_nanos() as f64 / 2.0;
+        let block_iters = ((80e6 / approx_step_ns) as usize).clamp(2, 64);
+        let best = interleaved_best_n::<2>(ROUNDS, block_iters, &mut run);
+        // Resident-footprint snapshot: a training forward populates the
+        // boundary stages and (all but each group's last chunk of) the
+        // stashes; the next forward clears the leftovers.
+        let _ = exec32.forward(&mut model32, &d.images, true);
+        let _ = exec16.forward(&mut model16, &d.images, true);
+        let row = TrainPrecisionBench {
+            network: net.name().to_string(),
+            batch,
+            f32_stash_model_bytes: schedule.stash_bytes_at(&net, Precision::F32),
+            bf16_stash_model_bytes: schedule.stash_bytes_at(&net, Precision::Bf16),
+            f32_boundary_bytes: exec32.boundary_bytes(),
+            bf16_boundary_bytes: exec16.boundary_bytes(),
+            f32_stash_tensor_bytes: exec32.stash_tensor_bytes(),
+            bf16_stash_tensor_bytes: exec16.stash_tensor_bytes(),
+            f32_step_best_ns: best[0],
+            bf16_step_best_ns: best[1],
+            speedup_bf16_storage: best[0] / best[1],
+        };
+        println!(
+            "precision {:>13}: step f32 {:.0} ns, bf16-storage {:.0} ns ({:.2}x); boundary {} -> {} B, stash {} -> {} B",
+            row.network,
+            row.f32_step_best_ns,
+            row.bf16_step_best_ns,
+            row.speedup_bf16_storage,
+            row.f32_boundary_bytes,
+            row.bf16_boundary_bytes,
+            row.f32_stash_tensor_bytes,
+            row.bf16_stash_tensor_bytes
+        );
+        rows.push(row);
+    }
+    rows
+}
+
 /// One steady-state training step with the pool already warm: the arena
 /// counters must show pure reuse (`arena_misses == 0`).
 fn steady_state() -> SteadyState {
@@ -1211,6 +1443,9 @@ fn main() {
     let layer_fused = layer_fused();
     println!("== grouped vs uniform serialized step (lowered IR) ==");
     let grouped = grouped_steps();
+    println!("== precision (f32 vs bf16 packed operands / storage) ==");
+    let precision_tensor = precision_gemm();
+    let precision_train = precision_steps();
     println!("== checkpoint save/load + training overhead ==");
     let checkpoint = checkpoint_benches();
     println!("== serve (open-loop load sweep) ==");
@@ -1332,6 +1567,7 @@ fn main() {
         speedups,
         kernel_comparison,
         thread_scaling,
+        precision: precision_tensor,
     };
     match mbs_bench::write_json(&out_dir, "BENCH_tensor", &report) {
         Ok(()) => println!("wrote {}", out_dir.join("BENCH_tensor.json").display()),
@@ -1350,6 +1586,7 @@ fn main() {
         grouped,
         schedule,
         checkpoint,
+        precision: precision_train,
     };
     match mbs_bench::write_json(&out_dir, "BENCH_train", &train_report) {
         Ok(()) => println!("wrote {}", out_dir.join("BENCH_train.json").display()),

@@ -2,6 +2,7 @@
 //! configurations (paper Tab. 4 and §4.2).
 
 use mbs_tensor::env::parse_byte_size;
+use mbs_tensor::prec::Precision;
 use serde::{Deserialize, Serialize};
 
 /// The six execution configurations evaluated in the paper (Tab. 3).
@@ -229,14 +230,32 @@ impl HardwareConfig {
     /// The LLC byte budget comes from `MBS_CACHE_BUDGET` when set (plain
     /// bytes, or with a `K`/`M`/`G` suffix, e.g. `MBS_CACHE_BUDGET=16M`),
     /// else from sysfs cache topology on Linux, else an 8 MiB fallback.
-    /// The footprint model counts 16-bit words while the CPU runtime
-    /// computes in f32, so the modeled buffer is **half** the byte budget
-    /// — a group the model says fits then genuinely fits the cache at f32
-    /// precision.
+    /// The runtime precision comes from the `MBS_PREC` knob
+    /// ([`mbs_tensor::prec::precision`]); see
+    /// [`HardwareConfig::cpu_with_precision`] for how it scales the
+    /// modeled buffer.
     pub fn cpu() -> Self {
+        Self::cpu_with_precision(mbs_tensor::prec::precision())
+    }
+
+    /// [`HardwareConfig::cpu`] with an explicit runtime precision instead
+    /// of the process-wide `MBS_PREC` knob.
+    ///
+    /// The footprint model counts [`crate::WORD_BYTES`]-byte (16-bit)
+    /// words — the paper accelerator's datapath width — while the CPU
+    /// runtime stores packed operands and caches at `prec`. The modeled
+    /// buffer is therefore the byte budget scaled by
+    /// `WORD_BYTES / prec.word_bytes()`: **half** the budget at f32
+    /// (every modeled word occupies two runtime words' worth of cache)
+    /// and the **full** budget at bf16 (the runtime matches the model's
+    /// 16-bit words exactly, so no correction is needed). A group the
+    /// model says fits then genuinely fits the cache at the precision the
+    /// runtime actually uses.
+    pub fn cpu_with_precision(prec: Precision) -> Self {
         let budget = cache_budget_bytes();
+        let modeled = budget.saturating_mul(crate::WORD_BYTES) / prec.word_bytes();
         Self {
-            global_buffer_bytes: (budget / 2).max(1),
+            global_buffer_bytes: modeled.max(1),
             cores: 1,
             ..Self::new()
         }
@@ -372,14 +391,38 @@ mod tests {
     }
 
     #[test]
-    fn cpu_preset_halves_the_byte_budget() {
-        // The modeled buffer is budget/2 because the footprint model counts
-        // 16-bit words while the runtime computes in f32.
-        let hw = HardwareConfig::cpu();
-        assert_eq!(hw.cores, 1);
-        assert!(hw.global_buffer_bytes >= 1);
+    fn cpu_preset_scales_the_byte_budget_by_precision() {
         let budget = cache_budget_bytes();
-        assert_eq!(hw.global_buffer_bytes, (budget / 2).max(1));
+        // f32 runtime words are twice the model's 16-bit words: budget/2.
+        let f32_hw = HardwareConfig::cpu_with_precision(Precision::F32);
+        assert_eq!(f32_hw.cores, 1);
+        assert_eq!(f32_hw.global_buffer_bytes, (budget / 2).max(1));
+        // bf16 runtime words match the model's words: the full budget.
+        let bf16_hw = HardwareConfig::cpu_with_precision(Precision::Bf16);
+        assert_eq!(bf16_hw.global_buffer_bytes, budget.max(1));
+        // cpu() follows the active MBS_PREC knob.
+        let hw = HardwareConfig::cpu();
+        assert_eq!(
+            hw.global_buffer_bytes,
+            HardwareConfig::cpu_with_precision(mbs_tensor::prec::precision()).global_buffer_bytes
+        );
+    }
+
+    #[test]
+    fn bf16_budget_grows_max_sub_batch() {
+        // The larger modeled buffer at bf16 feeds straight into sub-batch
+        // sizing: at least twice the f32 sub-batch for the same footprint.
+        let per_sample = 1024;
+        let (s32, _) = crate::footprint::max_sub_batch(
+            per_sample,
+            HardwareConfig::cpu_with_precision(Precision::F32).global_buffer_bytes,
+        );
+        let (s16, _) = crate::footprint::max_sub_batch(
+            per_sample,
+            HardwareConfig::cpu_with_precision(Precision::Bf16).global_buffer_bytes,
+        );
+        assert!(s16 >= 2 * s32, "bf16 {s16} vs f32 {s32}");
+        assert!(s16 > s32);
     }
 
     #[test]

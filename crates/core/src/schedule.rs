@@ -162,12 +162,29 @@ impl Schedule {
     /// `MBS_STASH=0` replay mode trades back for recompute, so the
     /// schedule reports them next to its DRAM-traffic model.
     ///
+    /// Reported at the **active runtime precision** (`MBS_PREC`,
+    /// [`mbs_tensor::prec::precision`]): stashes are stored as f32 or
+    /// bf16 words, so bf16 mode reports half the f32 bytes. Use
+    /// [`Schedule::stash_bytes_at`] for an explicit precision.
+    ///
     /// # Panics
     ///
     /// Panics if the schedule covers more nodes than `net` has.
     pub fn stash_bytes(&self, net: &Network) -> usize {
+        self.stash_bytes_at(net, mbs_tensor::prec::precision())
+    }
+
+    /// [`Schedule::stash_bytes`] at an explicit runtime precision.
+    ///
+    /// The footprint model ([`crate::footprint::node_stash_bytes`])
+    /// counts [`crate::WORD_BYTES`]-byte (16-bit) words; a runtime
+    /// storing its stashes at `prec` pays `prec.word_bytes()` bytes per
+    /// word, so the model's byte count is rescaled by
+    /// `prec.word_bytes() / WORD_BYTES`.
+    pub fn stash_bytes_at(&self, net: &Network, prec: mbs_tensor::prec::Precision) -> usize {
         let nodes = net.nodes();
-        self.groups
+        let model_bytes: usize = self
+            .groups
             .iter()
             .map(|g| {
                 let per_sample: usize = nodes[g.start..g.end]
@@ -176,7 +193,8 @@ impl Schedule {
                     .sum();
                 per_sample * g.stashed_samples(self.batch)
             })
-            .sum()
+            .sum();
+        model_bytes * prec.word_bytes() / crate::WORD_BYTES
     }
 
     /// A stable 64-bit fingerprint of this schedule applied to `net`:
@@ -359,7 +377,27 @@ mod tests {
         assert_eq!(uniform.stash_bytes(&net), 0);
 
         // Sub-batch 2 over 8 samples: 6 samples' caches stashed.
+        // `per_sample` is in the model's 16-bit words; an f32 runtime
+        // pays twice that, a bf16 runtime pays it exactly.
+        use mbs_tensor::prec::Precision;
         let serialized = Schedule::new(ExecConfig::Mbs1, 8, vec![Group::new(0, nodes, 2, 8)], true);
-        assert_eq!(serialized.stash_bytes(&net), per_sample * 6);
+        assert_eq!(
+            serialized.stash_bytes_at(&net, Precision::F32),
+            per_sample * 6 * 2
+        );
+        assert_eq!(
+            serialized.stash_bytes_at(&net, Precision::Bf16),
+            per_sample * 6
+        );
+        // The halving pin: bf16 stashes are exactly half the f32 bytes.
+        assert_eq!(
+            serialized.stash_bytes_at(&net, Precision::Bf16) * 2,
+            serialized.stash_bytes_at(&net, Precision::F32)
+        );
+        // The knob-driven accessor follows the active precision.
+        assert_eq!(
+            serialized.stash_bytes(&net),
+            serialized.stash_bytes_at(&net, mbs_tensor::prec::precision())
+        );
     }
 }

@@ -23,6 +23,7 @@ pub mod arena;
 pub mod env;
 pub mod init;
 pub mod ops;
+pub mod prec;
 pub mod tensor;
 
 pub use tensor::Tensor;

@@ -13,6 +13,14 @@
 //! | `avx2-fma-8x8` | 8×8 | AVX2+FMA | 8 ymm (one per row) |
 //! | `scalar-8x8` | 8×8 | portable | 64-float stack tile (autovectorized) |
 //!
+//! Each kernel carries two tile bodies over the same registers: the f32
+//! body (`run`) and a bf16 body (`run_bf16`) that widens bf16-packed
+//! operands on load — `vpmovzxwd` + a 16-bit shift, which *is* the exact
+//! bf16→f32 conversion — and accumulates in f32. The widening is plain bit
+//! arithmetic on every ISA (no `vcvtne2ps2bf16` probing: a uniform
+//! conversion rule keeps packed bytes identical across kernels, so the
+//! per-kernel parity tests can compare encodings bitwise).
+//!
 //! The widest supported kernel is chosen **once per process** via
 //! [`selected`], using `is_x86_feature_detected!` so a binary built for a
 //! generic target still uses AVX-512 on capable hosts. The `MBS_KERNEL`
@@ -67,6 +75,10 @@ pub struct MicroKernel {
     /// The tile body. Safety: callable only when the ISA this kernel was
     /// registered for is present; [`available`] guarantees that.
     run: unsafe fn(kc: usize, a: *const f32, b: *const f32, acc: *mut f32),
+    /// The tile body for bf16-packed operands (same ISA as `run`): widening
+    /// loads (`bf16 → f32` is a 16-bit shift), f32 FMA accumulate. See
+    /// [`MicroKernel::run_bf16`].
+    run_bf16: unsafe fn(kc: usize, a: *const u16, b: *const u16, acc: *mut f32),
     /// Fused C write-back for one register tile (same ISA as `run`); see
     /// [`MicroKernel::store_tile`].
     store: unsafe fn(
@@ -99,6 +111,27 @@ impl MicroKernel {
         // construction — kernels only enter `available()` after their
         // target feature is detected on this CPU.
         unsafe { (self.run)(kc, a.as_ptr(), b.as_ptr(), acc.as_mut_ptr()) }
+    }
+
+    /// [`MicroKernel::run`] for bf16-packed operand strips: each element is
+    /// widened to f32 (exact — bf16 is the top half of an f32) and the tile
+    /// accumulates in f32, in the same strictly-in-order reduction as the
+    /// f32 body. The result therefore equals running the f32 kernel on the
+    /// widened operands bit-for-bit, which is what the parity tests pin —
+    /// reduced precision lives entirely in the *encoding* done at packing
+    /// time, never in the arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`, `b`, or `acc` is shorter than `kc·mr`, `kc·nr`, or
+    /// `mr·nr` respectively.
+    #[inline]
+    pub fn run_bf16(&self, kc: usize, a: &[u16], b: &[u16], acc: &mut [f32]) {
+        assert!(a.len() >= kc * self.mr, "packed A strip too short");
+        assert!(b.len() >= kc * self.nr, "packed B strip too short");
+        assert!(acc.len() >= self.mr * self.nr, "accumulator too short");
+        // SAFETY: as in `run`.
+        unsafe { (self.run_bf16)(kc, a.as_ptr(), b.as_ptr(), acc.as_mut_ptr()) }
     }
 
     /// Fused write-back of one register tile — the epilogue unit of the
@@ -179,6 +212,7 @@ pub static SCALAR_8X8: MicroKernel = MicroKernel {
     mr: 8,
     nr: 8,
     run: scalar_8x8,
+    run_bf16: scalar_8x8_bf16,
     store: store_tile_scalar,
 };
 
@@ -190,6 +224,7 @@ pub static AVX2_8X8: MicroKernel = MicroKernel {
     mr: 8,
     nr: 8,
     run: avx2_8x8,
+    run_bf16: avx2_8x8_bf16,
     store: store_tile_avx2,
 };
 
@@ -202,6 +237,7 @@ pub static AVX512_16X16: MicroKernel = MicroKernel {
     mr: 16,
     nr: 16,
     run: avx512_16x16,
+    run_bf16: avx512_16x16_bf16,
     store: store_tile_avx512,
 };
 
@@ -293,6 +329,37 @@ unsafe fn scalar_8x8(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
     }
 }
 
+/// [`scalar_8x8`] over bf16-packed strips: every element is widened to f32
+/// up front (a 16-bit shift — exact) and the accumulation is the identical
+/// f32 loop nest, so results match the f32 kernel on widened operands
+/// bit-for-bit.
+///
+/// # Safety
+///
+/// `a` must hold `kc·8` bf16 codes, `b` `kc·8`, `acc` 64 floats (asserted
+/// by [`MicroKernel::run_bf16`]); no ISA requirement.
+unsafe fn scalar_8x8_bf16(kc: usize, a: *const u16, b: *const u16, acc: *mut f32) {
+    let a = std::slice::from_raw_parts(a, kc * 8);
+    let b = std::slice::from_raw_parts(b, kc * 8);
+    let mut tile = [[0.0f32; 8]; 8];
+    for (av, bv) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+        let mut bw = [0.0f32; 8];
+        for (slot, &code) in bw.iter_mut().zip(bv) {
+            *slot = crate::prec::bf16_to_f32(code);
+        }
+        for (&ai, row) in av.iter().zip(tile.iter_mut()) {
+            let aw = crate::prec::bf16_to_f32(ai);
+            for (slot, bj) in row.iter_mut().zip(&bw) {
+                *slot += aw * bj;
+            }
+        }
+    }
+    let out = std::slice::from_raw_parts_mut(acc, 64);
+    for (dst, src) in out.chunks_exact_mut(8).zip(tile.iter()) {
+        dst.copy_from_slice(src);
+    }
+}
+
 /// 8×8 AVX2 FMA tile: one ymm accumulator per row; each depth step is one
 /// B-row load plus eight broadcast-FMAs.
 ///
@@ -333,6 +400,64 @@ unsafe fn avx2_8x8(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
     _mm256_storeu_ps(acc.add(56), c7);
 }
 
+/// [`avx2_8x8`] over bf16-packed strips. The B row widens with one
+/// `vpmovzxwd` + 16-bit shift (bf16 is literally the top half of an f32,
+/// so the shift *is* the conversion — exact); A elements widen scalar-wise
+/// into the broadcast. The FMA sequence is identical to the f32 body, so
+/// results match the f32 kernel on widened operands bit-for-bit.
+///
+/// # Safety
+///
+/// Requires AVX2 and FMA; operand extents as in [`scalar_8x8_bf16`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_8x8_bf16(kc: usize, a: *const u16, b: *const u16, acc: *mut f32) {
+    use core::arch::x86_64::*;
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn widen8(p: *const u16) -> __m256 {
+        let raw = _mm_loadu_si128(p.cast::<__m128i>());
+        _mm256_castsi256_ps(_mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(raw)))
+    }
+    let mut c0 = _mm256_setzero_ps();
+    let mut c1 = _mm256_setzero_ps();
+    let mut c2 = _mm256_setzero_ps();
+    let mut c3 = _mm256_setzero_ps();
+    let mut c4 = _mm256_setzero_ps();
+    let mut c5 = _mm256_setzero_ps();
+    let mut c6 = _mm256_setzero_ps();
+    let mut c7 = _mm256_setzero_ps();
+    for p in 0..kc {
+        let bv = widen8(b.add(p * 8));
+        let ap = a.add(p * 8);
+        macro_rules! fma_row {
+            ($c:ident, $i:literal) => {
+                $c = _mm256_fmadd_ps(
+                    _mm256_set1_ps(crate::prec::bf16_to_f32(*ap.add($i))),
+                    bv,
+                    $c,
+                );
+            };
+        }
+        fma_row!(c0, 0);
+        fma_row!(c1, 1);
+        fma_row!(c2, 2);
+        fma_row!(c3, 3);
+        fma_row!(c4, 4);
+        fma_row!(c5, 5);
+        fma_row!(c6, 6);
+        fma_row!(c7, 7);
+    }
+    _mm256_storeu_ps(acc, c0);
+    _mm256_storeu_ps(acc.add(8), c1);
+    _mm256_storeu_ps(acc.add(16), c2);
+    _mm256_storeu_ps(acc.add(24), c3);
+    _mm256_storeu_ps(acc.add(32), c4);
+    _mm256_storeu_ps(acc.add(40), c5);
+    _mm256_storeu_ps(acc.add(48), c6);
+    _mm256_storeu_ps(acc.add(56), c7);
+}
+
 /// 16×16 AVX-512 FMA tile: 16 zmm accumulators; each depth step is one
 /// 16-float B-row load plus sixteen broadcast-FMAs (the broadcasts fold
 /// into the FMAs' embedded-broadcast memory operands).
@@ -357,6 +482,48 @@ unsafe fn avx512_16x16(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
         macro_rules! fma_rows {
             ($($i:literal)+) => {
                 $(cc[$i] = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add($i)), bv, cc[$i]);)+
+            };
+        }
+        rows!(fma_rows);
+    }
+    macro_rules! store_rows {
+        ($($i:literal)+) => {
+            $(_mm512_storeu_ps(acc.add($i * 16), cc[$i]);)+
+        };
+    }
+    rows!(store_rows);
+}
+
+/// [`avx512_16x16`] over bf16-packed strips: the 16-code B row widens with
+/// one `vpmovzxwd` (zmm) + 16-bit shift, A elements widen scalar-wise into
+/// the broadcast. FMA sequence identical to the f32 body — results match
+/// the f32 kernel on widened operands bit-for-bit.
+///
+/// # Safety
+///
+/// Requires AVX-512F (the `vpmovzxwd ymm→zmm` widening is AVX-512F); `a`
+/// must hold `kc·16` bf16 codes, `b` `kc·16`, `acc` 256 floats.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn avx512_16x16_bf16(kc: usize, a: *const u16, b: *const u16, acc: *mut f32) {
+    use core::arch::x86_64::*;
+    macro_rules! rows {
+        ($mac:ident) => {
+            $mac!(0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15)
+        };
+    }
+    let mut cc = [_mm512_setzero_ps(); 16];
+    for p in 0..kc {
+        let raw = _mm256_loadu_si256(b.add(p * 16).cast::<__m256i>());
+        let bv = _mm512_castsi512_ps(_mm512_slli_epi32::<16>(_mm512_cvtepu16_epi32(raw)));
+        let ap = a.add(p * 16);
+        macro_rules! fma_rows {
+            ($($i:literal)+) => {
+                $(cc[$i] = _mm512_fmadd_ps(
+                    _mm512_set1_ps(crate::prec::bf16_to_f32(*ap.add($i))),
+                    bv,
+                    cc[$i],
+                );)+
             };
         }
         rows!(fma_rows);
@@ -643,6 +810,33 @@ mod tests {
                         kern.name
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_tile_equals_f32_tile_on_widened_operands() {
+        // The bf16 body must be the f32 reduction on exactly-widened
+        // operands — bitwise, per kernel. Reduced precision lives in the
+        // encoding (done at pack time), never in the kernel arithmetic.
+        use crate::prec::{bf16_to_f32, f32_to_bf16};
+        for kern in available() {
+            for kc in [0usize, 1, 5, 33] {
+                let a16: Vec<u16> = (0..kc * kern.mr)
+                    .map(|v| f32_to_bf16(((v * 7) % 23) as f32 * 0.37 - 2.5))
+                    .collect();
+                let b16: Vec<u16> = (0..kc * kern.nr)
+                    .map(|v| f32_to_bf16(((v * 11) % 19) as f32 * 0.29 - 2.0))
+                    .collect();
+                let a32: Vec<f32> = a16.iter().map(|&c| bf16_to_f32(c)).collect();
+                let b32: Vec<f32> = b16.iter().map(|&c| bf16_to_f32(c)).collect();
+                let mut got = vec![f32::NAN; kern.mr * kern.nr];
+                let mut want = vec![f32::NAN; kern.mr * kern.nr];
+                kern.run_bf16(kc, &a16, &b16, &mut got);
+                kern.run(kc, &a32, &b32, &mut want);
+                let gb: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                let wb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gb, wb, "{} kc={kc}", kern.name);
             }
         }
     }

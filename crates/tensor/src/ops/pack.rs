@@ -45,13 +45,29 @@
 //! Unlike the original naive kernels there is no `a == 0.0` skip: zeros
 //! are multiplied like any other value, so NaN/Inf propagate correctly and
 //! the inner loop carries no data-dependent branch.
+//!
+//! # Reduced precision
+//!
+//! The packing pass is the single place operand elements are touched
+//! before the micro-kernel, so it is also where reduced precision lives:
+//! under [`Precision::Bf16`] (the `MBS_PREC` knob, see [`crate::prec`])
+//! every packing loop encodes elements as bfloat16 while writing the
+//! strips — including the cooperative shared-B-panel path, whose packed
+//! bytes stay a pure function of `(B, jc, pc)` because the encoding is
+//! deterministic bit arithmetic — and the micro-kernels widen on load,
+//! accumulating in f32. The whole blocked core is written once, generic
+//! over the packed element type, and monomorphized per precision; the f32
+//! instantiation is operation-for-operation the pre-`MBS_PREC` code, so
+//! f32 results are bitwise unchanged.
 
+use std::marker::PhantomData;
 use std::sync::{Barrier, OnceLock};
 
 use crate::arena;
 use crate::ops::activation::MaskSink;
 use crate::ops::im2col::Conv2dCfg;
 use crate::ops::kernel::{self, MicroKernel, MAX_MR, MAX_NR};
+use crate::prec::{self, Precision};
 
 /// Rows per packed A block. A multiple of every registered kernel's `mr`
 /// (8 and 16), which keeps packed-strip boundaries on a global grid no
@@ -106,6 +122,97 @@ pub fn configured_threads() -> usize {
                 .unwrap_or(1)
         })
     })
+}
+
+/// A packed-operand element type: `f32` (identity packing) or bf16-coded
+/// `u16`. Everything a packing loop or a kernel dispatch needs is a method
+/// here, so the blocked GEMM is written once and monomorphized per
+/// precision — the f32 instantiation compiles to exactly the pre-precision
+/// code (identity conversion, `memcpy` strip copies, the f32 tile body).
+trait PackElem: Copy + Send + Sync + 'static {
+    /// The strip padding value (`0.0` in both encodings).
+    const ZERO: Self;
+    /// Encodes one element (identity for f32, RNE bf16 otherwise).
+    fn from_f32(v: f32) -> Self;
+    /// `dst = encode(src)` — the converting strip copy (a `memcpy` for
+    /// f32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn pack_from(dst: &mut [Self], src: &[f32]);
+    /// Runs the micro-kernel tile body for this element type.
+    fn run_tile(kern: &MicroKernel, kc: usize, a: &[Self], b: &[Self], acc: &mut [f32]);
+}
+
+impl PackElem for f32 {
+    const ZERO: Self = 0.0;
+
+    #[inline(always)]
+    fn from_f32(v: f32) -> Self {
+        v
+    }
+
+    #[inline(always)]
+    fn pack_from(dst: &mut [Self], src: &[f32]) {
+        dst.copy_from_slice(src);
+    }
+
+    #[inline(always)]
+    fn run_tile(kern: &MicroKernel, kc: usize, a: &[Self], b: &[Self], acc: &mut [f32]) {
+        kern.run(kc, a, b, acc);
+    }
+}
+
+impl PackElem for u16 {
+    const ZERO: Self = 0;
+
+    #[inline(always)]
+    fn from_f32(v: f32) -> Self {
+        prec::f32_to_bf16(v)
+    }
+
+    #[inline(always)]
+    fn pack_from(dst: &mut [Self], src: &[f32]) {
+        prec::encode_slice(dst, src);
+    }
+
+    #[inline(always)]
+    fn run_tile(kern: &MicroKernel, kc: usize, a: &[Self], b: &[Self], acc: &mut [f32]) {
+        kern.run_bf16(kc, a, b, acc);
+    }
+}
+
+/// An arena-backed packing buffer of `len` elements of `E`. The arena
+/// pools f32 buffers; a bf16 buffer reinterprets one as u16 words
+/// (alignment 4 ≥ 2, every bit pattern valid), so both precisions recycle
+/// through the same pool and the zero-steady-state-miss pins keep holding.
+struct ElemBuf<E> {
+    raw: arena::Scratch,
+    len: usize,
+    _marker: PhantomData<E>,
+}
+
+impl<E: PackElem> ElemBuf<E> {
+    fn take(len: usize) -> Self {
+        let words = (len * std::mem::size_of::<E>()).div_ceil(std::mem::size_of::<f32>());
+        Self {
+            raw: arena::take(words),
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    fn as_mut_ptr(&mut self) -> *mut E {
+        self.raw.as_mut_ptr().cast::<E>()
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [E] {
+        // SAFETY: the scratch holds ≥ len·size_of::<E> bytes (see `take`),
+        // f32 alignment covers both element types, and u16/f32 accept any
+        // bit pattern; &mut self guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.as_mut_ptr(), self.len) }
+    }
 }
 
 /// Convolution lowering geometry for the virtual im2col operand.
@@ -331,6 +438,35 @@ pub fn gemm_fused_with(
     kern: &MicroKernel,
     epi: &Epilogue<'_>,
 ) {
+    gemm_fused_prec(a, b, c, m, n, k, threads, kern, epi, prec::precision());
+}
+
+/// [`gemm_fused_with`] with an explicit operand [`Precision`] (tests and
+/// the bench runner sweep both modes inside one process; the production
+/// entry points always use the process-wide [`prec::precision`], so
+/// results stay run-to-run identical).
+///
+/// Under [`Precision::Bf16`] the A/B panels are packed as bfloat16
+/// (round-to-nearest-even) and the micro-kernel widens on load,
+/// accumulating in f32; `c` and the epilogue stay f32. Results remain
+/// bitwise invariant to `threads` per precision.
+///
+/// # Panics
+///
+/// As for [`gemm_fused`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_fused_prec(
+    a: &MatSrc<'_>,
+    b: &MatSrc<'_>,
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+    kern: &MicroKernel,
+    epi: &Epilogue<'_>,
+    precision: Precision,
+) {
     assert_eq!(c.len(), m * n, "output buffer must be m·n");
     match *epi {
         Epilogue::None => {}
@@ -357,7 +493,10 @@ pub fn gemm_fused_with(
     // its siblings at the shared-panel barrier. One comparison per call.
     assert_eq!(MC % kern.mr, 0, "MC must be a multiple of the tile mr");
     assert_eq!(NC % kern.nr, 0, "NC must be a multiple of the tile nr");
-    run_shared(a, b, c, m, n, k, threads, kern, epi);
+    match precision {
+        Precision::F32 => run_shared::<f32>(a, b, c, m, n, k, threads, kern, epi),
+        Precision::Bf16 => run_shared::<u16>(a, b, c, m, n, k, threads, kern, epi),
+    }
 }
 
 /// Panics unless `src` can serve every access of a logical `rows × cols`
@@ -400,16 +539,16 @@ fn check_extent(src: &MatSrc<'_>, rows: usize, cols: usize, which: &str) {
 /// write disjoint strip ranges before the pack barrier and only read after
 /// it; the `Barrier` orders those accesses, so no two live references ever
 /// alias.
-struct SharedPanel {
-    ptr: *mut f32,
+struct SharedPanel<E> {
+    ptr: *mut E,
     len: usize,
 }
 
 // SAFETY: access is coordinated by the barrier protocol described above;
 // the raw pointer itself is just an address.
-unsafe impl Sync for SharedPanel {}
+unsafe impl<E: PackElem> Sync for SharedPanel<E> {}
 
-impl SharedPanel {
+impl<E: PackElem> SharedPanel<E> {
     /// Mutable view of elements `[start, start + len)`.
     ///
     /// # Safety
@@ -419,7 +558,7 @@ impl SharedPanel {
     // The &self → &mut route is the point of this type: exclusivity is
     // guaranteed by the barrier protocol, not the borrow checker.
     #[allow(clippy::mut_from_ref)]
-    unsafe fn strips_mut(&self, start: usize, len: usize) -> &mut [f32] {
+    unsafe fn strips_mut(&self, start: usize, len: usize) -> &mut [E] {
         debug_assert!(start + len <= self.len);
         std::slice::from_raw_parts_mut(self.ptr.add(start), len)
     }
@@ -430,7 +569,7 @@ impl SharedPanel {
     ///
     /// Callable only between the pack barrier and the end-of-panel barrier,
     /// while no `strips_mut` view is live.
-    unsafe fn panel(&self, len: usize) -> &[f32] {
+    unsafe fn panel(&self, len: usize) -> &[E] {
         debug_assert!(len <= self.len);
         std::slice::from_raw_parts(self.ptr, len)
     }
@@ -441,7 +580,7 @@ impl SharedPanel {
 /// B panel per `(jc, pc)` block. At one worker the body runs inline on
 /// the calling thread and the one-participant barrier waits are no-ops.
 #[allow(clippy::too_many_arguments)]
-fn run_shared(
+fn run_shared<E: PackElem>(
     a: &MatSrc<'_>,
     b: &MatSrc<'_>,
     c: &mut [f32],
@@ -457,10 +596,10 @@ fn run_shared(
     // from the same `chunk_workers` clamp (`scoped_chunks` applies it
     // idempotently to the value we pass).
     let workers = chunk_workers(blocks, threads);
-    let mut b_buf = arena::take(KC * NC);
+    let mut b_buf = ElemBuf::<E>::take(KC * NC);
     let shared = SharedPanel {
         ptr: b_buf.as_mut_ptr(),
-        len: b_buf.len(),
+        len: KC * NC,
     };
     let barrier = Barrier::new(workers);
     scoped_chunks(c, MC * n, blocks, workers, |t, first_block, chunk| {
@@ -489,7 +628,7 @@ fn run_shared(
 /// (packing its own A strips). Every worker executes the same `(jc, pc)`
 /// loop so the two barriers per panel always pair up across threads.
 #[allow(clippy::too_many_arguments)]
-fn shared_worker(
+fn shared_worker<E: PackElem>(
     a: &MatSrc<'_>,
     b: &MatSrc<'_>,
     c_rows: &mut [f32],
@@ -500,12 +639,12 @@ fn shared_worker(
     threads: usize,
     kern: &MicroKernel,
     epi: &Epilogue<'_>,
-    shared: &SharedPanel,
+    shared: &SharedPanel<E>,
     barrier: &Barrier,
 ) {
     let nr = kern.nr;
     let rows = c_rows.len() / n;
-    let mut a_buf = arena::take(MC * KC);
+    let mut a_buf = ElemBuf::<E>::take(MC * KC);
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         let strips = nc.div_ceil(nr);
@@ -545,7 +684,7 @@ fn shared_worker(
                 last_kpanel,
                 kern,
                 epi,
-                &mut a_buf,
+                a_buf.as_mut_slice(),
             );
             // The panel buffer is reused for the next (jc, pc) block; no
             // worker may repack while another still reads. The last panel
@@ -566,9 +705,9 @@ fn shared_worker(
 /// into the same store that writes the final sums, so no later pass ever
 /// re-reads C.
 #[allow(clippy::too_many_arguments)]
-fn compute_block(
+fn compute_block<E: PackElem>(
     a: &MatSrc<'_>,
-    b_panel: &[f32],
+    b_panel: &[E],
     c_rows: &mut [f32],
     r0: usize,
     rows: usize,
@@ -580,7 +719,7 @@ fn compute_block(
     last_kpanel: bool,
     kern: &MicroKernel,
     epi: &Epilogue<'_>,
-    a_buf: &mut [f32],
+    a_buf: &mut [E],
 ) {
     let (mr, nr) = (kern.mr, kern.nr);
     // The first depth panel *stores* its tile into C, later panels
@@ -601,7 +740,7 @@ fn compute_block(
             for is in 0..mr_strips {
                 let a_strip = &a_buf[is * kc * mr..(is + 1) * kc * mr];
                 let i_hi = mr.min(mc - is * mr);
-                kern.run(kc, a_strip, b_strip, &mut acc);
+                E::run_tile(kern, kc, a_strip, b_strip, &mut acc);
                 let row0 = ic + is * mr;
                 if fused {
                     match *epi {
@@ -732,9 +871,9 @@ where
 /// run) — the packing pass is the fused paths' only touch of the operand,
 /// so its per-element cost directly bounds kernel throughput.
 #[allow(clippy::too_many_arguments)]
-fn pack_a(
+fn pack_a<E: PackElem>(
     src: &MatSrc<'_>,
-    buf: &mut [f32],
+    buf: &mut [E],
     i0: usize,
     mc: usize,
     p0: usize,
@@ -754,7 +893,7 @@ fn pack_a(
                     }
                     let row = &data[(i0 + s * mr + ii) * stride + p0..][..kc];
                     for (p, &v) in row.iter().enumerate() {
-                        strip[p * mr + ii] = v;
+                        strip[p * mr + ii] = E::from_f32(v);
                     }
                 }
             }
@@ -766,9 +905,9 @@ fn pack_a(
                 for p in 0..kc {
                     let col = &data[(p0 + p) * stride + i0 + s * mr..][..lanes];
                     let cell = &mut strip[p * mr..(p + 1) * mr];
-                    cell[..lanes].copy_from_slice(col);
+                    E::pack_from(&mut cell[..lanes], col);
                     for slot in &mut cell[lanes..] {
-                        *slot = 0.0;
+                        *slot = E::ZERO;
                     }
                 }
             }
@@ -785,7 +924,7 @@ fn pack_a(
                     let r = i0 + s * mr + ii;
                     let base = (r / hw) * c * hw + r % hw;
                     for p in 0..kc {
-                        strip[p * mr + ii] = data[base + (p0 + p) * hw];
+                        strip[p * mr + ii] = E::from_f32(data[base + (p0 + p) * hw]);
                     }
                 }
             }
@@ -807,7 +946,7 @@ fn pack_a(
                         let run = (hw - off).min(kc - p);
                         let src_run = &data[(pix / hw * c + ch) * hw + off..][..run];
                         for (q, &v) in src_run.iter().enumerate() {
-                            strip[(p + q) * mr + ii] = v;
+                            strip[(p + q) * mr + ii] = E::from_f32(v);
                         }
                         p += run;
                     }
@@ -823,9 +962,9 @@ fn pack_a(
 /// any strip-aligned column sub-range, which is how the shared-panel
 /// workers each pack a disjoint slice of the same panel.
 #[allow(clippy::too_many_arguments)]
-fn pack_b(
+fn pack_b<E: PackElem>(
     src: &MatSrc<'_>,
-    buf: &mut [f32],
+    buf: &mut [E],
     p0: usize,
     kc: usize,
     j0: usize,
@@ -841,9 +980,9 @@ fn pack_b(
                 for p in 0..kc {
                     let row = &data[(p0 + p) * stride + j0 + s * nr..][..lanes];
                     let cell = &mut strip[p * nr..(p + 1) * nr];
-                    cell[..lanes].copy_from_slice(row);
+                    E::pack_from(&mut cell[..lanes], row);
                     for slot in &mut cell[lanes..] {
-                        *slot = 0.0;
+                        *slot = E::ZERO;
                     }
                 }
             }
@@ -859,7 +998,7 @@ fn pack_b(
                     }
                     let col = &data[(j0 + s * nr + jj) * stride + p0..][..kc];
                     for (p, &v) in col.iter().enumerate() {
-                        strip[p * nr + jj] = v;
+                        strip[p * nr + jj] = E::from_f32(v);
                     }
                 }
             }
@@ -874,9 +1013,9 @@ fn pack_b(
                     let cell = &mut strip[p * nr..(p + 1) * nr];
                     for (jj, slot) in cell.iter_mut().enumerate() {
                         *slot = if jj < lanes {
-                            data[base + (j0 + s * nr + jj) * hw]
+                            E::from_f32(data[base + (j0 + s * nr + jj) * hw])
                         } else {
-                            0.0
+                            E::ZERO
                         };
                     }
                 }
@@ -894,7 +1033,7 @@ fn pack_b(
                     let pix = j0 + s * nr + jj;
                     let base = (pix / hw * c) * hw + pix % hw;
                     for p in 0..kc {
-                        strip[p * nr + jj] = data[base + (p0 + p) * hw];
+                        strip[p * nr + jj] = E::from_f32(data[base + (p0 + p) * hw]);
                     }
                 }
             }
@@ -905,9 +1044,9 @@ fn pack_b(
 
 /// Zeroes one padding lane of a packed strip (`width` = mr or nr).
 #[inline(always)]
-fn zero_lane(strip: &mut [f32], kc: usize, width: usize, lane: usize) {
+fn zero_lane<E: PackElem>(strip: &mut [E], kc: usize, width: usize, lane: usize) {
     for p in 0..kc {
-        strip[p * width + lane] = 0.0;
+        strip[p * width + lane] = E::ZERO;
     }
 }
 
@@ -920,10 +1059,10 @@ fn zero_lane(strip: &mut [f32], kc: usize, width: usize, lane: usize) {
 /// touching the padding halo or an image-row boundary fall back to the
 /// per-lane loop.
 #[allow(clippy::too_many_arguments)]
-fn pack_a_im2col(
+fn pack_a_im2col<E: PackElem>(
     x: &[f32],
     geom: &Im2colGeom,
-    buf: &mut [f32],
+    buf: &mut [E],
     i0: usize,
     mc: usize,
     p0: usize,
@@ -952,7 +1091,7 @@ fn pack_a_im2col(
                 let iy = iy0 + run.ky;
                 if iy < 0 || iy as usize >= geom.h {
                     for q in 0..run.len {
-                        strip[(run.start + q) * mr..(run.start + q) * mr + mr].fill(0.0);
+                        strip[(run.start + q) * mr..(run.start + q) * mr + mr].fill(E::ZERO);
                     }
                     continue;
                 }
@@ -964,10 +1103,10 @@ fn pack_a_im2col(
                     if ix_first >= 0 && (ix_last as usize) < geom.w {
                         let src0 = row_base + ix_first as usize;
                         if stride == 1 {
-                            cell.copy_from_slice(&x[src0..src0 + mr]);
+                            E::pack_from(cell, &x[src0..src0 + mr]);
                         } else {
                             for (ii, slot) in cell.iter_mut().enumerate() {
-                                *slot = x[src0 + ii * stride];
+                                *slot = E::from_f32(x[src0 + ii * stride]);
                             }
                         }
                     } else if stride == 1 {
@@ -975,19 +1114,19 @@ fn pack_a_im2col(
                         // the contiguous in-bounds span.
                         let lo = (-ix_first).clamp(0, mr as isize) as usize;
                         let hi = (geom.w as isize - ix_first).clamp(0, mr as isize) as usize;
-                        cell[..lo].fill(0.0);
-                        cell[hi..].fill(0.0);
+                        cell[..lo].fill(E::ZERO);
+                        cell[hi..].fill(E::ZERO);
                         if hi > lo {
                             let src0 = (row_base as isize + ix_first + lo as isize) as usize;
-                            cell[lo..hi].copy_from_slice(&x[src0..src0 + hi - lo]);
+                            E::pack_from(&mut cell[lo..hi], &x[src0..src0 + hi - lo]);
                         }
                     } else {
                         for (ii, slot) in cell.iter_mut().enumerate() {
                             let ix = ix_first + (ii * stride) as isize;
                             *slot = if ix < 0 || ix as usize >= geom.w {
-                                0.0
+                                E::ZERO
                             } else {
-                                x[row_base + ix as usize]
+                                E::from_f32(x[row_base + ix as usize])
                             };
                         }
                     }
@@ -1011,7 +1150,7 @@ fn pack_a_im2col(
                 let iy = iy0 + run.ky;
                 if iy < 0 || iy as usize >= geom.h {
                     for q in 0..run.len {
-                        strip[(run.start + q) * mr + ii] = 0.0;
+                        strip[(run.start + q) * mr + ii] = E::ZERO;
                     }
                     continue;
                 }
@@ -1020,15 +1159,15 @@ fn pack_a_im2col(
                 if ix_first >= 0 && (ix_first as usize) + run.len <= geom.w {
                     let src0 = row_base + ix_first as usize;
                     for (q, &v) in x[src0..src0 + run.len].iter().enumerate() {
-                        strip[(run.start + q) * mr + ii] = v;
+                        strip[(run.start + q) * mr + ii] = E::from_f32(v);
                     }
                 } else {
                     for q in 0..run.len {
                         let ix = ix_first + q as isize;
                         strip[(run.start + q) * mr + ii] = if ix < 0 || ix as usize >= geom.w {
-                            0.0
+                            E::ZERO
                         } else {
-                            x[row_base + ix as usize]
+                            E::from_f32(x[row_base + ix as usize])
                         };
                     }
                 }
@@ -1045,10 +1184,10 @@ fn pack_a_im2col(
 /// re-pack into `nr`-column strips as contiguous `nr`-float copies. Only
 /// the `kc×nc` panel ever exists; the full lowering is never materialized.
 #[allow(clippy::too_many_arguments)]
-fn pack_b_im2col(
+fn pack_b_im2col<E: PackElem>(
     x: &[f32],
     geom: &Im2colGeom,
-    buf: &mut [f32],
+    buf: &mut [E],
     p0: usize,
     kc: usize,
     j0: usize,
@@ -1098,15 +1237,19 @@ fn pack_b_im2col(
         }
     }
 
-    // Pass 2: strip re-pack (contiguous nr-float copies).
+    // Pass 2: strip re-pack (contiguous nr-element converting copies; the
+    // f32 scratch is where bf16 encoding happens for this operand).
     let strips = nc.div_ceil(nr);
     for s in 0..strips {
         let strip = &mut buf[s * kc * nr..(s + 1) * kc * nr];
         let lanes = nr.min(nc - s * nr);
         for p in 0..kc {
             let cell = &mut strip[p * nr..(p + 1) * nr];
-            cell[..lanes].copy_from_slice(&scratch[p * nc + s * nr..p * nc + s * nr + lanes]);
-            cell[lanes..].fill(0.0);
+            E::pack_from(
+                &mut cell[..lanes],
+                &scratch[p * nc + s * nr..p * nc + s * nr + lanes],
+            );
+            cell[lanes..].fill(E::ZERO);
         }
     }
 }
@@ -1483,6 +1626,162 @@ mod tests {
         for kern in kernel::available() {
             assert_eq!(MC % kern.mr, 0, "{}: MC % mr != 0", kern.name);
             assert_eq!(NC % kern.nr, 0, "{}: NC % nr != 0", kern.name);
+        }
+    }
+
+    #[test]
+    fn bf16_gemm_is_exact_on_bf16_representable_data() {
+        // seq() yields integers in [-9, 9] — exactly representable in
+        // bf16, so encoding is lossless and the bf16 GEMM must reproduce
+        // the f32 GEMM bit-for-bit (the kernels accumulate in f32 either
+        // way). Pins that reduced precision costs nothing when the data
+        // already fits the format.
+        let (m, n, k) = (70, 40, 150);
+        let a = seq(m * k, 21);
+        let b = seq(k * n, 22);
+        let asrc = MatSrc::RowMajor {
+            data: &a,
+            stride: k,
+        };
+        let bsrc = MatSrc::RowMajor {
+            data: &b,
+            stride: n,
+        };
+        for kern in kernel::available() {
+            let mut c32 = vec![0.0f32; m * n];
+            let mut c16 = vec![0.0f32; m * n];
+            gemm_fused_prec(
+                &asrc,
+                &bsrc,
+                &mut c32,
+                m,
+                n,
+                k,
+                1,
+                kern,
+                &Epilogue::None,
+                Precision::F32,
+            );
+            gemm_fused_prec(
+                &asrc,
+                &bsrc,
+                &mut c16,
+                m,
+                n,
+                k,
+                1,
+                kern,
+                &Epilogue::None,
+                Precision::Bf16,
+            );
+            assert_eq!(c32, c16, "{}", kern.name);
+        }
+    }
+
+    #[test]
+    fn bf16_gemm_matches_f32_within_encoding_tolerance() {
+        // Non-representable data: the only error source is one RNE
+        // encoding per operand element (relative 2^-8), so the result must
+        // sit within a small multiple of that around the f32 answer.
+        let (m, n, k) = (65, 33, 130);
+        let a: Vec<f32> = (0..m * k)
+            .map(|v| ((v * 13) % 19) as f32 * 0.37 - 3.3)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|v| ((v * 7) % 23) as f32 * 0.29 - 3.1)
+            .collect();
+        let asrc = MatSrc::RowMajor {
+            data: &a,
+            stride: k,
+        };
+        let bsrc = MatSrc::RowMajor {
+            data: &b,
+            stride: n,
+        };
+        let mut c32 = vec![0.0f32; m * n];
+        let mut c16 = vec![0.0f32; m * n];
+        let kern = kernel::selected();
+        gemm_fused_prec(
+            &asrc,
+            &bsrc,
+            &mut c32,
+            m,
+            n,
+            k,
+            1,
+            kern,
+            &Epilogue::None,
+            Precision::F32,
+        );
+        gemm_fused_prec(
+            &asrc,
+            &bsrc,
+            &mut c16,
+            m,
+            n,
+            k,
+            1,
+            kern,
+            &Epilogue::None,
+            Precision::Bf16,
+        );
+        // Row i of C is a k-term dot product of values ≤ ~4: |error| ≲
+        // 2·2^-8 · Σ|aᵢ||bⱼ| ≤ 2^-7 · k · 16. Use half that as the bound —
+        // errors are signed and cancel — with slack for edge cases.
+        let budget = (k as f32) * 16.0 / 256.0;
+        for (i, (x, y)) in c16.iter().zip(&c32).enumerate() {
+            assert!(
+                (x - y).abs() <= budget,
+                "idx {i}: bf16 {x} vs f32 {y} (budget {budget})"
+            );
+        }
+    }
+
+    #[test]
+    fn bf16_thread_counts_are_bitwise_identical() {
+        // The shared-B-panel protocol must preserve per-precision bitwise
+        // thread invariance: packed bf16 bytes are a pure function of
+        // (B, jc, pc), regardless of which worker encodes them.
+        let (m, n, k) = (200, 300, 150);
+        let a = seq(m * k, 31);
+        let b = seq(k * n, 32);
+        let asrc = MatSrc::RowMajor {
+            data: &a,
+            stride: k,
+        };
+        let bsrc = MatSrc::RowMajor {
+            data: &b,
+            stride: n,
+        };
+        let kern = kernel::selected();
+        let mut c1 = vec![0.0f32; m * n];
+        gemm_fused_prec(
+            &asrc,
+            &bsrc,
+            &mut c1,
+            m,
+            n,
+            k,
+            1,
+            kern,
+            &Epilogue::None,
+            Precision::Bf16,
+        );
+        for threads in [2usize, 3, 5, 8] {
+            let mut cn = vec![0.0f32; m * n];
+            gemm_fused_prec(
+                &asrc,
+                &bsrc,
+                &mut cn,
+                m,
+                n,
+                k,
+                threads,
+                kern,
+                &Epilogue::None,
+                Precision::Bf16,
+            );
+            assert_eq!(c1, cn, "bf16 with {threads} threads");
         }
     }
 

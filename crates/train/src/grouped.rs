@@ -23,12 +23,21 @@
 //!   boundary-checkpointing strategy instead: backward *replays* each
 //!   chunk's forward from the group's input boundary to rebuild the caches
 //!   it needs — less live memory, one extra forward per replayed chunk.
-//!   Both paths produce bitwise-identical training (replay recomputes
-//!   exactly the values stashing saved), pinned by the equivalence tests.
-//!   Either way, single-iteration groups and the most recently forwarded
-//!   chunk of each group use the live caches directly. Gradients cross
-//!   each boundary through a staged full-batch gradient buffer, re-sliced
-//!   at the upstream group's sub-batch size.
+//!   At f32 (the default) both paths produce bitwise-identical training
+//!   (replay recomputes exactly the values stashing saved), pinned by the
+//!   equivalence tests. Either way, single-iteration groups and the most
+//!   recently forwarded chunk of each group use the live caches directly.
+//!   Gradients cross each boundary through a staged full-batch gradient
+//!   buffer, re-sliced at the upstream group's sub-batch size.
+//! - **Reduced precision** (`MBS_PREC=bf16`, or
+//!   [`GroupedExecutor::set_precision`]): interior boundary buffers and
+//!   stashed cache tensors are stored as bf16, halving both footprints;
+//!   gradients, live layer caches, the final logits stage, and all
+//!   accumulation stay f32. Each stored element pays one
+//!   round-to-nearest-even (relative error ≤ 2⁻⁸), so grouped training
+//!   matches full-batch within a slightly wider tolerance, and stash and
+//!   replay backward — which quantize at different points — are
+//!   tolerance-equal rather than bitwise-equal.
 //!
 //! The synchronization points are the same as the uniform executor's: loss
 //! gradients are scaled by the *total* mini-batch size, parameter
@@ -44,6 +53,7 @@ use std::sync::OnceLock;
 
 use mbs_core::{Group, Schedule};
 use mbs_tensor::ops::{cross_entropy, softmax, softmax_xent_backward};
+use mbs_tensor::prec::{self, Bf16Tensor, Precision};
 use mbs_tensor::Tensor;
 
 use crate::lower::LoweredNet;
@@ -101,8 +111,9 @@ pub fn stash_enabled() -> bool {
 pub struct GroupedExecutor {
     groups: Vec<Group>,
     /// `stages[g]` holds group `g`'s full-mini-batch output (the boundary
-    /// activation buffer); the last entry is the logits.
-    stages: Vec<Tensor>,
+    /// activation buffer); the last entry is the logits. Interior stages
+    /// follow [`GroupedExecutor::precision`]; the last is always f32.
+    stages: Vec<Stage>,
     /// `grads[g]` holds the gradient of group `g`'s output, staged chunk
     /// by chunk by group `g + 1`'s backward.
     grads: Vec<Tensor>,
@@ -114,6 +125,11 @@ pub struct GroupedExecutor {
     /// Whether forward stashes per-chunk caches (true) or backward replays
     /// chunk forwards (false).
     stashing: bool,
+    /// Storage precision for interior boundary buffers and stashed cache
+    /// tensors (the `MBS_PREC` knob by default). bf16 halves both
+    /// footprints at the cost of one round-to-nearest-even per stored
+    /// element; accumulation and live layer caches stay f32.
+    precision: Precision,
     /// `stashes[g][i]` holds chunk `i`'s backward caches for group `g`.
     /// Only multi-iteration groups use their slots, and the chunk a group
     /// forwarded last is never stashed (its caches stay live in the
@@ -140,11 +156,12 @@ impl GroupedExecutor {
         let n = groups.len();
         Self {
             groups,
-            stages: (0..n).map(|_| empty()).collect(),
+            stages: (0..n).map(|_| Stage::F32(empty())).collect(),
             grads: (0..n).map(|_| empty()).collect(),
             dy_chunk: empty(),
             last_fwd_start: vec![0; n],
             stashing: stash_enabled(),
+            precision: prec::precision(),
             stashes: (0..n).map(|_| Vec::new()).collect(),
         }
     }
@@ -176,6 +193,46 @@ impl GroupedExecutor {
         self.stashing
     }
 
+    /// Overrides the process-wide `MBS_PREC` decision for this executor's
+    /// boundary buffers and cache stashes (the bench A/Bs the two
+    /// precisions in one process; the GEMM packing precision stays
+    /// process-wide). Takes effect from the next forward — held stashes
+    /// and staged boundaries are dropped, their storage returning to the
+    /// arena.
+    pub fn set_precision(&mut self, prec: Precision) {
+        self.precision = prec;
+        for s in &mut self.stages {
+            *s = Stage::F32(empty());
+        }
+        for slots in &mut self.stashes {
+            slots.clear();
+        }
+    }
+
+    /// The precision interior boundary buffers and stashed cache tensors
+    /// are stored at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Resident bytes of the staged boundary activation buffers,
+    /// excluding the final (logits) stage, which always stays f32 —
+    /// exactly the footprint bf16 mode halves.
+    pub fn boundary_bytes(&self) -> usize {
+        let interior = self.stages.len().saturating_sub(1);
+        self.stages[..interior].iter().map(Stage::bytes).sum()
+    }
+
+    /// Resident bytes of tensor-valued cache-stash entries currently held
+    /// across all groups ([`CacheStash::tensor_bytes`]).
+    pub fn stash_tensor_bytes(&self) -> usize {
+        self.stashes
+            .iter()
+            .flatten()
+            .map(CacheStash::tensor_bytes)
+            .sum()
+    }
+
     /// Grouped forward pass over the full mini-batch; returns the staged
     /// logits. With `train` set, layer caches, cache stashes, and the
     /// boundary buffers are left ready for
@@ -200,19 +257,27 @@ impl GroupedExecutor {
             "model has {} nodes but the schedule covers {covered}",
             model.len()
         );
+        let last = self.groups.len() - 1;
+        let precision = self.precision;
         for (g, group) in self.groups.iter().enumerate() {
             // Split so group g's input boundary (stage g-1) stays readable
-            // while stage g is written.
+            // while stage g is written. Interior boundaries are stored at
+            // the executor's precision; the final stage (the logits this
+            // method returns) always stays f32.
             let (prev, cur) = self.stages.split_at_mut(g);
-            let src = if g == 0 { x } else { &prev[g - 1] };
+            let src: Option<&Stage> = (g > 0).then(|| &prev[g - 1]);
             let dst = &mut cur[0];
+            let stage_prec = if g == last { Precision::F32 } else { precision };
             let mut start = 0;
             let mut chunk_idx = 0usize;
             while start < n {
                 let end = (start + group.sub_batch).min(n);
-                let chunk = slice_batch_owned(src, start, end);
+                let chunk = match src {
+                    None => slice_batch_owned(x, start, end),
+                    Some(s) => s.chunk(start, end),
+                };
                 let y = model.forward_range(group.start..group.end, chunk, train);
-                stage_rows(dst, &y, start, n);
+                stage_write(dst, &y, start, n, stage_prec);
                 self.last_fwd_start[g] = start;
                 if train && self.stashing && end < n {
                     // Another chunk will overwrite this group's layer
@@ -221,7 +286,7 @@ impl GroupedExecutor {
                     // uses the live caches.
                     let slots = &mut self.stashes[g];
                     while slots.len() <= chunk_idx {
-                        slots.push(CacheStash::default());
+                        slots.push(CacheStash::with_precision(precision));
                     }
                     let stash = &mut slots[chunk_idx];
                     // A leftover stash (a forward whose backward never ran)
@@ -233,7 +298,10 @@ impl GroupedExecutor {
                 start = end;
             }
         }
-        self.stages.last().expect("at least one group")
+        match self.stages.last().expect("at least one group") {
+            Stage::F32(t) => t,
+            Stage::Bf16(_) => unreachable!("the final stage is always f32"),
+        }
     }
 
     /// Grouped backward pass from a full-batch logits gradient, restoring
@@ -276,9 +344,8 @@ impl GroupedExecutor {
             // to the arena when the group is done.
             let dy_full = std::mem::replace(&mut self.grads[g], empty());
             // Detach the input boundary (if any) so `self` stays borrowable.
-            let src_owned: Option<Tensor> =
-                (g > 0).then(|| std::mem::replace(&mut self.stages[g - 1], empty()));
-            let src: &Tensor = src_owned.as_ref().unwrap_or(x);
+            let src_owned: Option<Stage> =
+                (g > 0).then(|| std::mem::replace(&mut self.stages[g - 1], Stage::F32(empty())));
             // Reverse chunk order: the first chunk processed is the last
             // one forwarded, whose layer caches are still live.
             let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(group.iterations);
@@ -308,7 +375,10 @@ impl GroupedExecutor {
                             // Boundary checkpointing (`MBS_STASH=0`):
                             // replay this chunk's forward from the group's
                             // input boundary to repopulate the caches.
-                            let chunk = slice_batch_owned(src, start, end);
+                            let chunk = match &src_owned {
+                                None => slice_batch_owned(x, start, end),
+                                Some(s) => s.chunk(start, end),
+                            };
                             let _ = model.forward_range(group.start..group.end, chunk, true);
                         }
                     }
@@ -352,7 +422,10 @@ impl GroupedExecutor {
         assert_eq!(labels.len(), n, "one label per sample");
         model.zero_grad();
         self.forward(model, x, true);
-        let logits = self.stages.last().expect("at least one group");
+        let logits = match self.stages.last().expect("at least one group") {
+            Stage::F32(t) => t,
+            Stage::Bf16(_) => unreachable!("the final stage is always f32"),
+        };
         let probs = softmax(logits);
         let loss = cross_entropy(&probs, labels);
         let dlogits = softmax_xent_backward(&probs, labels, n);
@@ -368,6 +441,59 @@ impl GroupedExecutor {
 /// in and out of the staging slots is free and does not churn the pool.
 fn empty() -> Tensor {
     Tensor::from_vec(&[0], Vec::new())
+}
+
+/// One group-boundary activation buffer: f32, or bf16-encoded to half the
+/// bytes (one round-to-nearest-even per element on the way in, exact
+/// decode on the way out).
+#[derive(Debug)]
+enum Stage {
+    F32(Tensor),
+    Bf16(Bf16Tensor),
+}
+
+impl Stage {
+    /// Resident payload bytes of the staged activations.
+    fn bytes(&self) -> usize {
+        match self {
+            Stage::F32(t) => t.len() * 4,
+            Stage::Bf16(b) => b.bytes(),
+        }
+    }
+
+    /// An owned f32 chunk of batch rows `[start, end)`, decoded when the
+    /// stage is bf16. Storage comes from the pooled arena either way.
+    fn chunk(&self, start: usize, end: usize) -> Tensor {
+        match self {
+            Stage::F32(t) => slice_batch_owned(t, start, end),
+            Stage::Bf16(b) => b.read_rows(start, end - start),
+        }
+    }
+}
+
+/// [`stage_rows`] for a boundary [`Stage`]: stages `src`'s rows at batch
+/// row `row_start`, (re)creating the buffer as `[batch, src.shape[1..]]`
+/// in `prec`'s representation when its shape or precision is stale.
+fn stage_write(dst: &mut Stage, src: &Tensor, row_start: usize, batch: usize, prec: Precision) {
+    match prec {
+        Precision::F32 => {
+            if !matches!(dst, Stage::F32(_)) {
+                *dst = Stage::F32(empty());
+            }
+            let Stage::F32(t) = dst else { unreachable!() };
+            stage_rows(t, src, row_start, batch);
+        }
+        Precision::Bf16 => {
+            let mut target = src.shape().to_vec();
+            target[0] = batch;
+            match dst {
+                Stage::Bf16(b) if b.shape() == &target[..] => {}
+                _ => *dst = Stage::Bf16(Bf16Tensor::uninit(&target)),
+            }
+            let Stage::Bf16(b) = dst else { unreachable!() };
+            b.write_rows(src, row_start);
+        }
+    }
 }
 
 /// Copies `src` (a chunk of `rows` batch rows) into `dst` at batch-row
@@ -411,6 +537,16 @@ mod tests {
         )
     }
 
+    /// Tolerance for comparisons whose two sides only diverge through
+    /// bf16 boundary/stash storage: zero-extra at f32, a 2⁻⁸-per-element
+    /// rounding budget at bf16 (observed diffs sit well under this).
+    fn mode_tol(f32_tol: f32) -> f32 {
+        match prec::precision() {
+            Precision::F32 => f32_tol,
+            Precision::Bf16 => f32_tol.max(2e-2),
+        }
+    }
+
     #[test]
     fn grouped_forward_matches_full_forward() {
         let net = toy::conv_chain(&[4, 8], FeatureShape::new(3, 8, 8), 8);
@@ -422,7 +558,7 @@ mod tests {
         let mut exec = GroupedExecutor::new(&sched, b.len());
         let grouped = exec.forward(&mut b, &d.images, false);
         assert!(
-            full.max_abs_diff(grouped) < 1e-5,
+            full.max_abs_diff(grouped) < mode_tol(1e-5),
             "grouped forward diverged: {}",
             full.max_abs_diff(grouped)
         );
@@ -454,7 +590,7 @@ mod tests {
             let lf = train_step_full(&mut full, &d.images, &d.labels, &mut oa);
             let lg = exec.train_step(&mut grouped, &d.images, &d.labels, &mut ob);
             assert!(
-                (lf - lg).abs() < 1e-4,
+                (lf - lg).abs() < mode_tol(1e-4),
                 "losses {lf} vs {lg} (stash {stashing})"
             );
         }
@@ -493,9 +629,12 @@ mod tests {
         });
     }
 
-    /// The tentpole claim in miniature: stash and replay backward produce
-    /// **bitwise identical** parameter trajectories — replay recomputes
-    /// exactly the values stashing saved.
+    /// The stashing claim in miniature: at f32 storage precision, stash
+    /// and replay backward produce **bitwise identical** parameter
+    /// trajectories — replay recomputes exactly the values stashing
+    /// saved. Storage precision is pinned to f32 so the pin also holds
+    /// under an `MBS_PREC=bf16` process (the GEMM packing precision is
+    /// common to both paths and cancels).
     #[test]
     fn stash_and_replay_are_bitwise_identical() {
         let net = toy::runtime_mix(8, 8);
@@ -505,8 +644,10 @@ mod tests {
         let sched = multi_group_schedule(net.nodes().len(), 8);
         let mut ea = GroupedExecutor::new(&sched, m_stash.len());
         ea.set_stashing(true);
+        ea.set_precision(Precision::F32);
         let mut eb = GroupedExecutor::new(&sched, m_replay.len());
         eb.set_stashing(false);
+        eb.set_precision(Precision::F32);
         let mut oa = Sgd::new(0.05, 0.9, 1e-4);
         let mut ob = Sgd::new(0.05, 0.9, 1e-4);
         for step in 0..3 {
@@ -521,5 +662,104 @@ mod tests {
             assert_eq!(pa[i], p.value, "param {i} diverged");
             i += 1;
         });
+    }
+
+    /// The bf16 footprint pin: with bf16 storage, the interior boundary
+    /// buffers and the stashed cache tensors occupy **exactly half** the
+    /// bytes their f32 counterparts do.
+    #[test]
+    fn bf16_storage_halves_boundary_and_stash_bytes() {
+        let net = toy::runtime_mix(8, 8);
+        let mut m = lower(&net, &mut StdRng::seed_from_u64(7)).unwrap();
+        let d = generate(8, 8, 0.3, 47);
+        let sched = multi_group_schedule(net.nodes().len(), 8);
+        let mut exec = GroupedExecutor::new(&sched, m.len());
+        exec.set_stashing(true);
+
+        exec.set_precision(Precision::F32);
+        let _ = exec.forward(&mut m, &d.images, true);
+        let (b32, s32) = (exec.boundary_bytes(), exec.stash_tensor_bytes());
+        assert!(b32 > 0, "interior boundary must be staged");
+        assert!(s32 > 0, "multi-chunk group must stash");
+
+        exec.set_precision(Precision::Bf16);
+        let _ = exec.forward(&mut m, &d.images, true);
+        let (b16, s16) = (exec.boundary_bytes(), exec.stash_tensor_bytes());
+        assert_eq!(b16 * 2, b32, "boundary bytes must halve");
+        assert_eq!(s16 * 2, s32, "stash tensor bytes must halve");
+    }
+
+    /// bf16 grouped training tracks the full-batch step within the
+    /// documented rounding budget: each boundary/stash element pays one
+    /// round-to-nearest-even (relative error ≤ 2⁻⁸ ≈ 0.4%), so a few
+    /// SGD steps stay within 2e-2 of the f32 trajectory (observed diffs
+    /// are an order of magnitude smaller; the budget leaves headroom).
+    #[test]
+    fn bf16_grouped_training_matches_full_within_tolerance() {
+        for stashing in [true, false] {
+            let net = toy::runtime_mix(8, 8);
+            let mut full = lower(&net, &mut StdRng::seed_from_u64(11)).unwrap();
+            let mut grouped = lower(&net, &mut StdRng::seed_from_u64(11)).unwrap();
+            let d = generate(8, 8, 0.3, 48);
+            let sched = multi_group_schedule(net.nodes().len(), 8);
+            let mut exec = GroupedExecutor::new(&sched, grouped.len());
+            exec.set_stashing(stashing);
+            exec.set_precision(Precision::Bf16);
+            let mut oa = Sgd::new(0.05, 0.9, 1e-4);
+            let mut ob = Sgd::new(0.05, 0.9, 1e-4);
+            for step in 0..3 {
+                let lf = train_step_full(&mut full, &d.images, &d.labels, &mut oa);
+                let lg = exec.train_step(&mut grouped, &d.images, &d.labels, &mut ob);
+                assert!(
+                    (lf - lg).abs() < 2e-2,
+                    "step {step} losses {lf} vs {lg} (stash {stashing})"
+                );
+            }
+            let mut pa = Vec::new();
+            full.visit_params(&mut |p| pa.push(p.value.clone()));
+            let mut i = 0;
+            let mut worst = 0.0f32;
+            grouped.visit_params(&mut |p| {
+                worst = worst.max(pa[i].max_abs_diff(&p.value));
+                i += 1;
+            });
+            assert!(worst < 2e-2, "param diff {worst} (stash {stashing})");
+        }
+    }
+
+    /// At bf16 storage, stash and replay backward quantize at different
+    /// points (stash re-encodes the caches the forward computed; replay
+    /// recomputes caches from the already-quantized boundary), so they
+    /// are tolerance-equal, not bitwise-equal — the counterpart of
+    /// `stash_and_replay_are_bitwise_identical`.
+    #[test]
+    fn bf16_stash_and_replay_agree_within_tolerance() {
+        let net = toy::runtime_mix(8, 8);
+        let mut m_stash = lower(&net, &mut StdRng::seed_from_u64(13)).unwrap();
+        let mut m_replay = lower(&net, &mut StdRng::seed_from_u64(13)).unwrap();
+        let d = generate(8, 8, 0.3, 49);
+        let sched = multi_group_schedule(net.nodes().len(), 8);
+        let mut ea = GroupedExecutor::new(&sched, m_stash.len());
+        ea.set_stashing(true);
+        ea.set_precision(Precision::Bf16);
+        let mut eb = GroupedExecutor::new(&sched, m_replay.len());
+        eb.set_stashing(false);
+        eb.set_precision(Precision::Bf16);
+        let mut oa = Sgd::new(0.05, 0.9, 1e-4);
+        let mut ob = Sgd::new(0.05, 0.9, 1e-4);
+        for step in 0..3 {
+            let la = ea.train_step(&mut m_stash, &d.images, &d.labels, &mut oa);
+            let lb = eb.train_step(&mut m_replay, &d.images, &d.labels, &mut ob);
+            assert!((la - lb).abs() < 2e-2, "step {step} losses {la} vs {lb}");
+        }
+        let mut pa = Vec::new();
+        m_stash.visit_params(&mut |p| pa.push(p.value.clone()));
+        let mut i = 0;
+        let mut worst = 0.0f32;
+        m_replay.visit_params(&mut |p| {
+            worst = worst.max(pa[i].max_abs_diff(&p.value));
+            i += 1;
+        });
+        assert!(worst < 2e-2, "param diff {worst}");
     }
 }

@@ -652,7 +652,16 @@ mod tests {
     }
 
     /// Generic finite-difference gradient check through a module.
+    ///
+    /// Only meaningful at f32: under `MBS_PREC=bf16` the packed-operand
+    /// quantization makes the forward a step function at the ±1e-2 probe
+    /// scale, so the finite difference is noise, not a gradient. The
+    /// analytic gradient code being checked is precision-independent, and
+    /// bf16 numerics are pinned by the precision equivalence tests.
     fn grad_check(m: &mut dyn Module, x: &Tensor, tol: f32) {
+        if mbs_tensor::prec::precision() != mbs_tensor::prec::Precision::F32 {
+            return;
+        }
         let y = m.forward(x, true);
         let dy = seeded(y.shape(), 99);
         let dx = m.backward(&dy);

@@ -6,6 +6,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use mbs_tensor::ops::BitMask;
+use mbs_tensor::prec::{Bf16Tensor, Precision};
 use mbs_tensor::Tensor;
 
 /// A learnable parameter with its accumulated gradient.
@@ -43,6 +44,12 @@ impl Param {
 pub enum CacheEntry {
     /// A cached activation tensor (layer inputs, normalized values).
     Tensor(Option<Tensor>),
+    /// A [`CacheEntry::Tensor`] compressed to bf16 while stashed. Modules
+    /// never see this variant: a bf16-precision [`CacheStash`] converts
+    /// `Tensor` entries to `Packed` on [`CacheStash::push`] and back on
+    /// [`CacheStash::pop`], so compression is transparent to the
+    /// stash/unstash protocol.
+    Packed(Option<Bf16Tensor>),
     /// A ReLU sign mask.
     Mask(Option<BitMask>),
     /// Max-pool state: argmax indices plus the input shape.
@@ -83,28 +90,78 @@ pub enum CacheEntry {
 /// let dx = relu.backward(&Tensor::full(&[2], 1.0));
 /// assert_eq!(dx.data(), &[0.0, 1.0]);
 /// ```
+/// Stashed tensors are held at the stash's **precision**
+/// ([`CacheStash::with_precision`]): an f32 stash (the default) moves
+/// tensors untouched; a bf16 stash re-encodes them to half the bytes on
+/// push and decodes on pop — one round-to-nearest-even per element, the
+/// same rounding the bf16 GEMM applies to its packed operands. Masks,
+/// argmax indices, shapes, and statistics vectors are small residue and
+/// stay uncompressed at either precision.
 #[derive(Debug, Default)]
 pub struct CacheStash {
     entries: VecDeque<CacheEntry>,
+    precision: Precision,
 }
 
 impl CacheStash {
+    /// An empty stash holding tensor entries at `prec` (the default is
+    /// [`Precision::F32`], which moves tensors without conversion).
+    pub fn with_precision(prec: Precision) -> Self {
+        Self {
+            entries: VecDeque::new(),
+            precision: prec,
+        }
+    }
+
+    /// The precision tensor entries are held at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
     /// Appends one entry (modules call this from
-    /// [`Module::stash_caches`]).
+    /// [`Module::stash_caches`]). A bf16 stash compresses
+    /// [`CacheEntry::Tensor`] entries here.
     pub fn push(&mut self, entry: CacheEntry) {
+        let entry = match (self.precision, entry) {
+            (Precision::Bf16, CacheEntry::Tensor(Some(t))) => {
+                CacheEntry::Packed(Some(Bf16Tensor::compress(&t)))
+            }
+            (_, e) => e,
+        };
         self.entries.push_back(entry);
     }
 
-    /// Removes and returns the oldest entry.
+    /// Removes and returns the oldest entry, decoding
+    /// [`CacheEntry::Packed`] entries back to [`CacheEntry::Tensor`] so
+    /// modules always receive the variant they pushed.
     ///
     /// # Panics
     ///
     /// Panics if the stash is empty — a module pulled more entries than
     /// were pushed, i.e. stash/unstash walked different module sequences.
     pub fn pop(&mut self) -> CacheEntry {
-        self.entries
+        let entry = self
+            .entries
             .pop_front()
-            .expect("cache stash underflow: unstash order must mirror stash order")
+            .expect("cache stash underflow: unstash order must mirror stash order");
+        match entry {
+            CacheEntry::Packed(p) => CacheEntry::Tensor(p.map(|b| b.decompress())),
+            e => e,
+        }
+    }
+
+    /// Resident bytes of the tensor-valued entries currently held — the
+    /// measurable footprint the bf16 mode halves (masks, indices, and
+    /// statistics residue are not counted).
+    pub fn tensor_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                CacheEntry::Tensor(Some(t)) => t.len() * 4,
+                CacheEntry::Packed(Some(b)) => b.bytes(),
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Number of entries currently held.

@@ -7,6 +7,8 @@
 //! backward consumes **cache stashes** (the default) or **replays** chunk
 //! forwards (`MBS_STASH=0`), and across the lowering's whole structural
 //! range (residual, Inception-concat, and LRN+FC AlexNet-style toys).
+//! Under `MBS_PREC=bf16` the same claims hold with the tolerance widened
+//! to the bf16 storage rounding budget (see [`tol`]).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,6 +25,17 @@ fn lowered_pair(net: &mbs_cnn::Network, seed: u64) -> (LoweredNet, LoweredNet) {
     let a = lower(net, &mut StdRng::seed_from_u64(seed)).expect("net must lower");
     let b = lower(net, &mut StdRng::seed_from_u64(seed)).expect("net must lower");
     (a, b)
+}
+
+/// Loss/parameter tolerance: the uniform executor's f32 pin, widened to
+/// the bf16 rounding budget when `MBS_PREC=bf16` stores group boundaries
+/// and cache stashes at half precision (one round-to-nearest-even per
+/// element, relative error ≤ 2⁻⁸; observed diffs sit well under 2e-2).
+fn tol(f32_tol: f32) -> f32 {
+    match mbs_tensor::prec::precision() {
+        mbs_tensor::prec::Precision::F32 => f32_tol,
+        mbs_tensor::prec::Precision::Bf16 => f32_tol.max(2e-2),
+    }
 }
 
 fn max_param_diff(a: &mut LoweredNet, b: &mut LoweredNet) -> f32 {
@@ -71,13 +84,16 @@ fn grouped_multi_group_step_matches_full_batch_step() {
     for _ in 0..3 {
         let l_full = train_step_full(&mut full, &d.images, &d.labels, &mut opt_a);
         let l_grp = exec.train_step(&mut grouped, &d.images, &d.labels, &mut opt_b);
-        assert!((l_full - l_grp).abs() < 1e-4, "losses {l_full} vs {l_grp}");
+        assert!(
+            (l_full - l_grp).abs() < tol(1e-4),
+            "losses {l_full} vs {l_grp}"
+        );
     }
     let diff = max_param_diff(&mut full, &mut grouped);
     // Same tolerance `gn_mbs_step_equals_full_batch_step` pins for the
     // uniform executor.
     assert!(
-        diff < 5e-4,
+        diff < tol(5e-4),
         "grouped GN training diverged from full-batch: {diff}"
     );
 }
@@ -107,7 +123,10 @@ fn scheduler_chosen_schedule_is_faithful() {
         let _ = exec.train_step(&mut grouped, &d.images, &d.labels, &mut opt_b);
     }
     let diff = max_param_diff(&mut full, &mut grouped);
-    assert!(diff < 5e-4, "scheduler-driven training diverged: {diff}");
+    assert!(
+        diff < tol(5e-4),
+        "scheduler-driven training diverged: {diff}"
+    );
 }
 
 /// Grouped execution also agrees with the *uniform* serialized executor
@@ -126,10 +145,13 @@ fn single_group_schedule_degenerates_to_uniform_mbs() {
     for _ in 0..2 {
         let l_u = train_step_mbs(&mut uniform, &d.images, &d.labels, 3, &mut opt_a);
         let l_g = exec.train_step(&mut grouped, &d.images, &d.labels, &mut opt_b);
-        assert!((l_u - l_g).abs() < 1e-4, "losses {l_u} vs {l_g}");
+        assert!((l_u - l_g).abs() < tol(1e-4), "losses {l_u} vs {l_g}");
     }
     let diff = max_param_diff(&mut uniform, &mut grouped);
-    assert!(diff < 5e-4, "single-group grouped != uniform MBS: {diff}");
+    assert!(
+        diff < tol(5e-4),
+        "single-group grouped != uniform MBS: {diff}"
+    );
 }
 
 /// The full equivalence matrix over the newly lowerable network shapes:
@@ -176,26 +198,44 @@ fn equivalence_matrix_inception_and_alexnet_toys() {
                     let l_full = train_step_full(&mut full, &d.images, &d.labels, &mut opt_a);
                     let l_grp = exec.train_step(&mut grouped, &d.images, &d.labels, &mut opt_b);
                     assert!(
-                        (l_full - l_grp).abs() < 1e-4,
+                        (l_full - l_grp).abs() < tol(1e-4),
                         "{} sched{si} stash={stashing}: losses {l_full} vs {l_grp}",
                         net.name()
                     );
                 }
                 let diff = max_param_diff(&mut full, &mut grouped);
                 assert!(
-                    diff < 5e-4,
+                    diff < tol(5e-4),
                     "{} sched{si} stash={stashing}: diverged from full batch by {diff}",
                     net.name()
                 );
-                // Stash and replay must agree bitwise, not just in
-                // tolerance: replay recomputes exactly what stashing saved.
+                // At f32 storage, stash and replay must agree bitwise, not
+                // just in tolerance: replay recomputes exactly what
+                // stashing saved. At bf16 the two quantize at different
+                // points (stash re-encodes computed caches; replay
+                // recomputes from the quantized boundary), so they are
+                // only tolerance-equal.
                 let mut params = Vec::new();
                 grouped.visit_params(&mut |p| params.push(p.value.clone()));
                 match &stash_params {
                     None => stash_params = Some(params),
                     Some(reference) => {
                         for (i, (a, b)) in reference.iter().zip(&params).enumerate() {
-                            assert_eq!(a, b, "{} sched{si} param {i}: stash != replay", net.name());
+                            if mbs_tensor::prec::precision() == mbs_tensor::prec::Precision::F32 {
+                                assert_eq!(
+                                    a,
+                                    b,
+                                    "{} sched{si} param {i}: stash != replay",
+                                    net.name()
+                                );
+                            } else {
+                                let d = a.max_abs_diff(b);
+                                assert!(
+                                    d < tol(0.0),
+                                    "{} sched{si} param {i}: stash vs replay diff {d}",
+                                    net.name()
+                                );
+                            }
                         }
                     }
                 }
