@@ -177,6 +177,12 @@ struct TrainReport {
     /// load latency, on-disk size, and the end-to-end grouped-training
     /// overhead of checkpointing every step vs every 10 steps.
     checkpoint: Vec<CheckpointBench>,
+    /// The streaming data pipeline: steady-state grouped step time with
+    /// batches prefetched off a `*.mbsds` file vs gathered from memory,
+    /// swept over prefetch depths, with the loader's stall and disk-
+    /// traffic counters. Streamed and in-memory steps are bitwise-
+    /// identical in output, so the ratio is pure data-path overhead.
+    loader: Vec<LoaderBench>,
     /// f32 vs bf16 *storage* precision on the grouped executor (stash
     /// entries + boundary buffers), per network: measured resident bytes
     /// and step-time delta. GEMM operand precision stays process-wide
@@ -236,6 +242,43 @@ struct CheckpointBench {
     /// Same, saving every 10th step (plus the epoch-boundary saves both
     /// configurations share).
     overhead_pct_every_10: f64,
+}
+
+/// One prefetch-depth row of the `loader` section in `BENCH_train.json`.
+#[derive(Debug, Clone, Serialize)]
+struct LoaderBench {
+    /// Network the steps ran on.
+    model: String,
+    /// Samples in the on-disk dataset.
+    samples: usize,
+    /// Mini-batch size (also the measured steps per epoch × batch).
+    batch: usize,
+    /// Prefetch depth of this row (`1` = degenerate synchronous).
+    prefetch: usize,
+    /// Samples per chunk in the `*.mbsds` file.
+    chunk_samples: usize,
+    /// On-disk dataset size (header + index + chunks).
+    file_bytes: u64,
+    /// Best-of-rounds steady-state step with the batch **gathered from
+    /// memory** (copy + train_step), the baseline data path.
+    memory_step_best_ns: f64,
+    /// Same step with the batch handed over by the prefetch thread
+    /// (recv + train_step + recycle).
+    streamed_step_best_ns: f64,
+    /// `streamed / memory` — 1.0 means the prefetch thread fully hides
+    /// the disk; the prefetch-1 row shows what synchrony costs.
+    ratio_streamed_vs_memory: f64,
+    /// Times the measured epochs' `next_batch` found the queue empty and
+    /// blocked (prefetch stalls) — 0 means training never waited.
+    stalls: u64,
+    /// Chunk bytes read off disk across the streamed phase (cache
+    /// misses re-read; a full sequential pass is `~file_bytes`).
+    bytes_read: u64,
+    /// `bytes_read` over the streamed phase's wall-clock — the effective
+    /// off-disk bandwidth while training overlapped the reads.
+    bytes_per_sec: f64,
+    /// Chunk reads the loader thread performed (LRU-cache misses).
+    chunk_loads: u64,
 }
 
 /// One schedule group, as recorded in `BENCH_train.json`.
@@ -1195,6 +1238,114 @@ fn checkpoint_benches() -> Vec<CheckpointBench> {
     rows
 }
 
+/// Steady-state grouped step fed off disk vs from memory, swept over
+/// prefetch depths. Same harness as the steady-state arena test: warm an
+/// epoch so the loader's buffer ring and the executor's staging buffers
+/// exist, then time whole epochs and divide by the step count.
+fn loader_benches() -> Vec<LoaderBench> {
+    use mbs_cnn::networks::toy;
+    use mbs_core::{ExecConfig, HardwareConfig, MbsScheduler};
+    use mbs_train::loader::{save_dataset_chunked, DiskDataset, StreamLoader};
+    use mbs_train::lower::lower;
+    use mbs_train::GroupedExecutor;
+    use std::time::Instant;
+
+    const ROUNDS: usize = 3;
+    const CHUNK: usize = 16;
+    let (net, img_size, batch, samples) = (toy::runtime_mix(8, 8), 8usize, 8usize, 64usize);
+    let steps = samples / batch;
+    let hw = HardwareConfig::cpu().with_global_buffer(3 * 1024);
+    let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1)
+        .with_batch(batch)
+        .schedule();
+    let set = generate(samples, img_size, 0.3, 51);
+    let dir = std::env::temp_dir().join(format!("mbsbench-loader-{}", std::process::id()));
+    let path = dir.join("bench.mbsds");
+    save_dataset_chunked(&set, &path, CHUNK).expect("save bench dataset");
+    let file_bytes = std::fs::metadata(&path).expect("saved file").len();
+    let order: Vec<usize> = (0..samples).collect();
+
+    let mut model = lower(&net, &mut StdRng::seed_from_u64(7)).expect("net lowers");
+    let mut exec = GroupedExecutor::new(&schedule, model.len());
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+
+    // In-memory baseline: gather (row copies) + train_step, the data
+    // path `train_grouped` runs today.
+    let gather = |idx: &[usize]| {
+        let row = set.images.len() / samples;
+        let mut data = Vec::with_capacity(idx.len() * row);
+        let mut labels = Vec::with_capacity(idx.len());
+        for &i in idx {
+            data.extend_from_slice(&set.images.data()[i * row..(i + 1) * row]);
+            labels.push(set.labels[i]);
+        }
+        (
+            mbs_tensor::Tensor::from_vec(&[idx.len(), 3, img_size, img_size], data),
+            labels,
+        )
+    };
+    let run_memory_epoch =
+        |exec: &mut GroupedExecutor, model: &mut mbs_train::LoweredNet, opt: &mut Sgd| {
+            for s in 0..steps {
+                let (xs, ls) = gather(&order[s * batch..(s + 1) * batch]);
+                criterion::black_box(exec.train_step(model, &xs, &ls, opt));
+            }
+        };
+    run_memory_epoch(&mut exec, &mut model, &mut opt); // warm
+    let mut memory_best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        run_memory_epoch(&mut exec, &mut model, &mut opt);
+        memory_best = memory_best.min(t0.elapsed().as_nanos() as f64 / steps as f64);
+    }
+
+    let disk = DiskDataset::open(&path).expect("open bench dataset");
+    let mut rows = Vec::new();
+    for prefetch in [1usize, 2, 4] {
+        let mut loader = StreamLoader::new(&disk, prefetch).expect("spawn loader");
+        let run_streamed_epoch = |loader: &mut StreamLoader,
+                                  exec: &mut GroupedExecutor,
+                                  model: &mut mbs_train::LoweredNet,
+                                  opt: &mut Sgd| {
+            loader.begin_epoch(&order, batch, 0);
+            for _ in 0..steps {
+                let b = loader.next_batch().expect("bench batch");
+                criterion::black_box(exec.train_step(model, &b.images, &b.labels, opt));
+                loader.recycle(b);
+            }
+        };
+        run_streamed_epoch(&mut loader, &mut exec, &mut model, &mut opt); // warm
+        let warm_stats = loader.stats();
+        let mut streamed_best = f64::INFINITY;
+        let phase0 = Instant::now();
+        for _ in 0..ROUNDS {
+            let t0 = Instant::now();
+            run_streamed_epoch(&mut loader, &mut exec, &mut model, &mut opt);
+            streamed_best = streamed_best.min(t0.elapsed().as_nanos() as f64 / steps as f64);
+        }
+        let phase_secs = phase0.elapsed().as_secs_f64();
+        let stats = loader.finish();
+        let bytes_read = stats.bytes_read - warm_stats.bytes_read;
+        rows.push(LoaderBench {
+            model: net.name().to_string(),
+            samples,
+            batch,
+            prefetch,
+            chunk_samples: CHUNK,
+            file_bytes,
+            memory_step_best_ns: memory_best,
+            streamed_step_best_ns: streamed_best,
+            ratio_streamed_vs_memory: streamed_best / memory_best,
+            stalls: stats.stalls - warm_stats.stalls,
+            bytes_read,
+            bytes_per_sec: bytes_read as f64 / phase_secs.max(1e-9),
+            chunk_loads: stats.chunk_loads - warm_stats.chunk_loads,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
 /// The report written to `BENCH_serve.json`: dynamic-batching serving
 /// latency under synthetic open-loop load, one row per offered rate.
 #[derive(Debug, Clone, Serialize)]
@@ -1448,6 +1599,8 @@ fn main() {
     let precision_train = precision_steps();
     println!("== checkpoint save/load + training overhead ==");
     let checkpoint = checkpoint_benches();
+    println!("== loader (streamed vs in-memory step, prefetch sweep) ==");
+    let loader = loader_benches();
     println!("== serve (open-loop load sweep) ==");
     let serve_report = serve_section();
     let schedule = schedule_section();
@@ -1548,6 +1701,18 @@ fn main() {
             cb.overhead_pct_every_10
         );
     }
+    for lb in &loader {
+        println!(
+            "loader {:>14} prefetch {:<2} streamed {:>10.0} ns  memory {:>10.0} ns ({:>5.3}x)  stalls {:>3}  {:>8.1} MiB/s off disk",
+            lb.model,
+            lb.prefetch,
+            lb.streamed_step_best_ns,
+            lb.memory_step_best_ns,
+            lb.ratio_streamed_vs_memory,
+            lb.stalls,
+            lb.bytes_per_sec / (1024.0 * 1024.0)
+        );
+    }
     for lp in &serve_report.load_points {
         println!(
             "serve {:>12} @{:>5} rps  p50 {:>8.0} us  p99 {:>8.0} us  mean batch {:>5.2}",
@@ -1586,6 +1751,7 @@ fn main() {
         grouped,
         schedule,
         checkpoint,
+        loader,
         precision: precision_train,
     };
     match mbs_bench::write_json(&out_dir, "BENCH_train", &train_report) {

@@ -5,13 +5,32 @@
 //! diagonal waves — with randomized frequency, phase, per-channel gain, and
 //! additive Gaussian noise. Hard enough that an un-normalized network
 //! struggles, easy enough to train on a CPU in seconds.
+//!
+//! # RNG discipline (load-bearing)
+//!
+//! The generator consumes **one shared `StdRng` stream**, seeded once from
+//! `seed` — there is no per-image or per-plane re-seeding. Per image, in
+//! order: the class, the frequency, the phase, three channel gains, then
+//! exactly two uniform draws per pixel (Box-Muller noise) across all three
+//! planes. The per-image draw count is therefore a fixed function of
+//! `size`, which is what lets [`crate::loader::generate_to`] stream the
+//! *same* images to disk one chunk at a time: both generators call
+//! [`generate_image_into`] on the same stream, so their output is bitwise
+//! identical. The stream's draw order is pinned by the golden checksum
+//! test below (`generator_output_is_pinned`); any reordering is a format
+//! break for every `*.mbsds` file ever generated, and must bump
+//! [`crate::loader::MBSDS_VERSION`].
 
 #![allow(clippy::needless_range_loop)] // indexed loops address multiple planes
+
+use std::path::Path;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mbs_tensor::Tensor;
+
+use crate::loader::{self, DiskDataset, LoaderError};
 
 /// Number of texture classes.
 pub const CLASSES: usize = 4;
@@ -35,6 +54,88 @@ impl Dataset {
     pub fn is_empty(&self) -> bool {
         self.labels.is_empty()
     }
+
+    /// Saves this set as an atomic, checksummed `*.mbsds` file (chunk
+    /// size from the `MBS_LOADER_CHUNK` knob). A later
+    /// [`Dataset::open`] or [`DiskDataset::load`] reproduces it bitwise.
+    ///
+    /// # Errors
+    ///
+    /// See [`loader::save_dataset`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), LoaderError> {
+        loader::save_dataset(self, path)
+    }
+
+    /// Loads a `*.mbsds` file fully into memory, validating every chunk
+    /// checksum. The streamed counterpart — training directly off the
+    /// file without materializing it — is
+    /// [`DataSource::Stream`](crate::training::DataSource).
+    ///
+    /// # Errors
+    ///
+    /// See [`DiskDataset::open`] and [`DiskDataset::load`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbs_train::data::{generate, Dataset};
+    ///
+    /// let dir = std::env::temp_dir().join("mbsds-doc-bridge");
+    /// let path = dir.join("set.mbsds");
+    /// let set = generate(6, 4, 0.2, 21);
+    /// set.save(&path).unwrap();
+    /// let reloaded = Dataset::open(&path).unwrap();
+    /// assert_eq!(reloaded.labels, set.labels);
+    /// # let _ = std::fs::remove_dir_all(&dir);
+    /// ```
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, LoaderError> {
+        DiskDataset::open(path)?.load()
+    }
+}
+
+/// Generates one image directly into `out` (length `3 * size * size`,
+/// CHW order) and returns its class, consuming the shared RNG stream in
+/// the pinned draw order (see the module docs). Both [`generate`] and
+/// the streaming [`crate::loader::generate_to`] are thin loops over this
+/// routine — the single definition is what guarantees they can never
+/// drift apart.
+pub fn generate_image_into(rng: &mut StdRng, size: usize, noise: f32, out: &mut [f32]) -> usize {
+    debug_assert_eq!(out.len(), 3 * size * size);
+    let class = rng.gen_range(0..CLASSES);
+    let freq = rng.gen_range(1.0f32..3.0);
+    let phase = rng.gen_range(0.0f32..std::f32::consts::TAU);
+    let gains: [f32; 3] = [
+        rng.gen_range(0.7..1.3),
+        rng.gen_range(0.7..1.3),
+        rng.gen_range(0.7..1.3),
+    ];
+    for c in 0..3 {
+        for y in 0..size {
+            for x in 0..size {
+                let fy = y as f32 / size as f32;
+                let fx = x as f32 / size as f32;
+                let v = match class {
+                    0 => (std::f32::consts::TAU * freq * fy + phase).sin(),
+                    1 => (std::f32::consts::TAU * freq * fx + phase).sin(),
+                    2 => {
+                        ((std::f32::consts::TAU * freq * fx + phase).sin()
+                            * (std::f32::consts::TAU * freq * fy + phase).sin())
+                        .signum()
+                            * 0.8
+                    }
+                    _ => (std::f32::consts::TAU * freq * (fx + fy) + phase).sin(),
+                };
+                let noise_v: f32 = {
+                    // Box-Muller on the shared stream.
+                    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                    let u2: f32 = rng.gen_range(0.0f32..1.0);
+                    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+                };
+                out[(c * size + y) * size + x] = gains[c] * v + noise * noise_v;
+            }
+        }
+    }
+    class
 }
 
 /// Generates `n` samples of `size × size` images with the given noise
@@ -51,42 +152,15 @@ pub fn generate(n: usize, size: usize, noise: f32, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut images = Tensor::zeros(&[n, 3, size, size]);
     let mut labels = Vec::with_capacity(n);
+    let row = 3 * size * size;
     for i in 0..n {
-        let class = rng.gen_range(0..CLASSES);
+        let class = generate_image_into(
+            &mut rng,
+            size,
+            noise,
+            &mut images.data_mut()[i * row..(i + 1) * row],
+        );
         labels.push(class);
-        let freq = rng.gen_range(1.0f32..3.0);
-        let phase = rng.gen_range(0.0f32..std::f32::consts::TAU);
-        let gains: [f32; 3] = [
-            rng.gen_range(0.7..1.3),
-            rng.gen_range(0.7..1.3),
-            rng.gen_range(0.7..1.3),
-        ];
-        for c in 0..3 {
-            for y in 0..size {
-                for x in 0..size {
-                    let fy = y as f32 / size as f32;
-                    let fx = x as f32 / size as f32;
-                    let v = match class {
-                        0 => (std::f32::consts::TAU * freq * fy + phase).sin(),
-                        1 => (std::f32::consts::TAU * freq * fx + phase).sin(),
-                        2 => {
-                            ((std::f32::consts::TAU * freq * fx + phase).sin()
-                                * (std::f32::consts::TAU * freq * fy + phase).sin())
-                            .signum()
-                                * 0.8
-                        }
-                        _ => (std::f32::consts::TAU * freq * (fx + fy) + phase).sin(),
-                    };
-                    let noise_v: f32 = {
-                        // Box-Muller on the shared stream.
-                        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-                        let u2: f32 = rng.gen_range(0.0f32..1.0);
-                        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
-                    };
-                    images.set(&[i, c, y, x], gains[c] * v + noise * noise_v);
-                }
-            }
-        }
     }
     Dataset { images, labels }
 }
@@ -124,4 +198,46 @@ mod tests {
         assert!(d.images.max_abs() < 6.0);
         assert!(d.images.data().iter().all(|v| v.is_finite()));
     }
+
+    /// Pins the generator's RNG draw order with a golden checksum over the
+    /// exact output bits. If this fails, the generator's stream discipline
+    /// changed: every `*.mbsds` file ever generated (and the streamed /
+    /// in-memory bitwise-equivalence contract in `loader.rs`) is affected,
+    /// so treat it as a format break — bump `MBSDS_VERSION` and
+    /// re-compute the constants below with the `eprintln!` left in place.
+    ///
+    /// The checksum covers f32 *bit patterns*, not values, so it also
+    /// catches "harmless" numeric rewrites (e.g. fusing the Box-Muller
+    /// expression) that would silently desynchronize old files. Note the
+    /// transcendentals (`sin`, `ln`, `cos`) come from the platform libm:
+    /// the constants are pinned for the CI image's toolchain; a libm
+    /// change shows up here as a cross-platform drift, which is exactly
+    /// the kind of silence this test exists to break.
+    #[test]
+    fn generator_output_is_pinned() {
+        let d = generate(6, 8, 0.25, 1234);
+        let mut bytes = Vec::with_capacity(d.images.len() * 4 + d.labels.len());
+        for &v in d.images.data() {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        for &l in &d.labels {
+            bytes.extend_from_slice(&(l as u32).to_le_bytes());
+        }
+        let checksum = mbs_core::fnv1a64(&bytes);
+        eprintln!("generator checksum: {checksum:016x} labels: {:?}", d.labels);
+        assert_eq!(
+            d.labels,
+            vec![3, 1, 1, 1, 1, 0],
+            "per-image class draws moved — the shared RNG stream reordered"
+        );
+        assert_eq!(
+            checksum, GOLDEN_GENERATOR_CHECKSUM,
+            "generator output bits drifted from the pinned golden checksum"
+        );
+    }
+
+    /// Golden checksum of `generate(6, 8, 0.25, 1234)`'s output bits.
+    /// Recompute from the `eprintln!` above after an *intentional* format
+    /// break (and bump `MBSDS_VERSION`).
+    const GOLDEN_GENERATOR_CHECKSUM: u64 = 0xea9c_8307_cf48_e570;
 }

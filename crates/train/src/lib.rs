@@ -31,6 +31,16 @@
 //! valid one — a killed-and-resumed run reproduces the unkilled epoch
 //! curve bitwise. See `docs/ARCHITECTURE.md` § Durable state.
 //!
+//! The training set no longer has to fit in memory: [`loader`] defines
+//! the chunked, checksummed `*.mbsds` on-disk dataset format (same
+//! atomic-write discipline as checkpoints), a streaming synthetic-
+//! ImageNet generator, and a background-prefetch [`loader::StreamLoader`]
+//! feeding recycled arena-pooled batch buffers.
+//! [`training::train_grouped_source`] trains off either source; the
+//! streamed path is **bitwise identical** to the in-memory one — loss
+//! curve, final parameters, and checkpoint kill/resume — across every
+//! prefetch depth. See `docs/ARCHITECTURE.md` § Data pipeline.
+//!
 //! # Examples
 //!
 //! ```
@@ -57,6 +67,7 @@ pub mod data;
 pub mod executor;
 pub mod grouped;
 pub mod layers;
+pub mod loader;
 pub mod lower;
 pub mod model;
 pub mod module;
@@ -69,9 +80,13 @@ pub use checkpoint::{
 };
 pub use executor::{evaluate, train_step_full, train_step_mbs};
 pub use grouped::{stash_enabled, GroupedExecutor};
+pub use loader::{generate_to, save_dataset, DiskDataset, LoaderError, LoaderStats, StreamLoader};
 pub use lower::{lower, lower_inference, InferenceLowerError, LowerError, LoweredNet};
 pub use model::MiniResNet;
 pub use module::{CacheStash, Module, Param, StateDict, StateEntry, StateError};
 pub use norm::{Norm, NormChoice};
 pub use optim::Sgd;
-pub use training::{train, train_grouped, EpochStats, TrainConfig, TrainError};
+pub use training::{
+    train, train_grouped, train_grouped_source, train_grouped_source_with_stats, DataSource,
+    EpochStats, TrainConfig, TrainError,
+};

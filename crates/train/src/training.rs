@@ -7,6 +7,7 @@
 //! IR network.
 
 use std::fmt;
+use std::path::PathBuf;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -20,6 +21,7 @@ use crate::checkpoint::{self, CheckpointConfig, CheckpointError, FaultPlan, Trai
 use crate::data::Dataset;
 use crate::executor::{evaluate, train_step_full, train_step_mbs};
 use crate::grouped::GroupedExecutor;
+use crate::loader::{self, DiskDataset, LoaderError, LoaderStats, StreamLoader};
 use crate::lower::{lower, LowerError, LoweredNet};
 use crate::model::MiniResNet;
 use crate::module::{slice_batch, Module, StateDict, StateError};
@@ -60,6 +62,12 @@ pub struct TrainConfig {
     /// Test-only fault-injection plan for checkpoint saves (`None` in
     /// real runs). See [`FaultPlan`].
     pub fault_plan: Option<FaultPlan>,
+    /// Prefetch depth for streamed sources (`None` = the
+    /// `MBS_LOADER_PREFETCH` knob, default 2; `1` is the degenerate
+    /// near-synchronous mode CI pins). Ignored for in-memory sources —
+    /// the prefetch depth never changes *what* is trained, only whether
+    /// the step loop waits on disk.
+    pub prefetch: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -77,7 +85,34 @@ impl Default for TrainConfig {
             checkpoint: None,
             stashing: None,
             fault_plan: None,
+            prefetch: None,
         }
+    }
+}
+
+/// Where [`train_grouped_source`] reads training samples from. The
+/// validation split stays in memory either way (it is read once per
+/// epoch, sequentially — nothing to stream).
+#[derive(Debug)]
+pub enum DataSource {
+    /// A fully materialized in-memory dataset (the classic path).
+    Memory(Dataset),
+    /// A `*.mbsds` file streamed through a background-prefetch
+    /// [`StreamLoader`] — bitwise-equivalent to loading the same file
+    /// into memory and training on it, across every prefetch depth
+    /// (pinned by `tests/loader_equivalence.rs`).
+    Stream(PathBuf),
+}
+
+impl From<Dataset> for DataSource {
+    fn from(set: Dataset) -> Self {
+        Self::Memory(set)
+    }
+}
+
+impl From<PathBuf> for DataSource {
+    fn from(path: PathBuf) -> Self {
+        Self::Stream(path)
     }
 }
 
@@ -135,6 +170,9 @@ pub enum TrainError {
     },
     /// Saving or loading a checkpoint failed.
     Checkpoint(CheckpointError),
+    /// Opening or streaming the on-disk training set failed (bad file,
+    /// chunk corruption, I/O error). See [`LoaderError`].
+    Loader(LoaderError),
     /// A resumed checkpoint's state did not fit the lowered model —
     /// format drift the fingerprint could not catch.
     State(StateError),
@@ -183,6 +221,7 @@ impl fmt::Display for TrainError {
                 Ok(())
             }
             Self::Checkpoint(e) => write!(f, "checkpointing failed: {e}"),
+            Self::Loader(e) => write!(f, "streaming the training set failed: {e}"),
             Self::State(e) => write!(f, "resumed state does not fit the model: {e}"),
             Self::Killed { saves } => {
                 write!(f, "run killed by fault plan after {saves} checkpoint saves")
@@ -196,6 +235,7 @@ impl std::error::Error for TrainError {
         match self {
             Self::Lower(e) => Some(e),
             Self::Checkpoint(e) => Some(e),
+            Self::Loader(e) => Some(e),
             Self::State(e) => Some(e),
             _ => None,
         }
@@ -217,6 +257,12 @@ impl From<CheckpointError> for TrainError {
 impl From<StateError> for TrainError {
     fn from(e: StateError) -> Self {
         Self::State(e)
+    }
+}
+
+impl From<LoaderError> for TrainError {
+    fn from(e: LoaderError) -> Self {
+        Self::Loader(e)
     }
 }
 
@@ -327,7 +373,150 @@ pub fn train_grouped(
     val_set: &Dataset,
     cfg: &TrainConfig,
 ) -> Result<Vec<EpochStats>, TrainError> {
-    validate_inputs(net, schedule, train_set, val_set)?;
+    run_grouped(net, schedule, Feed::Memory(train_set), val_set, cfg).map(|(curve, _)| curve)
+}
+
+/// [`train_grouped`] over a [`DataSource`]: identical semantics whether
+/// the training set is in memory or streamed off disk. The streamed path
+/// shuffles with the *same* trainer-side RNG calls as the in-memory one
+/// (the loader thread only materializes the order it is handed), so loss
+/// curves, final parameters, and checkpoint kill/resume are **bitwise**
+/// unchanged across sources and prefetch depths — pinned by
+/// `tests/loader_equivalence.rs`.
+///
+/// # Errors
+///
+/// Everything [`train_grouped`] returns, plus [`TrainError::Loader`]
+/// when the `*.mbsds` file cannot be opened or a chunk fails its
+/// checksum mid-stream. On any error the loader thread is joined before
+/// returning — a failed run leaks neither the thread nor its buffers.
+///
+/// # Examples
+///
+/// ```
+/// use mbs_cnn::networks::toy;
+/// use mbs_core::{ExecConfig, HardwareConfig, MbsScheduler};
+/// use mbs_train::loader::generate_to;
+/// use mbs_train::training::{train_grouped_source, DataSource, TrainConfig, TrainError};
+///
+/// fn main() -> Result<(), TrainError> {
+///     let dir = std::env::temp_dir().join("mbsds-doc-train");
+///     let path = dir.join("train.mbsds");
+///     generate_to(&path, 16, 8, 0.3, 1)?;
+///     let net = toy::runtime_mix(8, 8);
+///     let hw = HardwareConfig::cpu().with_global_buffer(3 * 1024);
+///     let schedule = MbsScheduler::new(&net, &hw, ExecConfig::Mbs1).schedule();
+///     let val_set = mbs_train::data::generate(8, 8, 0.3, 2);
+///     let cfg = TrainConfig { epochs: 1, batch: 8, ..TrainConfig::default() };
+///     let curve = train_grouped_source(&net, &schedule, &DataSource::Stream(path), &val_set, &cfg)?;
+///     assert_eq!(curve.len(), 1);
+///     # let _ = std::fs::remove_dir_all(&dir);
+///     Ok(())
+/// }
+/// ```
+pub fn train_grouped_source(
+    net: &Network,
+    schedule: &Schedule,
+    source: &DataSource,
+    val_set: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<Vec<EpochStats>, TrainError> {
+    train_grouped_source_with_stats(net, schedule, source, val_set, cfg).map(|(curve, _)| curve)
+}
+
+/// [`train_grouped_source`] that also returns the loader's counters
+/// (`None` for in-memory sources) — what the bench bin reports as the
+/// `loader` section: prefetch stalls, bytes off disk, chunk reads.
+///
+/// # Errors
+///
+/// Same as [`train_grouped_source`].
+pub fn train_grouped_source_with_stats(
+    net: &Network,
+    schedule: &Schedule,
+    source: &DataSource,
+    val_set: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<(Vec<EpochStats>, Option<LoaderStats>), TrainError> {
+    let feed = match source {
+        DataSource::Memory(set) => Feed::Memory(set),
+        DataSource::Stream(path) => {
+            let disk = DiskDataset::open(path)?;
+            let prefetch = cfg.prefetch.unwrap_or_else(loader::prefetch_from_env);
+            let loader = StreamLoader::new(&disk, prefetch)?;
+            Feed::Stream { disk, loader }
+        }
+    };
+    run_grouped(net, schedule, feed, val_set, cfg)
+}
+
+/// The training set as the epoch loop sees it. The two arms must stay
+/// observably identical per step — same batch bits, same trainer-side
+/// RNG consumption — or the streamed/in-memory bitwise contract breaks.
+enum Feed<'a> {
+    Memory(&'a Dataset),
+    Stream {
+        disk: DiskDataset,
+        loader: StreamLoader,
+    },
+}
+
+impl Feed<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Self::Memory(set) => set.len(),
+            Self::Stream { disk, .. } => disk.len(),
+        }
+    }
+
+    fn image_shape(&self) -> Vec<usize> {
+        match self {
+            Self::Memory(set) => set.images.shape().to_vec(),
+            Self::Stream { disk, .. } => disk.shape().to_vec(),
+        }
+    }
+
+    fn label_count(&self) -> usize {
+        match self {
+            Self::Memory(set) => set.labels.len(),
+            // The format stores exactly one label per record.
+            Self::Stream { disk, .. } => disk.len(),
+        }
+    }
+
+    /// The pre-activation probe batch: the first `k` samples, bitwise
+    /// identical across arms (disk round trips are bitwise).
+    fn probe(&self, k: usize) -> Result<mbs_tensor::Tensor, TrainError> {
+        match self {
+            Self::Memory(set) => Ok(slice_batch(&set.images, 0, k)),
+            Self::Stream { disk, .. } => Ok(disk.read_prefix(k)?.0),
+        }
+    }
+
+    /// Announces the epoch's shuffled order so the prefetch thread can
+    /// run ahead. No-op for in-memory feeds.
+    fn begin_epoch(&mut self, order: &[usize], batch: usize, skip: usize) {
+        if let Self::Stream { loader, .. } = self {
+            loader.begin_epoch(order, batch, skip);
+        }
+    }
+
+    fn stats(&self) -> Option<LoaderStats> {
+        match self {
+            Self::Memory(_) => None,
+            Self::Stream { loader, .. } => Some(loader.stats()),
+        }
+    }
+}
+
+fn run_grouped(
+    net: &Network,
+    schedule: &Schedule,
+    mut feed: Feed<'_>,
+    val_set: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<(Vec<EpochStats>, Option<LoaderStats>), TrainError> {
+    validate_inputs(net, schedule, &feed, val_set)?;
     let ckpt_cfg = cfg.checkpoint.clone().or_else(CheckpointConfig::from_env);
     let fingerprint = schedule.fingerprint(net);
 
@@ -338,8 +527,8 @@ pub fn train_grouped(
         exec.set_stashing(stashing);
     }
     let mut opt = Sgd::new(cfg.base_lr, cfg.momentum, cfg.weight_decay);
-    let n = train_set.len();
-    let probe = slice_batch(&train_set.images, 0, train_set.len().min(8));
+    let n = feed.len();
+    let probe = feed.probe(n.min(8))?;
     let mut order: Vec<usize> = (0..n).collect();
     let mut curve = Vec::with_capacity(cfg.epochs);
 
@@ -385,12 +574,23 @@ pub fn train_grouped(
         } else {
             0.0
         };
+        feed.begin_epoch(&order, cfg.batch, skip);
         let mut steps = skip;
         let mut start = skip * cfg.batch;
         while start < n {
             let end = (start + cfg.batch).min(n);
-            let (xs, ls) = gather(train_set, &order[start..end]);
-            loss_sum += exec.train_step(&mut model, &xs, &ls, &mut opt);
+            loss_sum += match &mut feed {
+                Feed::Memory(set) => {
+                    let (xs, ls) = gather(set, &order[start..end]);
+                    exec.train_step(&mut model, &xs, &ls, &mut opt)
+                }
+                Feed::Stream { loader, .. } => {
+                    let batch = loader.next_batch()?;
+                    let loss = exec.train_step(&mut model, &batch.images, &batch.labels, &mut opt);
+                    loader.recycle(batch);
+                    loss
+                }
+            };
             steps += 1;
             start = end;
             if let Some(ck) = &ckpt_cfg {
@@ -435,7 +635,7 @@ pub fn train_grouped(
             persist(ck, cfg.fault_plan.as_ref(), &mut seq, &mut saves, &snapshot)?;
         }
     }
-    Ok(curve)
+    Ok((curve, feed.stats()))
 }
 
 /// Rejects input disagreements up front with named-network errors, so the
@@ -443,7 +643,7 @@ pub fn train_grouped(
 fn validate_inputs(
     net: &Network,
     schedule: &Schedule,
-    train_set: &Dataset,
+    feed: &Feed<'_>,
     val_set: &Dataset,
 ) -> Result<(), TrainError> {
     let covered = schedule.node_count();
@@ -458,21 +658,28 @@ fn validate_inputs(
     }
     let input = net.input();
     let expected = [input.channels, input.height, input.width];
-    for (split, set) in [("train", train_set), ("validation", val_set)] {
-        let shape = set.images.shape();
+    let splits = [
+        ("train", feed.image_shape(), feed.label_count()),
+        (
+            "validation",
+            val_set.images.shape().to_vec(),
+            val_set.labels.len(),
+        ),
+    ];
+    for (split, shape, labels) in splits {
         if shape.len() != 4 || shape[1..] != expected {
             return Err(TrainError::DatasetMismatch {
                 net: net.name().to_string(),
                 split,
                 expected,
-                found: shape.to_vec(),
+                found: shape,
             });
         }
-        if set.labels.len() != shape[0] {
+        if labels != shape[0] {
             return Err(TrainError::LabelMismatch {
                 split,
                 images: shape[0],
-                labels: set.labels.len(),
+                labels,
             });
         }
     }

@@ -8,9 +8,18 @@
 //! them), so the stash path must be exactly as allocation-free as the
 //! `MBS_STASH=0` replay path — the test pins both.
 //!
+//! The streamed data path must not weaken the claim: a training step fed
+//! by the background-prefetch [`StreamLoader`] — batch decode, cross-
+//! thread buffer handoff and all — must also run with zero arena misses
+//! after warm-up (the loader's fixed buffer ring is why), and the loader
+//! must join its thread without leaking buffers even when training
+//! errors out mid-epoch.
+//!
 //! Like `steady_state_alloc.rs`, this lives in its own integration-test
 //! binary (with a single `#[test]`) because the arena's hit/miss counters
 //! are process-global and concurrently running tests would pollute them.
+//!
+//! [`StreamLoader`]: mbs_train::loader::StreamLoader
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,8 +29,10 @@ use mbs_core::{ExecConfig, Group, Schedule};
 use mbs_tensor::arena;
 use mbs_train::data::generate;
 use mbs_train::grouped::GroupedExecutor;
+use mbs_train::loader::{save_dataset_chunked, DiskDataset, StreamLoader};
 use mbs_train::lower::lower;
-use mbs_train::Sgd;
+use mbs_train::training::{train_grouped_source, DataSource, TrainConfig, TrainError};
+use mbs_train::{CheckpointConfig, FaultPlan, Sgd};
 
 #[test]
 fn steady_state_grouped_training_is_arena_miss_free() {
@@ -64,4 +75,87 @@ fn steady_state_grouped_training_is_arena_miss_free() {
             "{label}: steady-state grouped step allocated fresh buffers"
         );
     }
+
+    // ---- Streamed leg: the same claim with batches coming off disk. ----
+    // 16 samples / batch 8 keeps every batch the same shape, so after the
+    // loader's buffer ring fills (prefetch + 2 buffers, all created in
+    // the first few fills) the prefetch thread refills buffers in place
+    // and performs no arena operation at all — the measured step's only
+    // arena traffic is the executor's, which the legs above proved clean.
+    let dir = std::env::temp_dir().join(format!("mbs-steady-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("train.mbsds");
+    let streamed_set = generate(16, 8, 0.3, 79);
+    save_dataset_chunked(&streamed_set, &path, 4).unwrap();
+    let disk = DiskDataset::open(&path).unwrap();
+    let mut loader = StreamLoader::new(&disk, 2).unwrap();
+    let order: Vec<usize> = (0..16).collect();
+    exec.set_stashing(true);
+    // Warm-up: three full epochs (6 batches) — more than enough fills for
+    // the ring to reach its fixed size, after which creation is disabled.
+    for _ in 0..3 {
+        loader.begin_epoch(&order, 8, 0);
+        for _ in 0..2 {
+            let batch = loader.next_batch().unwrap();
+            let _ = exec.train_step(&mut model, &batch.images, &batch.labels, &mut opt);
+            loader.recycle(batch);
+        }
+    }
+    arena::reset_stats();
+    loader.begin_epoch(&order, 8, 0);
+    let batch = loader.next_batch().unwrap();
+    let _ = exec.train_step(&mut model, &batch.images, &batch.labels, &mut opt);
+    loader.recycle(batch);
+    let (hits, misses) = arena::stats();
+    assert!(
+        hits > 0,
+        "streamed: the grouped step must route through the arena"
+    );
+    assert_eq!(
+        misses, 0,
+        "streamed: steady-state step with a prefetch loader allocated fresh buffers"
+    );
+    // Drain the epoch so shutdown happens mid-flight with a full queue.
+    let stats = loader.finish();
+    assert!(
+        stats.batches_filled >= 7,
+        "prefetch thread should have run ahead"
+    );
+
+    // ---- Shutdown leg: training errors mid-epoch must still join the
+    // loader thread (run_grouped drops the Feed — and with it the
+    // loader, whose Drop closes every channel and joins; a leak or
+    // deadlock would hang this test). The FaultPlan kills the run right
+    // after the first mid-epoch checkpoint save, prefetch still full.
+    let net2 = toy::runtime_mix(8, 8);
+    let hw = mbs_core::HardwareConfig::cpu().with_global_buffer(3 * 1024);
+    let schedule2 = mbs_core::MbsScheduler::new(&net2, &hw, ExecConfig::Mbs1)
+        .with_batch(8)
+        .schedule();
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch: 8,
+        checkpoint: Some(CheckpointConfig {
+            dir: dir.join("ckpts"),
+            every_steps: 1,
+            keep: 2,
+            resume: true,
+        }),
+        fault_plan: Some(FaultPlan::kill_after(1)),
+        prefetch: Some(4),
+        ..TrainConfig::default()
+    };
+    let val_set = generate(8, 8, 0.3, 80);
+    let killed = train_grouped_source(
+        &net2,
+        &schedule2,
+        &DataSource::Stream(path.clone()),
+        &val_set,
+        &cfg,
+    );
+    assert!(
+        matches!(killed, Err(TrainError::Killed { saves: 1 })),
+        "streamed run should die mid-epoch: {killed:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
